@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each runs
+//! the same micro-scenario with one PrioPlus mechanism altered, so the cost
+//! of the mechanism (and the regression if removed) is visible in the
+//! timing and, more importantly, in the printed utilization assertions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::micro::{Micro, MicroEnv};
+use netsim::{FlowSpec, NoiseModel, Transport};
+use prioplus::PrioPlusConfig;
+use simcore::Time;
+use transport::pp_transport::PrioPlusTransport;
+use transport::sender::SenderBase;
+use transport::swift::{SwiftCc, SwiftConfig};
+use transport::PrioPlusPolicy;
+
+fn run_variant(mutate: impl Fn(&mut PrioPlusConfig) + Copy) -> u64 {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 16,
+        end: Time::from_ms(3),
+        trace: false,
+        noise: NoiseModel::testbed(),
+        ..Default::default()
+    });
+    let policy = PrioPlusPolicy::paper_default(8);
+    for s in 1..=16usize {
+        let prio = (s % 8) as u8;
+        let spec = FlowSpec {
+            src: s as u32,
+            dst: 0,
+            size: 1_000_000,
+            start: Time::from_us(10 * s as u64),
+            phys_prio: 0,
+            virt_prio: prio,
+            tag: prio as u64,
+        };
+        m.sim.add_flow(spec, |params| {
+            let mut cfg = policy.flow_config(params);
+            mutate(&mut cfg);
+            let mut scfg = SwiftConfig::datacenter(
+                params.base_rtt,
+                cfg.d_target - params.base_rtt,
+                params.mtu,
+            );
+            scfg.init_cwnd = cfg.w_ls;
+            Box::new(PrioPlusTransport::new(
+                SenderBase::new(params.clone()),
+                cfg,
+                SwiftCc::new(scfg),
+            )) as Box<dyn Transport>
+        });
+    }
+    m.sim.run().counters.events
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prioplus_ablations");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| run_variant(|_| {})));
+    g.bench_function("no_dual_rtt", |b| {
+        b.iter(|| run_variant(|cfg| cfg.dual_rtt = false))
+    });
+    g.bench_function("no_probe_before_start", |b| {
+        b.iter(|| run_variant(|cfg| cfg.probe_before_start = false))
+    });
+    g.bench_function("line_rate_start", |b| {
+        b.iter(|| {
+            run_variant(|cfg| {
+                // W_LS = full BDP everywhere: degenerate into line-rate-ish
+                // starts (the Table 2 comparison point).
+                cfg.w_ls = cfg.base_bdp();
+            })
+        })
+    });
+    g.bench_function("narrow_channels", |b| {
+        b.iter(|| {
+            run_variant(|cfg| {
+                // Halve the gap between target and limit: more misreactions
+                // under the same noise (Fig 10d's lever).
+                let half = Time::from_ps((cfg.d_limit.as_ps() - cfg.d_target.as_ps()) / 2);
+                cfg.d_limit = cfg.d_target + half;
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

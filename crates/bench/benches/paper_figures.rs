@@ -1,0 +1,207 @@
+//! One Criterion bench per paper table/figure: each runs a reduced instance
+//! of the corresponding experiment end-to-end (workload generation →
+//! simulation → metric extraction), so regressions in any layer show up as
+//! timing or panics here. The printed *results* of each figure come from
+//! the `experiments` binaries; these benches keep the regeneration paths
+//! exercised and measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::coflowsched::{self, CoflowConfig};
+use experiments::flowsched::{self, FlowSchedConfig};
+use experiments::micro::{Micro, MicroEnv};
+use experiments::mltrain::{self, MlConfig};
+use experiments::Scheme;
+use netsim::NoiseModel;
+use prioplus::linear_start::{bytes_delayed_bdp, max_extra_buffer_bdp, LinearStart};
+use simcore::{SimRng, Time};
+use transport::{CcSpec, PrioPlusPolicy};
+
+/// Fig 3 (motivation): D2TCP pair on the bottleneck.
+fn fig03(c: &mut Criterion) {
+    c.bench_function("fig03_d2tcp_pair", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&MicroEnv {
+                senders: 2,
+                end: Time::from_ms(2),
+                trace: false,
+                ..Default::default()
+            });
+            for (s, f) in [(1, 1.0), (2, 2.0)] {
+                m.add_flow(
+                    s,
+                    2_000_000,
+                    Time::ZERO,
+                    0,
+                    0,
+                    &CcSpec::D2tcp {
+                        deadline_factor: Some(f),
+                    },
+                );
+            }
+            m.sim.run().counters.events
+        })
+    });
+}
+
+/// Table 2: start-strategy analysis.
+fn tab02(c: &mut Criterion) {
+    c.bench_function("tab02_linear_start_analysis", |b| {
+        b.iter(|| {
+            let s = LinearStart { n: 8 };
+            (bytes_delayed_bdp(&s), max_extra_buffer_bdp(&s))
+        })
+    });
+}
+
+/// Fig 7: noise model sampling.
+fn fig07(c: &mut Criterion) {
+    c.bench_function("fig07_noise_sampling_100k", |b| {
+        let model = NoiseModel::testbed();
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(model.sample(&mut rng).as_ps());
+            }
+            acc
+        })
+    });
+}
+
+/// Fig 8/9 (testbed): 4-priority PrioPlus staircase, reduced horizon.
+fn fig08(c: &mut Criterion) {
+    c.bench_function("fig08_testbed_staircase", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&experiments::micro::testbed_env());
+            let cc = CcSpec::PrioPlusSwift {
+                policy: PrioPlusPolicy::paper_default(7),
+            };
+            for (i, prio) in [3u8, 4, 5, 6].iter().enumerate() {
+                m.add_flow(1 + i % 4, 1_000_000, Time::from_ms(i as u64), 0, *prio, &cc);
+            }
+            m.sim.run().counters.events
+        })
+    });
+}
+
+/// Fig 10b: incast with cardinality estimation (reduced).
+fn fig10(c: &mut Criterion) {
+    c.bench_function("fig10b_incast_64_flows", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&MicroEnv {
+                senders: 64,
+                end: Time::from_ms(2),
+                trace: false,
+                ..Default::default()
+            });
+            let cc = CcSpec::PrioPlusSwift {
+                policy: PrioPlusPolicy::paper_default(8),
+            };
+            for s in 1..=64 {
+                m.add_flow(s, 500_000, Time::ZERO, 0, 4, &cc);
+            }
+            m.sim.run().counters.events
+        })
+    });
+}
+
+/// Fig 11/14/16: the flow-scheduling scenario (one reduced cell).
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_flow_scheduling");
+    g.sample_size(10);
+    for scheme in [Scheme::PhysicalStarSwift, Scheme::PrioPlusSwift] {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut cfg = FlowSchedConfig::new(scheme, 4);
+                cfg.duration = Time::from_ms(1);
+                cfg.load = 0.5;
+                flowsched::run(&cfg).flows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 12/15/17/18: the coflow scenario (one reduced cell).
+fn fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_coflow");
+    g.sample_size(10);
+    for scheme in [Scheme::BaselineSwift, Scheme::PrioPlusSwift] {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut cfg = CoflowConfig::new(scheme, 0.4);
+                cfg.duration = Time::from_ms(2);
+                coflowsched::run(&cfg).coflows.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 12c: the ML-training scenario (one reduced cell).
+fn fig12c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12c_mltrain");
+    g.sample_size(10);
+    g.bench_function("prioplus", |b| {
+        b.iter(|| {
+            let mut cfg = MlConfig::new(Scheme::PrioPlusSwift);
+            cfg.duration = Time::from_ms(10);
+            mltrain::run(&cfg).iterations("all")
+        })
+    });
+    g.finish();
+}
+
+/// Fig 13: non-congestive delay tolerance (one cell).
+fn fig13(c: &mut Criterion) {
+    c.bench_function("fig13_nc_delay_cell", |b| {
+        b.iter(|| {
+            let mut env = experiments::micro::testbed_env();
+            env.end = Time::from_ms(5);
+            env.switch.nc_delay = Some(NoiseModel::Uniform {
+                range_ps: Time::from_us(10).as_ps(),
+            });
+            let mut m = Micro::build(&env);
+            let cc = CcSpec::PrioPlusSwift {
+                policy: PrioPlusPolicy {
+                    noise: Time::from_us(10),
+                    ..PrioPlusPolicy::paper_default(7)
+                },
+            };
+            for s in 1..=4 {
+                m.add_flow(s, 1_000_000, Time::ZERO, 0, 3 + (s as u8 % 4), &cc);
+            }
+            m.sim.run().completion_rate()
+        })
+    });
+}
+
+/// Appendix D: fluctuation bound vs measurement (one cell).
+fn appd(c: &mut Criterion) {
+    c.bench_function("appd_swift_fluctuation_8_flows", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&MicroEnv {
+                senders: 8,
+                end: Time::from_ms(3),
+                trace: false,
+                ..Default::default()
+            });
+            m.monitor_bottleneck_queue(Time::from_us(5));
+            let swift = CcSpec::Swift {
+                queuing: Time::from_us(4),
+                scaling: false,
+            };
+            for s in 1..=8 {
+                m.add_flow(s, 20_000_000, Time::ZERO, 0, 0, &swift);
+            }
+            m.sim.run().counters.events
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig03, tab02, fig07, fig08, fig10, fig11, fig12, fig12c, fig13, appd
+}
+criterion_main!(benches);

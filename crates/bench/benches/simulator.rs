@@ -1,0 +1,76 @@
+//! Simulator micro-benchmarks: event throughput and end-to-end packet cost
+//! of the netsim substrate. These are engineering benches (not paper
+//! figures): they establish the events/sec budget the figure benches rely
+//! on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use experiments::micro::{Micro, MicroEnv};
+use simcore::{EventQueue, Time};
+use transport::CcSpec;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(Time::from_ns(i * 13 % 9_999), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_single_flow(c: &mut Criterion) {
+    c.bench_function("sim_single_swift_flow_1mb", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&MicroEnv {
+                senders: 1,
+                end: Time::from_ms(2),
+                trace: false,
+                ..Default::default()
+            });
+            let swift = CcSpec::Swift {
+                queuing: Time::from_us(4),
+                scaling: false,
+            };
+            m.add_flow(1, 1_000_000, Time::ZERO, 0, 0, &swift);
+            let res = m.sim.run();
+            assert_eq!(res.completion_rate(), 1.0);
+            res.counters.events
+        })
+    });
+}
+
+fn bench_incast(c: &mut Criterion) {
+    c.bench_function("sim_incast_32x200kb_prioplus", |b| {
+        b.iter(|| {
+            let mut m = Micro::build(&MicroEnv {
+                senders: 32,
+                end: Time::from_ms(3),
+                trace: false,
+                ..Default::default()
+            });
+            let cc = CcSpec::PrioPlusSwift {
+                policy: transport::PrioPlusPolicy::paper_default(8),
+            };
+            for s in 1..=32 {
+                m.add_flow(s, 200_000, Time::ZERO, 0, (s % 8) as u8, &cc);
+            }
+            m.sim.run().counters.events
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_single_flow, bench_incast
+}
+criterion_main!(benches);

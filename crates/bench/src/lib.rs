@@ -1,0 +1,4 @@
+//! Criterion benchmark harness for the PrioPlus reproduction.
+//!
+//! This crate carries no library logic; its `benches/` directory holds one
+//! Criterion bench per paper table/figure plus simulator micro-benchmarks.

@@ -1,0 +1,163 @@
+//! The contract between PrioPlus and its underlying delay-based CC.
+//!
+//! PrioPlus "can integrate with most delay-based CCs that set a target delay
+//! for flows and adjust their windows or rates to maintain the delay close
+//! to this target" (§4.1). The integration points are exactly the ones the
+//! paper modifies in its Swift DPDK implementation:
+//!
+//! 1. the CC's **target delay** is set to the channel's `D_target` (and any
+//!    target-scaling is disabled);
+//! 2. PrioPlus may **overwrite the congestion window** (linear start, probe
+//!    resume);
+//! 3. PrioPlus may **tune the additive-increase step** `W_AI` (cardinality
+//!    scaling, dual-RTT adaptive increase).
+
+use simcore::Time;
+
+/// A window-based delay-targeting congestion controller, as seen by
+/// PrioPlus.
+///
+/// All windows are in **bytes** and may be fractional (sub-MTU windows are
+/// realized by pacing in the transport layer).
+pub trait DelayCc {
+    /// Process one delay sample (a data ACK) and update the window. This is
+    /// the `OriginalCC(delay)` call of Algorithm 1 line 21.
+    fn on_ack(&mut self, delay: Time, acked_bytes: u32, now: Time);
+
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> f64;
+
+    /// Overwrite the congestion window (clamped to the CC's own bounds).
+    fn set_cwnd(&mut self, bytes: f64);
+
+    /// Current additive-increase step in bytes per RTT.
+    fn ai(&self) -> f64;
+
+    /// Overwrite the additive-increase step in bytes per RTT.
+    fn set_ai(&mut self, bytes_per_rtt: f64);
+
+    /// The CC's *original* (configured) additive-increase step,
+    /// `W_AIorigin` in Algorithm 1.
+    fn ai_origin(&self) -> f64;
+
+    /// The CC's target delay (= the channel's `D_target` after
+    /// integration).
+    fn target_delay(&self) -> Time;
+}
+
+/// A minimal reference [`DelayCc`] used in unit tests and documentation: an
+/// AIMD controller with target delay, mirroring the fragment of Swift that
+/// PrioPlus interacts with.
+#[derive(Clone, Debug)]
+pub struct SimpleAimd {
+    cwnd: f64,
+    ai: f64,
+    ai_origin: f64,
+    target: Time,
+    min_cwnd: f64,
+    max_cwnd: f64,
+    /// Multiplicative-decrease factor per above-target sample.
+    pub beta: f64,
+    /// Maximum fractional decrease per decision.
+    pub max_mdf: f64,
+    last_decrease: Time,
+    rtt_hint: Time,
+}
+
+impl SimpleAimd {
+    /// New controller with the given target and AI step.
+    pub fn new(target: Time, ai_bytes: f64, init_cwnd: f64, max_cwnd: f64) -> Self {
+        SimpleAimd {
+            cwnd: init_cwnd,
+            ai: ai_bytes,
+            ai_origin: ai_bytes,
+            target,
+            min_cwnd: 64.0,
+            max_cwnd,
+            beta: 0.8,
+            max_mdf: 0.5,
+            last_decrease: Time::ZERO,
+            rtt_hint: Time::from_us(12),
+        }
+    }
+}
+
+impl DelayCc for SimpleAimd {
+    fn on_ack(&mut self, delay: Time, acked_bytes: u32, now: Time) {
+        if delay < self.target {
+            // Additive increase, spread per-ACK: ai * acked/cwnd.
+            let inc = self.ai * acked_bytes as f64 / self.cwnd.max(1.0);
+            self.cwnd += inc;
+        } else if now.saturating_sub(self.last_decrease) >= self.rtt_hint {
+            let over = (delay.as_ps() - self.target.as_ps()) as f64 / delay.as_ps() as f64;
+            let factor = (1.0 - self.beta * over).max(1.0 - self.max_mdf);
+            self.cwnd *= factor;
+            self.last_decrease = now;
+        }
+        self.cwnd = self.cwnd.clamp(self.min_cwnd, self.max_cwnd);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn set_cwnd(&mut self, bytes: f64) {
+        self.cwnd = bytes.clamp(self.min_cwnd, self.max_cwnd);
+    }
+
+    fn ai(&self) -> f64 {
+        self.ai
+    }
+
+    fn set_ai(&mut self, bytes_per_rtt: f64) {
+        self.ai = bytes_per_rtt;
+    }
+
+    fn ai_origin(&self) -> f64 {
+        self.ai_origin
+    }
+
+    fn target_delay(&self) -> Time {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aimd_increases_below_target() {
+        let mut cc = SimpleAimd::new(Time::from_us(16), 1000.0, 10_000.0, 1e9);
+        let before = cc.cwnd();
+        cc.on_ack(Time::from_us(12), 1000, Time::from_us(1));
+        assert!(cc.cwnd() > before);
+    }
+
+    #[test]
+    fn aimd_decreases_above_target_once_per_rtt() {
+        let mut cc = SimpleAimd::new(Time::from_us(16), 1000.0, 10_000.0, 1e9);
+        cc.on_ack(Time::from_us(32), 1000, Time::from_us(20));
+        let after_first = cc.cwnd();
+        assert!(after_first < 10_000.0);
+        // Second decrease within the same RTT is suppressed.
+        cc.on_ack(Time::from_us(32), 1000, Time::from_us(21));
+        assert_eq!(cc.cwnd(), after_first);
+    }
+
+    #[test]
+    fn decrease_bounded_by_max_mdf() {
+        let mut cc = SimpleAimd::new(Time::from_us(10), 1000.0, 10_000.0, 1e9);
+        cc.on_ack(Time::from_ms(10), 1000, Time::from_us(20));
+        assert!(cc.cwnd() >= 5_000.0 - 1e-9);
+    }
+
+    #[test]
+    fn set_cwnd_clamps() {
+        let mut cc = SimpleAimd::new(Time::from_us(10), 1000.0, 10_000.0, 100_000.0);
+        cc.set_cwnd(0.0);
+        assert_eq!(cc.cwnd(), 64.0);
+        cc.set_cwnd(1e12);
+        assert_eq!(cc.cwnd(), 100_000.0);
+    }
+}

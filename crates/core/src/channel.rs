@@ -1,0 +1,166 @@
+//! Delay-channel configuration (§4.3.2) and the Swift fluctuation model
+//! (Appendix D).
+//!
+//! A channel for priority `i` is the delay range `[D_target^i, D_limit^i]`.
+//! Channel width must accommodate (a) the CC's normal delay fluctuation `A`
+//! and (b) the tolerable delay-measurement noise `B`:
+//!
+//! ```text
+//! D_target^i = BaseRtt + (i + 1) * (A + B)
+//! D_limit^i  = D_target^i + A/2 + B
+//! ```
+//!
+//! With the paper's values (A = 3.2 µs for 150 Swift flows, B = 0.8 µs at
+//! the 99.85th noise percentile) each channel spans 4 µs and
+//! `D_limit - D_target = 2.4 µs`, exactly the thresholds used throughout
+//! the evaluation.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Rate, Time};
+
+/// Channel thresholds generator for a ladder of virtual priorities.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Base (no-queue) RTT of the environment.
+    pub base_rtt: Time,
+    /// `A`: allowance for the CC's normal delay fluctuation.
+    pub fluct: Time,
+    /// `B`: allowance for delay-measurement noise (a high percentile of the
+    /// measured noise distribution).
+    pub noise: Time,
+}
+
+impl ChannelConfig {
+    /// New configuration from base RTT, fluctuation allowance `A` and noise
+    /// allowance `B`.
+    pub fn new(base_rtt: Time, fluct: Time, noise: Time) -> Self {
+        ChannelConfig {
+            base_rtt,
+            fluct,
+            noise,
+        }
+    }
+
+    /// The paper's evaluation configuration: 4 µs channels
+    /// (A = 3.2 µs, B = 0.8 µs).
+    pub fn paper_default(base_rtt: Time) -> Self {
+        ChannelConfig::new(base_rtt, Time::from_us_f64(3.2), Time::from_us_f64(0.8))
+    }
+
+    /// Channel width `A + B`.
+    pub fn width(&self) -> Time {
+        self.fluct + self.noise
+    }
+
+    /// Target delay of priority `prio` (0 = lowest).
+    pub fn d_target(&self, prio: u8) -> Time {
+        self.base_rtt + Time::from_ps(self.width().as_ps() * (prio as u64 + 1))
+    }
+
+    /// Limit delay of priority `prio`: `D_target + A/2 + B`.
+    pub fn d_limit(&self, prio: u8) -> Time {
+        self.d_target(prio) + Time::from_ps(self.fluct.as_ps() / 2) + self.noise
+    }
+
+    /// Verify the strict-ordering invariant of §4.1:
+    /// `D_limit^{i-1} < D_target^i < D_limit^i` for every adjacent pair in
+    /// `0..n`.
+    pub fn is_well_ordered(&self, n: u8) -> bool {
+        (1..n).all(|i| self.d_limit(i - 1) < self.d_target(i) && self.d_target(i) < self.d_limit(i))
+    }
+}
+
+/// Worst-case delay fluctuation of `n` synchronized Swift flows
+/// (Appendix D):
+///
+/// ```text
+/// fluct = n*W_AI/LineRate + max(n*beta*W_AI/(LineRate*Target), max_mdf) * Target
+/// ```
+///
+/// Operators size `A` with this bound for the expected flow count; the
+/// flow-cardinality estimator handles excursions beyond it (§4.3.2).
+pub fn swift_fluctuation(
+    n: usize,
+    w_ai_bytes: f64,
+    line_rate: Rate,
+    target: Time,
+    beta: f64,
+    max_mdf: f64,
+) -> Time {
+    let line_bytes_per_ps = line_rate.as_bps() as f64 / 8.0 / 1e12;
+    let up = n as f64 * w_ai_bytes / line_bytes_per_ps; // ps
+    let down_frac =
+        (n as f64 * beta * w_ai_bytes / (line_bytes_per_ps * target.as_ps() as f64)).max(max_mdf);
+    let down = down_frac * target.as_ps() as f64;
+    Time::from_ps((up + down).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> ChannelConfig {
+        ChannelConfig::paper_default(Time::from_us(12))
+    }
+
+    #[test]
+    fn paper_thresholds_match_section_4_3_2() {
+        let c = paper();
+        // Channel width 4us; D_target^i = base + 4*(i+1); D_limit = +2.4us.
+        assert_eq!(c.width(), Time::from_us(4));
+        assert_eq!(c.d_target(0), Time::from_us(16));
+        assert_eq!(c.d_limit(0), Time::from_us_f64(18.4));
+        assert_eq!(c.d_target(4), Time::from_us(32)); // Fig 10b: 20us + base
+        assert_eq!(c.d_limit(4), Time::from_us_f64(34.4));
+    }
+
+    #[test]
+    fn ladder_is_well_ordered() {
+        assert!(paper().is_well_ordered(12));
+    }
+
+    #[test]
+    fn degenerate_zero_noise_still_ordered() {
+        let c = ChannelConfig::new(Time::from_us(12), Time::from_us(2), Time::ZERO);
+        assert!(c.is_well_ordered(8));
+    }
+
+    #[test]
+    fn overlapping_channels_detected() {
+        // A/2 + B > A + B can't happen with the formula, so force a
+        // contradiction: zero width but positive limit offset.
+        let c = ChannelConfig::new(Time::from_us(12), Time::ZERO, Time::ZERO);
+        // Zero-width channels collapse: d_limit(i-1) == d_target(i).
+        assert!(!c.is_well_ordered(2));
+    }
+
+    #[test]
+    fn swift_fluctuation_monotone_in_n() {
+        let t = Time::from_us(16);
+        let r = Rate::from_gbps(100);
+        let f10 = swift_fluctuation(10, 150.0, r, t, 0.8, 0.5);
+        let f150 = swift_fluctuation(150, 150.0, r, t, 0.8, 0.5);
+        assert!(f150 > f10);
+    }
+
+    #[test]
+    fn swift_fluctuation_150_flows_near_paper_allowance() {
+        // The paper allocates A = 3.2us for "fluctuations of 150 swift
+        // flows". With W_AI sized so the bound lands near that allowance,
+        // the formula should be in the low-microsecond range.
+        let t = Time::from_us(16);
+        let r = Rate::from_gbps(100);
+        let f = swift_fluctuation(150, 150.0, r, t, 0.8, 0.5);
+        let us = f.as_us_f64();
+        assert!((1.0..10.0).contains(&us), "fluctuation {us}us");
+    }
+
+    #[test]
+    fn max_mdf_floor_applies_for_small_n() {
+        let t = Time::from_us(16);
+        let r = Rate::from_gbps(100);
+        // One flow: the decrease term is dominated by max_mdf * target.
+        let f = swift_fluctuation(1, 150.0, r, t, 0.8, 0.5);
+        assert!(f >= Time::from_us(8), "{f}");
+    }
+}

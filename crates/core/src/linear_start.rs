@@ -1,0 +1,227 @@
+//! Start-strategy analysis (§4.2.2, Table 2, Theorem 4.1).
+//!
+//! A flow ramping from rate 0 to the line rate over `n` RTTs trades off
+//! *bytes delayed* (area between the line-rate start and its ramp) against
+//! *worst-case extra buffer* (data over-sent during the one-RTT detection
+//! lag after the link saturates). The paper proves (Appendix C, variational
+//! method) that the **linear** ramp minimizes the worst-case backlog for a
+//! given ramp duration; this module provides both the closed-form Table 2
+//! values and a numerical evaluator that reproduces them (and verifies the
+//! theorem against arbitrary ramp shapes).
+//!
+//! All quantities are normalized: rate in units of line rate, time in units
+//! of RTT, data in units of BDP.
+
+/// A start strategy as a normalized rate curve `r(t)`: `t` in RTTs,
+/// result in `[0, 1]` line-rate units.
+pub trait StartStrategy {
+    /// Normalized rate at time `t` (RTTs). Must be non-decreasing with
+    /// `r(0) = start` and `r(t) = 1` for `t >= duration`.
+    fn rate(&self, t: f64) -> f64;
+    /// RTTs until line rate.
+    fn duration(&self) -> f64;
+    /// Name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Start at the line rate immediately (RDMA-style blind start).
+pub struct LineRateStart;
+
+impl StartStrategy for LineRateStart {
+    fn rate(&self, _t: f64) -> f64 {
+        1.0
+    }
+    fn duration(&self) -> f64 {
+        0.0
+    }
+    fn name(&self) -> &'static str {
+        "line-rate"
+    }
+}
+
+/// TCP-style exponential start: rate doubles each RTT from `1/2^(n-1)` so
+/// that line rate is reached after `n` RTTs.
+pub struct ExponentialStart {
+    /// RTTs to reach line rate.
+    pub n: u32,
+}
+
+impl StartStrategy for ExponentialStart {
+    fn rate(&self, t: f64) -> f64 {
+        if t >= self.n as f64 {
+            return 1.0;
+        }
+        // Piecewise-constant doubling per RTT: at t in [k, k+1) the rate is
+        // 2^(k-n), so the last ramp RTT [n-1, n) runs at 1/2 and line rate
+        // is reached at t = n.
+        let k = t.floor() as i32;
+        (2f64).powi(k - self.n as i32).min(1.0)
+    }
+    fn duration(&self) -> f64 {
+        self.n as f64
+    }
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// PrioPlus linear start: rate grows by `1/n` line rate per RTT.
+pub struct LinearStart {
+    /// RTTs to reach line rate.
+    pub n: u32,
+}
+
+impl StartStrategy for LinearStart {
+    fn rate(&self, t: f64) -> f64 {
+        (t / self.n as f64).min(1.0)
+    }
+    fn duration(&self) -> f64 {
+        self.n as f64
+    }
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Bytes (in BDP) delayed relative to a line-rate start over the ramp:
+/// `integral of (1 - r(t)) dt` from 0 to the ramp duration.
+pub fn bytes_delayed_bdp(s: &dyn StartStrategy) -> f64 {
+    integrate(|t| 1.0 - s.rate(t), 0.0, s.duration().max(1e-9), 20_000)
+}
+
+/// Worst-case extra buffer (in BDP): the residual path capacity is some
+/// unknown `c` in `[0, 1]` line-rate units; the link saturates at the first
+/// time `a` with `r(a) >= c`, and the flow only observes the build-up one
+/// RTT later, so it over-sends `integral from a to a+1 of (r(t) - c)+ dt`
+/// (Appendix C). The worst case maximizes over `c`.
+pub fn max_extra_buffer_bdp(s: &dyn StartStrategy) -> f64 {
+    let dur = s.duration();
+    let steps = 2_000;
+    let mut worst: f64 = 0.0;
+    for i in 0..=steps {
+        let c = i as f64 / steps as f64;
+        // First time the ramp meets the residual capacity.
+        let mut a = 0.0;
+        let scan = 4_000;
+        for j in 0..=scan {
+            let t = dur * j as f64 / scan as f64;
+            a = t;
+            if s.rate(t) >= c {
+                break;
+            }
+        }
+        let b = integrate(|t| (s.rate(t) - c).max(0.0), a, a + 1.0, 2_000);
+        worst = worst.max(b);
+    }
+    worst
+}
+
+fn integrate(f: impl Fn(f64) -> f64, lo: f64, hi: f64, steps: usize) -> f64 {
+    let h = (hi - lo) / steps as f64;
+    let mut acc = 0.0;
+    for i in 0..steps {
+        let t = lo + (i as f64 + 0.5) * h;
+        acc += f(t);
+    }
+    acc * h
+}
+
+/// The closed-form Table 2 entries for a ramp of `n` RTTs:
+/// `(bytes_delayed_bdp, max_extra_buffer_bdp)`.
+pub fn table2_closed_form(strategy: &str, n: u32) -> (f64, f64) {
+    let nf = n as f64;
+    match strategy {
+        "line-rate" => (0.0, 1.0),
+        // Exponential (per-RTT steps 2^(k-n)): delayed = sum over k of
+        // (1 - 2^(k-n)) = n - 1 + 2^{-n}. The paper quotes n - 3/2 using a
+        // mid-step convention; both are "n minus a constant". Worst buffer:
+        // residual just above 1/2, the last step jumps to line rate -> 1/2
+        // BDP over-sent.
+        "exponential" => (nf - 1.0 + (2f64).powi(-(n as i32)), 0.5),
+        // Linear: delayed = n/2; worst buffer = 1/(2n).
+        "linear" => (nf / 2.0, 1.0 / (2.0 * nf)),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_closed_form() {
+        for n in [2u32, 4, 8, 16] {
+            let s = LinearStart { n };
+            let (d, b) = table2_closed_form("linear", n);
+            assert!((bytes_delayed_bdp(&s) - d).abs() < 0.01, "n={n}");
+            assert!((max_extra_buffer_bdp(&s) - b).abs() < 0.01, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exponential_matches_closed_form() {
+        for n in [3u32, 5, 8] {
+            let s = ExponentialStart { n };
+            let (d, b) = table2_closed_form("exponential", n);
+            assert!(
+                (bytes_delayed_bdp(&s) - d).abs() < 0.02,
+                "n={n}: {} vs {}",
+                bytes_delayed_bdp(&s),
+                d
+            );
+            assert!((max_extra_buffer_bdp(&s) - b).abs() < 0.02, "n={n}");
+        }
+    }
+
+    #[test]
+    fn line_rate_start_is_instant_but_buffers_a_bdp() {
+        let s = LineRateStart;
+        assert!(bytes_delayed_bdp(&s) < 1e-6);
+        assert!((max_extra_buffer_bdp(&s) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn theorem_4_1_linear_beats_other_ramps_of_same_duration() {
+        // Among ramps reaching line rate in n RTTs, linear minimizes the
+        // worst-case backlog (Theorem 4.1). Check against exponential and a
+        // couple of convex/concave power ramps.
+        struct PowerRamp {
+            n: u32,
+            p: f64,
+        }
+        impl StartStrategy for PowerRamp {
+            fn rate(&self, t: f64) -> f64 {
+                (t / self.n as f64).clamp(0.0, 1.0).powf(self.p)
+            }
+            fn duration(&self) -> f64 {
+                self.n as f64
+            }
+            fn name(&self) -> &'static str {
+                "power"
+            }
+        }
+        let n = 8;
+        let linear = max_extra_buffer_bdp(&LinearStart { n });
+        for p in [0.5, 2.0, 3.0] {
+            let other = max_extra_buffer_bdp(&PowerRamp { n, p });
+            assert!(
+                linear <= other + 1e-6,
+                "linear {linear} must beat power({p}) {other}"
+            );
+        }
+        let exp = max_extra_buffer_bdp(&ExponentialStart { n });
+        assert!(linear < exp);
+    }
+
+    #[test]
+    fn tradeoff_direction_matches_table2() {
+        // line-rate: no delay, max buffer; linear: some delay, minimal
+        // buffer; exponential: most delay, large buffer.
+        let n = 8;
+        let (d_line, b_line) = table2_closed_form("line-rate", n);
+        let (d_exp, b_exp) = table2_closed_form("exponential", n);
+        let (d_lin, b_lin) = table2_closed_form("linear", n);
+        assert!(d_line < d_lin && d_lin < d_exp);
+        assert!(b_lin < b_exp && b_exp < b_line);
+    }
+}

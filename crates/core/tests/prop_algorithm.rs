@@ -1,0 +1,174 @@
+//! Property-based tests of the PrioPlus state machine: structural
+//! invariants must hold under arbitrary delay-measurement sequences.
+
+use prioplus::cc::SimpleAimd;
+use prioplus::{Action, PrioPlus, PrioPlusConfig};
+use proptest::prelude::*;
+use simcore::{Rate, Time};
+
+fn cfg(probe_start: bool, seed: u64) -> PrioPlusConfig {
+    PrioPlusConfig {
+        d_target: Time::from_us(32),
+        d_limit: Time::from_us_f64(34.4),
+        base_rtt: Time::from_us(12),
+        near_base_eps: Time::from_us_f64(0.8),
+        w_ls: 37_500.0,
+        line_rate: Rate::from_gbps(100),
+        probe_before_start: probe_start,
+        mtu: 1000,
+        seed,
+        dual_rtt: true,
+    }
+}
+
+fn machine(probe_start: bool, seed: u64) -> PrioPlus<SimpleAimd> {
+    let c = cfg(probe_start, seed);
+    PrioPlus::new(c, SimpleAimd::new(c.d_target, 1000.0, c.w_ls, 10_000_000.0))
+}
+
+/// Replays a delay sequence through the machine, alternating data and probe
+/// paths according to suspension state, and checks invariants after every
+/// step.
+fn replay(delays: Vec<u32>, probe_start: bool, seed: u64) -> Result<(), TestCaseError> {
+    let mut m = machine(probe_start, seed);
+    m.on_flow_start();
+    let mut seq = 0u64;
+    for (i, &d_us10) in delays.iter().enumerate() {
+        // delays in tenth-microseconds over [12us, 100us].
+        let delay = Time::from_ps(Time::from_us(12).as_ps() + d_us10 as u64 * 100_000);
+        let now = Time::from_us(13 * (i as u64 + 1));
+        let action = if m.suspended() {
+            m.on_probe_ack(delay, seq)
+        } else {
+            seq += 1000;
+            m.on_data_ack(delay, seq - 1000, seq, 1000, now)
+        };
+        // Invariants.
+        prop_assert!(m.nflow() >= 1.0, "nflow {}", m.nflow());
+        prop_assert!(m.nflow() <= 1e6, "nflow exploded: {}", m.nflow());
+        prop_assert!(m.cwnd() > 0.0);
+        match action {
+            Action::StopAndProbe { probe_in } | Action::ProbeAgain { probe_in } => {
+                prop_assert!(m.suspended());
+                // Collision avoidance bound: backlog + at most one base RTT.
+                let max = delay.saturating_sub(m.config().d_target)
+                    + m.config().base_rtt
+                    + Time::from_ns(1);
+                prop_assert!(probe_in <= max, "probe_in {probe_in} > {max}");
+            }
+            Action::Resume => {
+                prop_assert!(!m.suspended());
+            }
+            Action::Continue => {}
+        }
+        // Suspension discipline: data path never runs while suspended
+        // (enforced here by construction), and a suspended machine must be
+        // waiting on a probe (cannot be reached through Continue from the
+        // probe path).
+        if m.suspended() {
+            prop_assert!(!matches!(action, Action::Resume));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn invariants_hold_for_arbitrary_delay_sequences(
+        delays in proptest::collection::vec(0u32..880, 1..200),
+        probe_start in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        replay(delays, probe_start, seed)?;
+    }
+
+    /// Below-limit delays never suspend the flow.
+    #[test]
+    fn no_suspension_below_limit(
+        delays in proptest::collection::vec(0u32..220, 1..100), // <= 34us < D_limit
+        seed in 0u64..100,
+    ) {
+        let mut m = machine(false, seed);
+        m.on_flow_start();
+        let mut seq = 0;
+        for (i, &d) in delays.iter().enumerate() {
+            let delay = Time::from_ps(Time::from_us(12).as_ps() + d as u64 * 100_000);
+            prop_assert!(delay < m.config().d_limit);
+            seq += 1000;
+            m.on_data_ack(delay, seq - 1000, seq, 1000, Time::from_us(13 * (i as u64 + 1)));
+            prop_assert!(!m.suspended());
+        }
+    }
+
+    /// One isolated over-limit spike (noise) never suspends — the two-
+    /// consecutive filter must absorb it.
+    #[test]
+    fn single_spikes_filtered(
+        good in 1u32..200,
+        spike in 300u32..800,
+        seed in 0u64..100,
+    ) {
+        let mut m = machine(false, seed);
+        m.on_flow_start();
+        let base = Time::from_us(12).as_ps();
+        let mut seq = 0u64;
+        for i in 0..40 {
+            let d = if i % 4 == 3 { spike } else { good };
+            let delay = Time::from_ps(base + d as u64 * 100_000);
+            seq += 1000;
+            m.on_data_ack(delay, seq - 1000, seq, 1000, Time::from_us(13 * (i + 1)));
+            prop_assert!(!m.suspended(), "suspended by isolated spike at step {i}");
+        }
+    }
+
+    /// Two consecutive over-limit measurements always suspend.
+    #[test]
+    fn double_over_limit_always_suspends(
+        over in 230u32..880,
+        seed in 0u64..100,
+    ) {
+        let mut m = machine(false, seed);
+        m.on_flow_start();
+        let base = Time::from_us(12).as_ps();
+        let delay = Time::from_ps(base + over as u64 * 100_000);
+        prop_assert!(delay >= m.config().d_limit);
+        m.on_data_ack(delay, 0, 1000, 1000, Time::from_us(13));
+        let a = m.on_data_ack(delay, 1000, 2000, 1000, Time::from_us(26));
+        prop_assert!(matches!(a, Action::StopAndProbe { .. }), "{a:?}");
+        prop_assert!(m.suspended());
+    }
+
+    /// The machine always recovers: after suspension, a near-base probe echo
+    /// resumes with a positive window.
+    #[test]
+    fn near_base_probe_always_resumes(
+        pre in proptest::collection::vec(0u32..880, 0..50),
+        seed in 0u64..100,
+    ) {
+        let mut m = machine(true, seed);
+        m.on_flow_start();
+        let mut seq = 0u64;
+        for (i, &d) in pre.iter().enumerate() {
+            let delay = Time::from_ps(Time::from_us(12).as_ps() + d as u64 * 100_000);
+            if m.suspended() {
+                m.on_probe_ack(delay, seq);
+            } else {
+                seq += 1000;
+                m.on_data_ack(delay, seq - 1000, seq, 1000, Time::from_us(13 * (i as u64 + 1)));
+            }
+        }
+        // Force suspension, then a clean probe.
+        let over = Time::from_us(50);
+        if !m.suspended() {
+            m.on_data_ack(over, seq, seq + 1000, 1000, Time::from_ms(2));
+            m.on_data_ack(over, seq, seq + 1000, 1000, Time::from_ms(3));
+        }
+        prop_assert!(m.suspended());
+        let a = m.on_probe_ack(Time::from_us(12), seq);
+        prop_assert_eq!(a, Action::Resume);
+        prop_assert!(!m.suspended());
+        prop_assert!(m.cwnd() >= 64.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Diagnostic (not a paper figure): cardinality-estimate and suspension
+//! dynamics of low-priority PrioPlus elephants under bursty higher-priority
+//! interruptions — used to validate the stability of the #flow ratchet.
+
+use experiments::micro::{Micro, MicroEnv};
+use netsim::{FlowSpec, NoiseModel, Transport};
+use prioplus::PrioPlusConfig;
+use simcore::{SimRng, Time};
+use transport::pp_transport::PrioPlusTransport;
+use transport::sender::SenderBase;
+use transport::swift::{SwiftCc, SwiftConfig};
+use transport::{CcSpec, PrioPlusPolicy};
+
+fn main() {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 12,
+        end: Time::from_ms(20),
+        trace: true,
+        noise: NoiseModel::testbed(),
+        ..Default::default()
+    });
+    let policy = PrioPlusPolicy {
+        probe: false,
+        ..PrioPlusPolicy::paper_default(8)
+    };
+    // 4 class-0 elephants from senders 1..4.
+    let mut elephants = Vec::new();
+    for s in 1..=4usize {
+        let spec = FlowSpec {
+            src: s as u32,
+            dst: 0,
+            size: 100_000_000,
+            start: Time::ZERO,
+            phys_prio: 0,
+            virt_prio: 0,
+            tag: 0,
+        };
+        let id = m.sim.add_flow(spec, |params| {
+            let pp_cfg: PrioPlusConfig = policy.flow_config(params);
+            let mut scfg = SwiftConfig::datacenter(
+                params.base_rtt,
+                pp_cfg.d_target - params.base_rtt,
+                params.mtu,
+            );
+            scfg.init_cwnd = pp_cfg.w_ls;
+            Box::new(PrioPlusTransport::new(
+                SenderBase::new(params.clone()),
+                pp_cfg,
+                SwiftCc::new(scfg),
+            )) as Box<dyn Transport>
+        });
+        elephants.push(id);
+    }
+    // Poisson bursts of higher-priority flows (class 1-7), ~40% of link.
+    let cc = CcSpec::PrioPlusSwift { policy };
+    let mut rng = SimRng::new(9);
+    let mut t = Time::ZERO;
+    let mut count = 0;
+    while t < Time::from_ms(18) {
+        t = t + Time::from_ps(rng.exponential(Time::from_us(420).as_ps() as f64) as u64);
+        let prio = 1 + (rng.below(7) as u8);
+        let size = 100_000 + rng.below(4_000_000);
+        let sender = 5 + (count % 8);
+        m.add_flow(sender, size, t, 0, prio, &cc);
+        count += 1;
+    }
+    eprintln!("interrupting flows: {count}");
+    let res = m.sim.run();
+    for &id in &elephants {
+        let r = &res.records[id as usize];
+        let tput = res.traces[&id].throughput.as_ref().unwrap().series_gbps();
+        println!(
+            "elephant {id}: delivered {:.1} MB  goodput[5-10ms] {:.1} Gbps  [10-20ms] {:.1} Gbps",
+            r.delivered as f64 / 1e6,
+            tput.window_mean(5_000.0, 10_000.0).unwrap_or(0.0),
+            tput.window_mean(10_000.0, 20_000.0).unwrap_or(0.0),
+        );
+    }
+    let hi_bytes: u64 = res
+        .records
+        .iter()
+        .filter(|r| r.virt_prio > 0)
+        .map(|r| r.delivered)
+        .sum();
+    let lo_bytes: u64 = elephants
+        .iter()
+        .map(|&id| res.records[id as usize].delivered)
+        .sum();
+    let total = (hi_bytes + lo_bytes) as f64 * 8.0 / 0.02 / 1e9;
+    println!("aggregate utilization: {total:.1} Gbps (hi {hi_bytes} B, lo {lo_bytes} B)");
+    println!("probes: {}", res.counters.probes);
+}

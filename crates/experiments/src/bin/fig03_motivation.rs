@@ -1,0 +1,272 @@
+//! Figure 3: why existing CCs cannot provide virtual priority.
+//!
+//! - `a`: two D2TCP flows with deadlines 1x and 2x the ideal FCT — ECN
+//!   slows both, the urgent flow is not strictly prioritized (O1 violated).
+//! - `b`: Swift *with* target scaling, 2 high-target + 2 low-target flows —
+//!   scaling converges to weighted sharing, not strict priority.
+//! - `c`: Swift *without* scaling, many low-priority flows + 1 high — queue
+//!   fluctuations both under-utilize (O2) and push past the high-priority
+//!   target (O1).
+//! - `d`: Swift without scaling, 2 high then 2 low at 100 µs — shows the
+//!   line-rate-start buffer spike and the min-rate signal-frequency
+//!   trade-offs (Observation 3).
+//!
+//! Usage: `fig03_motivation [a|b|c|d]` (default: all).
+
+use experiments::micro::{Micro, MicroEnv};
+use experiments::report::f3;
+use experiments::Table;
+use simcore::Time;
+use transport::CcSpec;
+
+fn goodput_share(res: &netsim::SimResult, flows: &[u32], from_us: f64, to_us: f64) -> f64 {
+    flows
+        .iter()
+        .map(|f| {
+            res.traces[f]
+                .throughput
+                .as_ref()
+                .unwrap()
+                .series_gbps()
+                .window_mean(from_us, to_us)
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// Fig 3a: D2TCP cannot strictly prioritize the urgent flow.
+fn sub_a() {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 2,
+        end: Time::from_ms(3),
+        trace: true,
+        ..Default::default()
+    });
+    // 6.25 MB each => ideal FCT 512us alone. Urgent: DDL = 1x ideal;
+    // relaxed: DDL = 2x ideal.
+    let size = 6_250_000u64;
+    let urgent = m.add_flow(
+        1,
+        size,
+        Time::ZERO,
+        0,
+        1,
+        &CcSpec::D2tcp {
+            deadline_factor: Some(1.0),
+        },
+    );
+    let relaxed = m.add_flow(
+        2,
+        size,
+        Time::ZERO,
+        0,
+        0,
+        &CcSpec::D2tcp {
+            deadline_factor: Some(2.0),
+        },
+    );
+    let res = m.sim.run();
+    let ideal_us = size as f64 * 8.0 / 100e9 * 1e6 + 12.0;
+
+    let mut t = Table::new(
+        "Figure 3a: D2TCP, urgent (DDL=1x ideal) vs relaxed (DDL=2x) flow",
+        &["t (us)", "urgent Gbps", "relaxed Gbps"],
+    );
+    for w in 0..14 {
+        let (f, to) = (w as f64 * 100.0, w as f64 * 100.0 + 100.0);
+        t.row(vec![
+            format!("{:.0}", f),
+            f3(goodput_share(&res, &[urgent], f, to)),
+            f3(goodput_share(&res, &[relaxed], f, to)),
+        ]);
+    }
+    t.emit("fig03a");
+    let fu = res.records[urgent as usize].fct().unwrap().as_us_f64();
+    let fr = res.records[relaxed as usize].fct().unwrap().as_us_f64();
+    println!(
+        "ideal FCT: {ideal_us:.0}us; urgent FCT {fu:.0}us (DDL {ideal_us:.0}us, met: {});",
+        fu <= ideal_us * 1.05
+    );
+    println!("relaxed FCT {fr:.0}us (DDL {:.0}us)", 2.0 * ideal_us);
+    println!("Expected (paper): both flows slow on ECN; urgent misses strict priority.\n");
+}
+
+/// Fig 3b: Swift with target scaling converges to weighted sharing.
+fn sub_b() {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 4,
+        end: Time::from_ms(6),
+        trace: true,
+        ..Default::default()
+    });
+    let hi_cc = CcSpec::Swift {
+        queuing: Time::from_us(15),
+        scaling: true,
+    };
+    let lo_cc = CcSpec::Swift {
+        queuing: Time::from_us(5),
+        scaling: true,
+    };
+    let hi: Vec<u32> = (1..=2)
+        .map(|s| m.add_flow(s, 60_000_000, Time::ZERO, 0, 1, &hi_cc))
+        .collect();
+    let lo: Vec<u32> = (3..=4)
+        .map(|s| m.add_flow(s, 60_000_000, Time::ZERO, 0, 0, &lo_cc))
+        .collect();
+    let res = m.sim.run();
+    let mut t = Table::new(
+        "Figure 3b: Swift WITH target scaling — 2 high (target +15us) vs 2 low (+5us)",
+        &["t (ms)", "high total Gbps", "low total Gbps"],
+    );
+    for w in 0..6 {
+        let (f, to) = (w as f64 * 1000.0, w as f64 * 1000.0 + 1000.0);
+        t.row(vec![
+            format!("{w}"),
+            f3(goodput_share(&res, &hi, f, to)),
+            f3(goodput_share(&res, &lo, f, to)),
+        ]);
+    }
+    t.emit("fig03b");
+    let hi_ss = goodput_share(&res, &hi, 3_000.0, 6_000.0);
+    let lo_ss = goodput_share(&res, &lo, 3_000.0, 6_000.0);
+    println!(
+        "steady state: high {hi_ss:.1} Gbps vs low {lo_ss:.1} Gbps — weighted sharing,\n\
+         NOT strict priority (low keeps a large share; O1 violated).\n"
+    );
+}
+
+/// Fig 3c: Swift without scaling under many low-priority flows.
+fn sub_c() {
+    let full = std::env::args().any(|a| a == "--full");
+    let n_low = if full { 300 } else { 100 };
+    let mut m = Micro::build(&MicroEnv {
+        senders: n_low + 1,
+        end: Time::from_ms(6),
+        trace: true,
+        ..Default::default()
+    });
+    m.monitor_bottleneck_queue(Time::from_us(10));
+    m.monitor_bottleneck_throughput(Time::from_us(100));
+    let lo_cc = CcSpec::Swift {
+        queuing: Time::from_us(5),
+        scaling: false,
+    };
+    let hi_cc = CcSpec::Swift {
+        queuing: Time::from_us(15),
+        scaling: false,
+    };
+    for s in 1..=n_low {
+        m.add_flow(s, 50_000_000, Time::ZERO, 0, 0, &lo_cc);
+    }
+    let hi = m.add_flow(n_low + 1, 50_000_000, Time::from_ms(2), 0, 1, &hi_cc);
+    let res = m.sim.run();
+    let (_, q) = &res.monitors[0];
+    let (_, tput) = &res.monitors[1];
+    let mut t = Table::new(
+        format!("Figure 3c: Swift w/o scaling — {n_low} low flows + 1 high at 2ms"),
+        &[
+            "t (ms)",
+            "bottleneck Gbps",
+            "queue mean (KB)",
+            "queue max (KB)",
+            "high Gbps",
+        ],
+    );
+    for w in 0..6 {
+        let (f, to) = (w as f64 * 1000.0, w as f64 * 1000.0 + 1000.0);
+        t.row(vec![
+            format!("{w}"),
+            f3(tput.window_mean(f, to).unwrap_or(0.0)),
+            f3(q.window_mean(f, to).unwrap_or(0.0) / 1000.0),
+            f3(q.window_max(f, to).unwrap_or(0.0) / 1000.0),
+            f3(goodput_share(&res, &[hi], f, to)),
+        ]);
+    }
+    t.emit("fig03c");
+    let util = tput.window_mean(500.0, 2_000.0).unwrap_or(0.0);
+    let hi_share = goodput_share(&res, &[hi], 3_000.0, 6_000.0);
+    println!(
+        "utilization before the high flow: {util:.1}/100 Gbps; high flow's share after\n\
+         joining: {hi_share:.1} Gbps. Expected (paper, 300 flows): queue fluctuations of\n\
+         many flows swamp the high flow's higher target, so it decelerates (O1\n\
+         violated) and the queue cannot be held near the low-priority target (O2).\n"
+    );
+}
+
+/// Fig 3d: start-rate and min-rate trade-offs.
+fn sub_d() {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 4,
+        end: Time::from_ms(4),
+        trace: true,
+        ..Default::default()
+    });
+    m.monitor_bottleneck_queue(Time::from_us(5));
+    let hi_cc = CcSpec::Swift {
+        queuing: Time::from_us(15),
+        scaling: false,
+    };
+    let lo_cc = CcSpec::Swift {
+        queuing: Time::from_us(5),
+        scaling: false,
+    };
+    // Two high flows converge first; highs are finite so the lows' slow
+    // reclaim is visible; lows start (line-rate!) at 100us.
+    let hi: Vec<u32> = (1..=2)
+        .map(|s| m.add_flow(s, 12_500_000, Time::ZERO, 0, 1, &hi_cc))
+        .collect();
+    let lo: Vec<u32> = (3..=4)
+        .map(|s| m.add_flow(s, 40_000_000, Time::from_us(100), 0, 0, &lo_cc))
+        .collect();
+    let res = m.sim.run();
+    let (_, q) = &res.monitors[0];
+    let mut t = Table::new(
+        "Figure 3d: Swift w/o scaling — 2 high converged, 2 low line-rate start at 100us",
+        &[
+            "t (us)",
+            "high total Gbps",
+            "low total Gbps",
+            "queue max (KB)",
+        ],
+    );
+    for (f, to) in [
+        (0.0, 100.0),
+        (100.0, 200.0),
+        (200.0, 400.0),
+        (400.0, 800.0),
+        (800.0, 1600.0),
+        (1600.0, 2400.0),
+        (2400.0, 3200.0),
+        (3200.0, 4000.0),
+    ] {
+        t.row(vec![
+            format!("{f:.0}-{to:.0}"),
+            f3(goodput_share(&res, &hi, f, to)),
+            f3(goodput_share(&res, &lo, f, to)),
+            f3(q.window_max(f, to).unwrap_or(0.0) / 1000.0),
+        ]);
+    }
+    t.emit("fig03d");
+    let spike = q.window_max(100.0, 160.0).unwrap_or(0.0);
+    println!(
+        "line-rate start of low flows spikes the queue to {:.0} KB (hurts high prio);\n\
+         low flows then idle at the min-rate floor — slow signal, slow reclaim (Obs. 3).\n",
+        spike / 1000.0
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "a" => sub_a(),
+        "b" => sub_b(),
+        "c" => sub_c(),
+        "d" => sub_d(),
+        _ => {
+            sub_a();
+            sub_b();
+            sub_c();
+            sub_d();
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 9: delay-fluctuation management on the testbed environment.
+//!
+//! Four flows with deliberately inflated step sizes emulate the
+//! fluctuations of numerous flows: Swift runs with W_AI = 0.75 KB (~5x its
+//! recommended value) and PrioPlus with W_LS = 75 KB (half the base BDP).
+//! PrioPlus's flow-cardinality estimation reins the aggressiveness in and
+//! keeps the observed delay near D_target = 37 µs (priority 6); Swift's
+//! delay repeatedly overshoots the same target.
+
+use experiments::micro::{testbed_env, Micro};
+use experiments::report::f3;
+use experiments::Table;
+use netsim::{FlowSpec, Transport};
+use prioplus::PrioPlusConfig;
+use simcore::Time;
+use transport::plain::CcTransport;
+use transport::pp_transport::PrioPlusTransport;
+use transport::sender::SenderBase;
+use transport::swift::{SwiftCc, SwiftConfig};
+
+const D_TARGET_US: f64 = 37.0;
+const D_LIMIT_US: f64 = 39.4;
+
+fn run(prioplus: bool) -> (Table, f64, f64) {
+    let mut env = testbed_env();
+    env.end = Time::from_ms(30);
+    env.trace = true;
+    let mut m = Micro::build(&env);
+    for s in 1..=4u32 {
+        let spec = FlowSpec {
+            src: s,
+            dst: 0,
+            size: 200_000_000,
+            start: Time::ZERO,
+            phys_prio: 0,
+            virt_prio: 6,
+            tag: 6,
+        };
+        m.sim.add_flow(spec, |params| {
+            // Swift target = 37us absolute (base ~13us + 24us), the paper's
+            // priority-6 channel on the testbed.
+            let queuing = Time::from_us_f64(D_TARGET_US) - params.base_rtt;
+            let mut scfg = SwiftConfig::datacenter(params.base_rtt, queuing, params.mtu);
+            scfg.ai = 750.0; // 0.75 KB, ~5x recommended
+            scfg.init_cwnd = params.base_bdp().max(scfg.min_cwnd);
+            if prioplus {
+                let pp_cfg = PrioPlusConfig {
+                    d_target: Time::from_us_f64(D_TARGET_US),
+                    d_limit: Time::from_us_f64(D_LIMIT_US),
+                    base_rtt: params.base_rtt,
+                    near_base_eps: Time::from_us_f64(0.8),
+                    // "Half of the base BDP" (§5). The paper quotes 75 KB,
+                    // which matches the 100G/12us simulation BDP rather
+                    // than the 10G testbed BDP (16.25 KB); we apply the
+                    // stated *ratio* to this environment.
+                    w_ls: params.base_bdp() / 2.0,
+                    line_rate: params.line_rate,
+                    probe_before_start: false,
+                    mtu: params.mtu,
+                    seed: params.seed,
+                    dual_rtt: true,
+                };
+                scfg.init_cwnd = pp_cfg.w_ls;
+                Box::new(PrioPlusTransport::new(
+                    SenderBase::new(params.clone()),
+                    pp_cfg,
+                    SwiftCc::new(scfg),
+                )) as Box<dyn Transport>
+            } else {
+                Box::new(CcTransport::new(
+                    SenderBase::new(params.clone()),
+                    SwiftCc::new(scfg),
+                ))
+            }
+        });
+    }
+    let res = m.sim.run();
+    // Observed delay of flow 0 over time.
+    let trace = &res.traces[&0];
+    let name = if prioplus { "PrioPlus+Swift" } else { "Swift" };
+    let mut t = Table::new(
+        format!("Figure 9 ({name}): delay observed by one flow (W_AI=0.75KB / W_LS=BDP/2)"),
+        &[
+            "t (ms)",
+            "mean delay (us)",
+            "max delay (us)",
+            "> D_limit (%)",
+        ],
+    );
+    let mut over_total = 0usize;
+    let mut n_total = 0usize;
+    for w in 0..30 {
+        let (lo, hi) = (w as f64 * 1000.0, w as f64 * 1000.0 + 1000.0);
+        let in_win: Vec<f64> = trace
+            .delay
+            .t_us
+            .iter()
+            .zip(&trace.delay.v)
+            .filter(|(ts, _)| **ts >= lo && **ts < hi)
+            .map(|(_, v)| *v)
+            .collect();
+        if in_win.is_empty() {
+            continue;
+        }
+        let mean = in_win.iter().sum::<f64>() / in_win.len() as f64;
+        let max = in_win.iter().copied().fold(0.0, f64::max);
+        let over = in_win.iter().filter(|&&d| d > D_LIMIT_US).count();
+        if w >= 5 {
+            over_total += over;
+            n_total += in_win.len();
+        }
+        if w % 3 == 0 {
+            t.row(vec![
+                w.to_string(),
+                f3(mean),
+                f3(max),
+                f3(over as f64 / in_win.len() as f64 * 100.0),
+            ]);
+        }
+    }
+    let over_frac = over_total as f64 / n_total.max(1) as f64 * 100.0;
+    // Steady-state mean delay (5ms onward).
+    let ss: Vec<f64> = trace
+        .delay
+        .t_us
+        .iter()
+        .zip(&trace.delay.v)
+        .filter(|(ts, _)| **ts >= 5_000.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let ss_mean = ss.iter().sum::<f64>() / ss.len().max(1) as f64;
+    (t, ss_mean, over_frac)
+}
+
+fn main() {
+    let (tp, pp_mean, pp_over) = run(true);
+    tp.emit("fig09_prioplus");
+    let (ts, sw_mean, sw_over) = run(false);
+    ts.emit("fig09_swift");
+    println!(
+        "steady-state (>=5ms): PrioPlus mean delay {pp_mean:.1} us, {pp_over:.2}% above D_limit"
+    );
+    println!(
+        "                      Swift    mean delay {sw_mean:.1} us, {sw_over:.2}% above D_limit"
+    );
+    println!(
+        "Expected (paper): PrioPlus estimates cardinality after the first\n\
+         over-limit excursion and then holds the delay near D_target = {D_TARGET_US} us;\n\
+         Swift keeps overshooting {D_LIMIT_US} us."
+    );
+}

@@ -1,0 +1,106 @@
+//! Figure 13: operating under non-congestive delay.
+//!
+//! The Fig 8a testbed experiment is replayed with uniform non-congestive
+//! delay injected at the bottleneck, for tolerable-noise settings B = 10,
+//! 20, 30 µs. The metric is the Normalized FCT Gap vs Physical+Swift:
+//! `sum(|FCT_pp - FCT_phys| / FCT_phys)` over the flows. Performance should
+//! hold until the non-congestive range exceeds the configured tolerance.
+
+use experiments::micro::{testbed_env, Micro, MicroEnv};
+use experiments::report::f3;
+use experiments::Table;
+use netsim::NoiseModel;
+use simcore::Time;
+use transport::{CcSpec, PrioPlusPolicy};
+
+/// The Fig 8 flow set (4 priorities x 2 flows, staggered), returning FCTs.
+fn run_flows(env: &MicroEnv, cc_of: &dyn Fn(u8) -> CcSpec, phys: bool, seed: u64) -> Vec<f64> {
+    let mut env = env.clone();
+    env.trace = false;
+    env.end = Time::from_ms(40);
+    env.seed = seed;
+    env.num_prios = if phys { 7 } else { 1 };
+    let mut m = Micro::build(&env);
+    let mut ids = Vec::new();
+    for (i, prio) in [3u8, 4, 5, 6].iter().enumerate() {
+        let start = Time::from_ms(4 * i as u64);
+        let size_each = match prio {
+            6 => 2_400_000u64,
+            5 => 4_400_000,
+            4 => 6_400_000,
+            _ => 8_400_000,
+        };
+        for f in 0..2 {
+            let sender = 1 + ((i * 2 + f) % 4);
+            let pp = if phys { *prio } else { 0 };
+            ids.push(m.add_flow(sender, size_each, start, pp, *prio, &cc_of(*prio)));
+        }
+    }
+    let res = m.sim.run();
+    ids.iter()
+        .map(|&id| {
+            res.records[id as usize]
+                .fct()
+                .map(|t| t.as_us_f64())
+                .unwrap_or(40_000.0)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 13: Normalized FCT Gap vs non-congestive delay range",
+        &["nc range (us)", "B=10us", "B=20us", "B=30us"],
+    );
+    let ranges: Vec<u64> = vec![0, 6, 10, 14, 18, 24, 28, 32, 40];
+    for &range in &ranges {
+        let mut cells = vec![range.to_string()];
+        for tol_us in [10u64, 20, 30] {
+            let mut env = testbed_env();
+            env.switch.nc_delay = if range == 0 {
+                None
+            } else {
+                Some(NoiseModel::Uniform {
+                    range_ps: Time::from_us(range).as_ps(),
+                })
+            };
+            // Average the gap over several seeds: the nc-delay draws are
+            // random and a single staggered-8-flow run is noisy.
+            let seeds = [1u64, 2, 3, 4];
+            let mut gap_sum = 0.0;
+            for &seed in &seeds {
+                // Physical reference: Swift in physical priority queues,
+                // same in-path nc delay (physical scheduling is unaffected
+                // by delay-measurement confusion).
+                let phys_fcts = run_flows(
+                    &env,
+                    &|prio| CcSpec::Swift {
+                        queuing: Time::from_us(4 * (prio as u64 + 1)),
+                        scaling: false,
+                    },
+                    true,
+                    seed,
+                );
+                // PrioPlus with widened channels: noise allowance B = tol.
+                let policy = PrioPlusPolicy {
+                    noise: Time::from_us(tol_us),
+                    ..PrioPlusPolicy::paper_default(7)
+                };
+                let pp_fcts = run_flows(&env, &|_| CcSpec::PrioPlusSwift { policy }, false, seed);
+                gap_sum += phys_fcts
+                    .iter()
+                    .zip(&pp_fcts)
+                    .map(|(p, q)| (q - p).abs() / p)
+                    .sum::<f64>();
+            }
+            cells.push(f3(gap_sum / seeds.len() as f64));
+        }
+        t.row(cells);
+    }
+    t.emit("fig13");
+    println!(
+        "Expected (paper): the gap stays flat until the nc-delay range passes the\n\
+         tolerance setting (impact thresholds ~14/24/32 us for B = 10/20/30 us),\n\
+         then grows — incorporating nc variation into B restores operation."
+    );
+}

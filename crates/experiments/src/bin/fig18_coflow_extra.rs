@@ -1,0 +1,57 @@
+//! Figure 18 (Appendix A.4): the coflow scenario at 70 % load with HPCC
+//! and with raw physical priorities without any congestion control.
+//!
+//! Expected: HPCC ~24 % worse than PrioPlus on average CCT (~15 % on p99);
+//! physical-without-CC collapses entirely under the congested fabric.
+
+use experiments::coflowsched::{self, mean_speedup, tail_speedup, CoflowConfig};
+use experiments::{Scale, Scheme, Table};
+use simcore::Time;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mk = |scheme| {
+        let mut cfg = CoflowConfig::new(scheme, 0.7);
+        if scale == Scale::Full {
+            cfg.leaves = 16;
+            cfg.hosts_per_leaf = 20;
+            cfg.spines = 8;
+            cfg.duration = Time::from_ms(30);
+            cfg.fanin = 20;
+        }
+        cfg
+    };
+    eprintln!("running baseline...");
+    let base = coflowsched::run(&mk(Scheme::BaselineSwift));
+    let mut t = Table::new(
+        "Figure 18: coflow speedups at 70% load — HPCC and physical w/o CC",
+        &["scheme", "mean speedup", "p99 speedup", "completion"],
+    );
+    let schemes = [
+        Scheme::PrioPlusSwift,
+        Scheme::PhysicalStarHpcc,
+        Scheme::PhysicalStarNoCc,
+    ];
+    let mut results = Vec::new();
+    for scheme in schemes {
+        eprintln!("running {}...", scheme.label());
+        results.push((scheme, coflowsched::run(&mk(scheme))));
+    }
+    let mut all: Vec<&coflowsched::CoflowResult> = vec![&base];
+    all.extend(results.iter().map(|(_, r)| r));
+    let common = coflowsched::common_ids(&all);
+    for (scheme, r) in &results {
+        let cell = |v: Option<f64>| v.map(|x| format!("{x:.2}x")).unwrap_or("-".into());
+        t.row(vec![
+            scheme.label().into(),
+            cell(mean_speedup(r, &base, |c| common.contains(&c.id))),
+            cell(tail_speedup(r, &base, |c| common.contains(&c.id))),
+            format!("{:.2}", r.completion),
+        ]);
+    }
+    t.emit("fig18");
+    println!(
+        "Expected (paper): HPCC's average CCT ~24% worse than PrioPlus (p99 ~15%);\n\
+         physical w/o CC performs extremely poorly with no control under congestion."
+    );
+}

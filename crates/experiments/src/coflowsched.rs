@@ -1,0 +1,345 @@
+//! The coflow-scheduling scenario (Fig 12ab, 15, 17, 18): Facebook-like
+//! coflows plus file-request incasts at a 1:1 load ratio on a non-blocking
+//! leaf–spine fabric; coflows grouped into 8 priority classes by total size
+//! (smaller → higher priority). The metric is the per-coflow CCT *speedup
+//! ratio* against the scenario baseline (Swift, single queue, no
+//! priorities).
+
+use std::collections::HashMap;
+
+use netsim::{FlowSpec, NoiseModel, Sim, SimConfig, SwitchConfig, Topology};
+use simcore::{Rate, Time};
+use transport::{CcSpec, PrioPlusPolicy};
+use workloads::{Coflow, CoflowGen, SizeClassifier};
+
+use crate::Scheme;
+
+/// Coflow scenario parameters.
+#[derive(Clone, Debug)]
+pub struct CoflowConfig {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Total offered load (coflows + file requests, split 1:1).
+    pub load: f64,
+    /// Leaf switches.
+    pub leaves: usize,
+    /// Spine switches.
+    pub spines: usize,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: usize,
+    /// Host link rate.
+    pub host_rate: Rate,
+    /// Leaf–spine link rate.
+    pub fabric_rate: Rate,
+    /// Arrival window; the simulation runs 2× to drain.
+    pub duration: Time,
+    /// Number of coflow priority groups.
+    pub classes: u8,
+    /// Seed (same seed ⇒ identical workload across schemes).
+    pub seed: u64,
+    /// File-request fan-in (paper: 20).
+    pub fanin: usize,
+    /// Bytes per file-request piece.
+    pub piece_bytes: u64,
+    /// Lossless (PFC) or lossy (drops + IRN, Fig 17).
+    pub lossless: bool,
+}
+
+impl CoflowConfig {
+    /// Reduced-scale defaults (paper: 16 leaves × 20 hosts, 5 pods,
+    /// 100G/400G).
+    pub fn new(scheme: Scheme, load: f64) -> Self {
+        CoflowConfig {
+            scheme,
+            load,
+            leaves: 4,
+            spines: 4,
+            hosts_per_leaf: 8,
+            host_rate: Rate::from_gbps(100),
+            fabric_rate: Rate::from_gbps(400),
+            duration: Time::from_ms(16),
+            classes: 8,
+            seed: 7,
+            fanin: 8,
+            // A distributed-storage read ships block-sized stripes; the
+            // aggregate request (fanin x piece) is elephant-class, which
+            // keeps the high priority groups for genuinely small coflows.
+            piece_bytes: 2_000_000,
+            lossless: true,
+        }
+    }
+}
+
+/// Per-coflow outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct CoflowOut {
+    /// Coflow id.
+    pub id: u64,
+    /// Priority class (0 = lowest).
+    pub class: u8,
+    /// Coflow completion time (µs), when all member flows finished.
+    pub cct_us: Option<f64>,
+}
+
+/// Scenario result.
+#[derive(Clone, Debug)]
+pub struct CoflowResult {
+    /// Per-coflow outcomes.
+    pub coflows: Vec<CoflowOut>,
+    /// Completion fraction (coflows fully finished).
+    pub completion: f64,
+    /// Drops (lossy mode).
+    pub drops: u64,
+    /// Retransmissions (lossy mode).
+    pub retransmits: u64,
+}
+
+impl CoflowResult {
+    /// Map id → CCT for speedup computation.
+    pub fn cct_by_id(&self) -> HashMap<u64, f64> {
+        self.coflows
+            .iter()
+            .filter_map(|c| c.cct_us.map(|v| (c.id, v)))
+            .collect()
+    }
+}
+
+/// Ids of coflows that completed in every given result — scheme comparisons
+/// must be computed over this common set, otherwise schemes that starve
+/// (and censor) their slowest coflows get a survivorship advantage.
+pub fn common_ids(results: &[&CoflowResult]) -> std::collections::HashSet<u64> {
+    let mut iter = results.iter();
+    let Some(first) = iter.next() else {
+        return Default::default();
+    };
+    let mut set: std::collections::HashSet<u64> = first
+        .coflows
+        .iter()
+        .filter(|c| c.cct_us.is_some())
+        .map(|c| c.id)
+        .collect();
+    for r in iter {
+        let ids: std::collections::HashSet<u64> = r
+            .coflows
+            .iter()
+            .filter(|c| c.cct_us.is_some())
+            .map(|c| c.id)
+            .collect();
+        set.retain(|id| ids.contains(id));
+    }
+    set
+}
+
+/// Average CCT speedup of `result` vs `baseline` over coflows matching
+/// `pred` (both runs must share the workload seed). Speedup ratio =
+/// `CCT_baseline / CCT_scheme` per coflow, averaged.
+pub fn mean_speedup(
+    result: &CoflowResult,
+    baseline: &CoflowResult,
+    pred: impl Fn(&CoflowOut) -> bool,
+) -> Option<f64> {
+    let base = baseline.cct_by_id();
+    let v: Vec<f64> = result
+        .coflows
+        .iter()
+        .filter(|c| pred(c))
+        .filter_map(|c| {
+            let mine = c.cct_us?;
+            let b = base.get(&c.id)?;
+            Some(b / mine)
+        })
+        .collect();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// Tail (p99) CCT speedup: ratio of the p99 CCTs over matching coflows
+/// (Fig 15 reports tail speedups per priority band).
+pub fn tail_speedup(
+    result: &CoflowResult,
+    baseline: &CoflowResult,
+    pred: impl Fn(&CoflowOut) -> bool,
+) -> Option<f64> {
+    let p99 = |r: &CoflowResult| -> Option<f64> {
+        let mut v: Vec<f64> = r
+            .coflows
+            .iter()
+            .filter(|c| pred(c))
+            .filter_map(|c| c.cct_us)
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((0.99 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        Some(v[rank - 1])
+    };
+    Some(p99(baseline)? / p99(result)?)
+}
+
+fn cc_for(cfg: &CoflowConfig) -> CcSpec {
+    match cfg.scheme {
+        Scheme::PhysicalSwift | Scheme::PhysicalStarSwift | Scheme::BaselineSwift => {
+            CcSpec::Swift {
+                queuing: Time::from_us(4),
+                scaling: false,
+            }
+        }
+        Scheme::PrioPlusSwift | Scheme::PrioPlusSwiftAckData => CcSpec::PrioPlusSwift {
+            // Coflow scheduling is CCT-sensitive in every class: use the
+            // §4.4 latency-sensitive exemption (tiered linear start, no
+            // probe-before-start).
+            policy: PrioPlusPolicy {
+                probe: false,
+                ..PrioPlusPolicy::paper_default(cfg.classes)
+            },
+        },
+        Scheme::PrioPlusLedbat => CcSpec::PrioPlusLedbat {
+            policy: PrioPlusPolicy {
+                probe: false,
+                ..PrioPlusPolicy::paper_default(cfg.classes)
+            },
+        },
+        Scheme::PhysicalStarNoCc => CcSpec::Blast,
+        Scheme::PhysicalStarHpcc => CcSpec::Hpcc,
+        Scheme::D2tcp => CcSpec::D2tcp {
+            deadline_factor: Some(2.0),
+        },
+    }
+}
+
+/// Run the scenario.
+pub fn run(cfg: &CoflowConfig) -> CoflowResult {
+    let topo = Topology::leaf_spine(
+        cfg.leaves,
+        cfg.spines,
+        cfg.hosts_per_leaf,
+        cfg.host_rate,
+        cfg.fabric_rate,
+        Time::from_us(1),
+    );
+    let hosts = topo.hosts.clone();
+    let n_hosts = hosts.len();
+
+    // Workload: coflows at load/2 + file requests at load/2 (1:1, §6.2).
+    let mut gen = CoflowGen::new(n_hosts, cfg.seed ^ 0xC0F);
+    let mut all: Vec<Coflow> = gen.generate_poisson(cfg.host_rate, cfg.load / 2.0, cfg.duration);
+    all.extend(gen.generate_file_requests(
+        cfg.host_rate,
+        cfg.load / 2.0,
+        cfg.fanin,
+        cfg.piece_bytes,
+        cfg.duration,
+    ));
+    all.sort_by_key(|c| c.start);
+
+    // Classify coflows into groups by total size. Quantiles can coincide
+    // (file requests share one size), so nudge duplicates up to keep the
+    // full ladder of `classes` strictly-ascending boundaries.
+    let mut sizes: Vec<u64> = all.iter().map(|c| c.total_bytes()).collect();
+    sizes.sort_unstable();
+    let mut bounds: Vec<u64> = (1..cfg.classes as usize)
+        .map(|i| sizes[(i * sizes.len() / cfg.classes as usize).min(sizes.len() - 1)])
+        .collect();
+    for i in 1..bounds.len() {
+        if bounds[i] <= bounds[i - 1] {
+            bounds[i] = bounds[i - 1] + 1;
+        }
+    }
+    let classifier = SizeClassifier::from_bounds(bounds);
+
+    let nq = if cfg.scheme.single_queue() {
+        1
+    } else {
+        match cfg.scheme {
+            Scheme::PhysicalSwift => cfg.classes.min(8),
+            _ => cfg.classes,
+        }
+    };
+    let sim_cfg = SimConfig {
+        num_prios: nq,
+        end_time: cfg.duration + cfg.duration,
+        seed: cfg.seed,
+        meas_noise: NoiseModel::testbed(),
+        ..Default::default()
+    };
+    // Paper: 32 MB shared buffer in this scenario to avoid buffer effects.
+    let ports = cfg.hosts_per_leaf + cfg.spines;
+    let sw_cfg = SwitchConfig {
+        buffer_bytes: 32 * 1024 * 1024,
+        pfc_enabled: cfg.lossless,
+        pfc_lossless_prios: if cfg.scheme == Scheme::PhysicalSwift {
+            nq
+        } else {
+            0
+        },
+        int_enabled: cfg.scheme == Scheme::PhysicalStarHpcc,
+        ..Default::default()
+    };
+    let _ = ports;
+    let mut sim = Sim::new(&topo, sim_cfg, sw_cfg);
+
+    let cc = cc_for(cfg);
+    let mut meta: Vec<(u64, u8, Time, usize)> = Vec::new(); // id, class, start, flows
+    for c in &all {
+        let class = classifier.priority(c.total_bytes()).min(cfg.classes - 1);
+        let phys = if cfg.scheme.single_queue() {
+            0
+        } else {
+            class.min(nq - 1)
+        };
+        for f in &c.flows {
+            let spec = FlowSpec {
+                src: hosts[f.src],
+                dst: hosts[f.dst],
+                size: f.size,
+                start: f.start,
+                phys_prio: phys,
+                virt_prio: class,
+                tag: c.id,
+            };
+            sim.add_flow(spec, |p| cc.make(p, f.start));
+        }
+        meta.push((c.id, class, c.start, c.flows.len()));
+    }
+
+    let result = sim.run();
+    // CCT per coflow: max member finish − coflow start; None if any member
+    // was censored.
+    let mut finish: HashMap<u64, (Time, bool)> = HashMap::new();
+    for r in &result.records {
+        let entry = finish.entry(r.tag).or_insert((Time::ZERO, true));
+        match r.finish {
+            Some(t) => entry.0 = entry.0.max(t),
+            None => entry.1 = false,
+        }
+    }
+    let retransmits = result.records.iter().map(|r| r.retransmits).sum();
+    let coflows: Vec<CoflowOut> = meta
+        .iter()
+        .map(|&(id, class, start, _)| {
+            let cct = finish.get(&id).and_then(|&(t, complete)| {
+                if complete {
+                    Some((t - start).as_us_f64())
+                } else {
+                    None
+                }
+            });
+            CoflowOut {
+                id,
+                class,
+                cct_us: cct,
+            }
+        })
+        .collect();
+    let done = coflows.iter().filter(|c| c.cct_us.is_some()).count();
+    CoflowResult {
+        completion: done as f64 / coflows.len().max(1) as f64,
+        drops: result.counters.drops,
+        retransmits,
+        coflows,
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment harness for the PrioPlus reproduction.
+//!
+//! One binary per paper figure/table lives in `src/bin/`; this library
+//! provides the shared scenario runners:
+//!
+//! - [`micro`]: single-bottleneck micro-benchmarks (§3 motivation, §5
+//!   testbed, §6.1);
+//! - [`flowsched`]: the fat-tree WebSearch flow-scheduling scenario
+//!   (Fig 11, 14, 16);
+//! - [`coflowsched`]: the coflow + file-request scenario (Fig 12ab, 15,
+//!   17, 18);
+//! - [`mltrain`]: the ring all-reduce ML-cluster scenario (Fig 12c);
+//! - [`report`]: plain-text table + JSON emission so EXPERIMENTS.md entries
+//!   can be regenerated and diffed.
+//!
+//! Every runner accepts a [`Scale`] so the default invocation finishes in
+//! seconds while `--full` reproduces the paper-scale parameters.
+
+#![warn(missing_docs)]
+
+pub mod coflowsched;
+pub mod flowsched;
+pub mod micro;
+pub mod mltrain;
+pub mod report;
+
+pub use report::Table;
+
+/// Run scale selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced topology/duration: every figure regenerates in seconds.
+    Quick,
+    /// Paper-scale parameters (minutes to hours of wall time).
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv: any argument equal to `--full` selects
+    /// [`Scale::Full`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Pick a value by scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The congestion-control + queueing scheme under test, shared by the
+/// large-scale scenarios. Names follow the paper's legends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Swift in real physical priority queues (≤ 8, PFC headroom per
+    /// lossless priority eats shared buffer).
+    PhysicalSwift,
+    /// Swift in *ideal* physical priorities ("Physical*": unlimited count,
+    /// headroom-free).
+    PhysicalStarSwift,
+    /// PrioPlus+Swift in a single physical queue (the paper's system).
+    PrioPlusSwift,
+    /// PrioPlus+Swift with ACKs sharing the data queue ("PrioPlus*",
+    /// Fig 16).
+    PrioPlusSwiftAckData,
+    /// PrioPlus+LEDBAT in a single physical queue (§6.2).
+    PrioPlusLedbat,
+    /// Blind line-rate senders in ideal physical priorities
+    /// ("Physical* w/o CC").
+    PhysicalStarNoCc,
+    /// HPCC in ideal physical priorities.
+    PhysicalStarHpcc,
+    /// D2TCP in a single queue, deadlines assigned by priority.
+    D2tcp,
+    /// Plain Swift, single queue, no priorities (scenario baselines).
+    BaselineSwift,
+}
+
+impl Scheme {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::PhysicalSwift => "Physical+Swift",
+            Scheme::PhysicalStarSwift => "Physical*+Swift",
+            Scheme::PrioPlusSwift => "PrioPlus+Swift",
+            Scheme::PrioPlusSwiftAckData => "PrioPlus*+Swift",
+            Scheme::PrioPlusLedbat => "PrioPlus+LEDBAT",
+            Scheme::PhysicalStarNoCc => "Physical* w/o CC",
+            Scheme::PhysicalStarHpcc => "Physical*+HPCC",
+            Scheme::D2tcp => "D2TCP",
+            Scheme::BaselineSwift => "Swift (no prio)",
+        }
+    }
+
+    /// True when the scheme multiplexes all priorities in one physical
+    /// queue.
+    pub fn single_queue(&self) -> bool {
+        matches!(
+            self,
+            Scheme::PrioPlusSwift
+                | Scheme::PrioPlusSwiftAckData
+                | Scheme::PrioPlusLedbat
+                | Scheme::D2tcp
+                | Scheme::BaselineSwift
+        )
+    }
+}

@@ -1,0 +1,130 @@
+//! Result tables: aligned plain text for the terminal plus JSON rows for
+//! machine diffing (written next to the binary's stdout when
+//! `REPRO_JSON_DIR` is set).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title printed above the table (figure/table reference).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let hdr: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", hdr.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Print to stdout and, when `REPRO_JSON_DIR` is set, also write
+    /// `<dir>/<slug>.json` with the structured rows.
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        if let Ok(dir) = std::env::var("REPRO_JSON_DIR") {
+            let path = Path::new(&dir).join(format!("{slug}.json"));
+            let value = serde_json::json!({
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+            });
+            if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format an optional float ("-" when absent).
+pub fn opt3(v: Option<f64>) -> String {
+    v.map(f3).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let r = t.render();
+        assert!(r.contains("# Demo"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header, separator, 2 rows (+title)
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(opt3(None), "-");
+        assert_eq!(opt3(Some(2.0)), "2.000");
+    }
+}

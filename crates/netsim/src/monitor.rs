@@ -1,0 +1,67 @@
+//! Periodic in-simulation samplers.
+
+use simcore::stats::TimeSeries;
+use simcore::Time;
+
+use crate::packet::NodeId;
+
+/// What a monitor samples.
+#[derive(Clone, Copy, Debug)]
+pub enum MonitorKind {
+    /// Bytes queued on one egress port (all priorities).
+    QueueBytes {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: u16,
+    },
+    /// Bytes queued in one priority queue of a port.
+    QueueBytesPrio {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: u16,
+        /// Queue index.
+        prio: u8,
+    },
+    /// Throughput of one egress port in Gbit/s over the sampling period.
+    PortThroughput {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: u16,
+    },
+    /// Total buffered bytes of a switch.
+    SwitchBuffer {
+        /// Switch node.
+        node: NodeId,
+    },
+}
+
+/// A periodic sampler registered with the simulator.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Human-readable label for result reporting.
+    pub label: String,
+    /// Sampled quantity.
+    pub kind: MonitorKind,
+    /// Sampling period.
+    pub period: Time,
+    /// Collected series.
+    pub series: TimeSeries,
+    /// Last cumulative tx-bytes reading (for throughput sampling).
+    pub last_tx: u64,
+}
+
+impl Monitor {
+    /// New monitor.
+    pub fn new(label: impl Into<String>, kind: MonitorKind, period: Time) -> Self {
+        Monitor {
+            label: label.into(),
+            kind,
+            period,
+            series: TimeSeries::new(),
+            last_tx: 0,
+        }
+    }
+}

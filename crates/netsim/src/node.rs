@@ -1,0 +1,477 @@
+//! Switch and host state.
+//!
+//! Logic that needs the event queue (scheduling arrivals, PFC frames,
+//! transport callbacks) lives in [`crate::sim`]; this module holds the data
+//! structures and the pure parts: buffer accounting, admission, ECN marking,
+//! strict-priority selection, and PFC threshold math.
+
+use std::collections::VecDeque;
+
+use simcore::{Rate, SimRng, Time};
+
+use crate::config::SwitchConfig;
+use crate::packet::{FlowId, NodeId, Packet};
+
+/// One directional egress attachment (switch port or host NIC).
+#[derive(Debug)]
+pub struct EgressPort {
+    /// Node on the other end of the link.
+    pub peer: NodeId,
+    /// Ingress port index at the peer.
+    pub peer_port: u16,
+    /// Line rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub prop: Time,
+    /// A packet is currently being serialized.
+    pub busy: bool,
+    /// PFC pause state per data priority (bitmask by queue index).
+    pub paused: u32,
+    /// Per-priority FIFO queues; index `num_prios` is the control queue.
+    pub queues: Vec<VecDeque<Packet>>,
+    /// Bytes queued per priority queue.
+    pub queued_bytes_q: Vec<u64>,
+    /// Total bytes queued on this port.
+    pub queued_bytes: u64,
+    /// Cumulative bytes transmitted (INT).
+    pub tx_bytes: u64,
+}
+
+impl EgressPort {
+    /// New idle port with `nq` queues.
+    pub fn new(peer: NodeId, peer_port: u16, rate: Rate, prop: Time, nq: usize) -> Self {
+        EgressPort {
+            peer,
+            peer_port,
+            rate,
+            prop,
+            busy: false,
+            paused: 0,
+            queues: (0..nq).map(|_| VecDeque::new()).collect(),
+            queued_bytes_q: vec![0; nq],
+            queued_bytes: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    /// True when priority `q` is paused by PFC.
+    #[inline]
+    pub fn is_paused(&self, q: usize) -> bool {
+        self.paused & (1 << q) != 0
+    }
+
+    /// Set/clear the pause bit for priority `q`.
+    #[inline]
+    pub fn set_paused(&mut self, q: usize, paused: bool) {
+        if paused {
+            self.paused |= 1 << q;
+        } else {
+            self.paused &= !(1 << q);
+        }
+    }
+
+    /// Push a packet into its priority queue.
+    pub fn enqueue(&mut self, pkt: Packet) {
+        let q = queue_index(&pkt, self.queues.len());
+        self.queued_bytes_q[q] += pkt.size as u64;
+        self.queued_bytes += pkt.size as u64;
+        self.queues[q].push_back(pkt);
+    }
+
+    /// Pop the highest-priority unpaused packet (strict priority, control
+    /// queue first).
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        for q in (0..self.queues.len()).rev() {
+            if self.is_paused(q) {
+                continue;
+            }
+            if let Some(pkt) = self.queues[q].pop_front() {
+                self.queued_bytes_q[q] -= pkt.size as u64;
+                self.queued_bytes -= pkt.size as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// True when at least one unpaused queue has a packet.
+    pub fn has_sendable(&self) -> bool {
+        (0..self.queues.len())
+            .rev()
+            .any(|q| !self.is_paused(q) && !self.queues[q].is_empty())
+    }
+}
+
+/// Map a packet to its queue index: control packets (ACKs when running in
+/// `AckPriority::Control` mode get `prio == ctrl` already) go by their
+/// `prio` field; the caller sets `prio` appropriately, so this is just a
+/// clamp guard.
+#[inline]
+pub fn queue_index(pkt: &Packet, nq: usize) -> usize {
+    (pkt.prio as usize).min(nq - 1)
+}
+
+/// Result of offering a packet to a switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Packet was queued.
+    Queued,
+    /// Packet was dropped (lossy mode only).
+    Dropped,
+}
+
+/// A shared-buffer output-queued switch.
+#[derive(Debug)]
+pub struct Switch {
+    /// Switch configuration.
+    pub cfg: SwitchConfig,
+    /// Egress ports.
+    pub ports: Vec<EgressPort>,
+    /// Total bytes buffered across all ports.
+    pub total_buffered: u64,
+    /// Usable shared buffer (total minus PFC headroom reservation).
+    pub usable: u64,
+    /// Ingress byte counts per (ingress port, data priority), for PFC.
+    pub ingress_bytes: Vec<Vec<u64>>,
+    /// Whether we have sent PAUSE upstream for (ingress port, priority).
+    pub ingress_paused: Vec<Vec<bool>>,
+    /// High-water mark of total buffered bytes.
+    pub max_buffered: u64,
+}
+
+impl Switch {
+    /// Build a switch; `ports` must already be constructed with
+    /// `num_prios + 1` queues each.
+    pub fn new(cfg: SwitchConfig, ports: Vec<EgressPort>, num_prios: u8) -> Self {
+        let n = ports.len();
+        let usable = cfg.usable_buffer(n);
+        Switch {
+            cfg,
+            ports,
+            total_buffered: 0,
+            usable,
+            ingress_bytes: vec![vec![0; num_prios as usize + 1]; n],
+            ingress_paused: vec![vec![false; num_prios as usize + 1]; n],
+            max_buffered: 0,
+        }
+    }
+
+    /// Remaining shared buffer.
+    #[inline]
+    pub fn free_buffer(&self) -> u64 {
+        self.usable.saturating_sub(self.total_buffered)
+    }
+
+    /// Dynamic-Threshold admission limit for one queue (Choudhury–Hahne):
+    /// a queue may grow up to `alpha * free_buffer`.
+    #[inline]
+    pub fn dt_limit(&self) -> u64 {
+        (self.cfg.dt_alpha * self.free_buffer() as f64) as u64
+    }
+
+    /// PFC pause threshold for one (ingress port, priority) counter.
+    /// Dynamic: proportional to the free buffer with the (small) ingress
+    /// alpha, floored at three MTUs so the switch can always absorb a final
+    /// in-flight packet pair.
+    #[inline]
+    pub fn pfc_pause_threshold(&self) -> u64 {
+        ((self.cfg.pfc_alpha * self.free_buffer() as f64) as u64).max(3_000)
+    }
+
+    /// Decide ECN marking for a data packet about to be enqueued on `port`,
+    /// given current queue occupancy (RED on the per-queue bytes). With
+    /// priority-scaled ECN (Appendix B extension) the thresholds grow with
+    /// the packet's DSCP, so lower virtual priorities mark first.
+    pub fn ecn_mark(&self, port: u16, queue: usize, dscp: u8, rng: &mut SimRng) -> bool {
+        let q = self.ports[port as usize].queued_bytes_q[queue];
+        let scale = if self.cfg.ecn_prio_scaled {
+            dscp as u64 + 1
+        } else {
+            1
+        };
+        let (kmin, kmax, pmax) = (
+            self.cfg.ecn_kmin * scale,
+            self.cfg.ecn_kmax * scale,
+            self.cfg.ecn_pmax,
+        );
+        if q <= kmin {
+            false
+        } else if q >= kmax {
+            true
+        } else {
+            let p = (q - kmin) as f64 / (kmax - kmin) as f64 * pmax;
+            rng.f64() < p
+        }
+    }
+
+    /// Offer a packet for queuing on egress `port` coming from ingress
+    /// `in_port`. Applies admission (lossy mode), buffer/ingress accounting
+    /// and PFC pause decisions. Returns the admission outcome and any PFC
+    /// pause frames to emit as `(ingress_port, prio)`.
+    pub fn admit(
+        &mut self,
+        port: u16,
+        in_port: u16,
+        mut pkt: Packet,
+        pauses: &mut Vec<(u16, u8)>,
+    ) -> Admission {
+        let nq = self.ports[port as usize].queues.len();
+        let q = queue_index(&pkt, nq);
+        let is_data = pkt.kind.is_data();
+        if !self.cfg.pfc_enabled && is_data {
+            // Lossy: Dynamic-Threshold admission on the egress queue.
+            let limit = self.dt_limit();
+            if self.ports[port as usize].queued_bytes_q[q] + pkt.size as u64 > limit {
+                return Admission::Dropped;
+            }
+        }
+        pkt.cur_in_port = in_port;
+        let size = pkt.size as u64;
+        self.total_buffered += size;
+        self.max_buffered = self.max_buffered.max(self.total_buffered);
+        self.ingress_bytes[in_port as usize][q] += size;
+        self.ports[port as usize].enqueue(pkt);
+
+        if self.cfg.pfc_enabled && q < nq - 1 {
+            // PFC protects data priorities; control queue is never paused.
+            let threshold = self.pfc_pause_threshold();
+            if !self.ingress_paused[in_port as usize][q]
+                && self.ingress_bytes[in_port as usize][q] > threshold
+            {
+                self.ingress_paused[in_port as usize][q] = true;
+                pauses.push((in_port, q as u8));
+            }
+        }
+        Admission::Queued
+    }
+
+    /// Account a packet leaving the switch from egress `port`. Returns PFC
+    /// resume frames to emit as `(ingress_port, prio)`.
+    pub fn on_dequeue(&mut self, pkt: &Packet, resumes: &mut Vec<(u16, u8)>) {
+        let nq = self.ports[0].queues.len();
+        let q = queue_index(pkt, nq);
+        let size = pkt.size as u64;
+        debug_assert!(self.total_buffered >= size);
+        self.total_buffered -= size;
+        let in_port = pkt.cur_in_port as usize;
+        debug_assert!(self.ingress_bytes[in_port][q] >= size);
+        self.ingress_bytes[in_port][q] -= size;
+
+        if self.ingress_paused[in_port][q] {
+            let threshold = self.pfc_pause_threshold();
+            let resume_at = threshold.saturating_sub(self.cfg.pfc_resume_offset_bytes);
+            if self.ingress_bytes[in_port][q] <= resume_at {
+                self.ingress_paused[in_port][q] = false;
+                resumes.push((in_port as u16, q as u8));
+            }
+        }
+    }
+}
+
+/// Per-host sender-side scheduling state.
+#[derive(Debug)]
+pub struct Host {
+    /// The single NIC.
+    pub port: EgressPort,
+    /// Active (not finished) flows per data priority, pulled round-robin.
+    pub active: Vec<Vec<FlowId>>,
+    /// Round-robin cursor per priority.
+    pub rr: Vec<usize>,
+    /// Earliest already-scheduled wakeup poke; `Time::MAX` when none.
+    pub next_poke: Time,
+}
+
+impl Host {
+    /// New host with a NIC of `num_prios + 1` queues.
+    pub fn new(port: EgressPort, num_prios: u8) -> Self {
+        Host {
+            port,
+            active: vec![Vec::new(); num_prios as usize],
+            rr: vec![0; num_prios as usize],
+            next_poke: Time::MAX,
+        }
+    }
+
+    /// Register a flow as active at `prio`.
+    pub fn activate(&mut self, prio: u8, flow: FlowId) {
+        self.active[prio as usize].push(flow);
+    }
+
+    /// Remove a finished flow.
+    pub fn deactivate(&mut self, prio: u8, flow: FlowId) {
+        let list = &mut self.active[prio as usize];
+        if let Some(pos) = list.iter().position(|&f| f == flow) {
+            list.remove(pos);
+            let rr = &mut self.rr[prio as usize];
+            if *rr > pos {
+                *rr -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PktKind;
+
+    fn port(nq: usize) -> EgressPort {
+        EgressPort::new(1, 0, Rate::from_gbps(100), Time::from_us(1), nq)
+    }
+
+    fn data(prio: u8, bytes: u32) -> Packet {
+        Packet::data(0, 0, 1, prio, bytes, 0, Time::ZERO)
+    }
+
+    #[test]
+    fn strict_priority_dequeue_order() {
+        let mut p = port(4);
+        p.enqueue(data(0, 100));
+        p.enqueue(data(2, 100));
+        p.enqueue(data(1, 100));
+        let order: Vec<u8> = std::iter::from_fn(|| p.dequeue())
+            .map(|pk| pk.prio)
+            .collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn control_queue_beats_all_data() {
+        let mut p = port(3); // 2 data prios + control at index 2
+        p.enqueue(data(1, 100));
+        let mut ack = Packet::pfc(0, 1, 0, true);
+        ack.prio = 2;
+        p.enqueue(ack);
+        let first = p.dequeue().unwrap();
+        assert!(matches!(first.kind, PktKind::Pfc { .. }));
+    }
+
+    #[test]
+    fn paused_priority_is_skipped() {
+        let mut p = port(3);
+        p.enqueue(data(1, 100));
+        p.enqueue(data(0, 200));
+        p.set_paused(1, true);
+        assert_eq!(p.dequeue().unwrap().prio, 0);
+        assert!(p.has_sendable() == false || p.is_paused(1));
+        p.set_paused(1, false);
+        assert_eq!(p.dequeue().unwrap().prio, 1);
+    }
+
+    #[test]
+    fn byte_accounting_balances() {
+        let mut p = port(2);
+        p.enqueue(data(0, 1000));
+        p.enqueue(data(1, 500));
+        assert_eq!(p.queued_bytes, 1048 + 548);
+        p.dequeue();
+        p.dequeue();
+        assert_eq!(p.queued_bytes, 0);
+        assert!(p.queued_bytes_q.iter().all(|&b| b == 0));
+    }
+
+    fn mk_switch(pfc: bool, buffer: u64) -> Switch {
+        let cfg = SwitchConfig {
+            buffer_bytes: buffer,
+            pfc_enabled: pfc,
+            pfc_lossless_prios: 0,
+            ..Default::default()
+        };
+        let ports = (0..2).map(|_| port(3)).collect();
+        Switch::new(cfg, ports, 2)
+    }
+
+    #[test]
+    fn lossy_switch_drops_over_dt_limit() {
+        let mut s = mk_switch(false, 10_000);
+        let mut pauses = Vec::new();
+        let mut admitted = 0;
+        for i in 0..20 {
+            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
+            if s.admit(0, 1, pkt, &mut pauses) == Admission::Queued {
+                admitted += 1;
+            }
+        }
+        assert!(admitted < 20, "DT must reject some packets");
+        assert!(
+            admitted >= 4,
+            "DT must accept early packets, got {admitted}"
+        );
+        assert!(pauses.is_empty(), "no PFC in lossy mode");
+    }
+
+    #[test]
+    fn pfc_pause_and_resume_cycle() {
+        let mut s = mk_switch(true, 20_000);
+        let mut pauses = Vec::new();
+        let mut i = 0u64;
+        // Fill until a pause is emitted.
+        while pauses.is_empty() && i < 100 {
+            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
+            s.admit(0, 1, pkt, &mut pauses);
+            i += 1;
+        }
+        assert!(!pauses.is_empty(), "pause must trigger");
+        assert_eq!(pauses[0], (1, 0));
+        assert!(s.ingress_paused[1][0]);
+        // Drain; resume must eventually be emitted.
+        let mut resumes = Vec::new();
+        while let Some(pkt) = s.ports[0].dequeue() {
+            s.on_dequeue(&pkt, &mut resumes);
+        }
+        assert_eq!(resumes, vec![(1, 0)]);
+        assert_eq!(s.total_buffered, 0);
+    }
+
+    #[test]
+    fn ecn_marking_thresholds() {
+        let mut s = mk_switch(true, 10_000_000);
+        s.cfg.ecn_kmin = 2_000;
+        s.cfg.ecn_kmax = 4_000;
+        s.cfg.ecn_pmax = 1.0;
+        let mut rng = SimRng::new(5);
+        let mut pauses = Vec::new();
+        // Below kmin: never marked.
+        assert!(!s.ecn_mark(0, 0, 0, &mut rng));
+        for i in 0..5 {
+            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
+            s.admit(0, 1, pkt, &mut pauses);
+        }
+        // Above kmax: always marked.
+        assert!(s.ecn_mark(0, 0, 0, &mut rng));
+    }
+
+    #[test]
+    fn prio_scaled_ecn_marks_low_dscp_first() {
+        let mut s = mk_switch(true, 10_000_000);
+        s.cfg.ecn_kmin = 2_000;
+        s.cfg.ecn_kmax = 4_000;
+        s.cfg.ecn_pmax = 1.0;
+        s.cfg.ecn_prio_scaled = true;
+        let mut rng = SimRng::new(6);
+        let mut pauses = Vec::new();
+        for i in 0..5 {
+            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
+            s.admit(0, 1, pkt, &mut pauses);
+        }
+        // ~5 KB queued: dscp 0 thresholds (2k/4k) => always marked;
+        // dscp 3 thresholds (8k/16k) => never marked.
+        assert!(s.ecn_mark(0, 0, 0, &mut rng));
+        assert!(!s.ecn_mark(0, 0, 3, &mut rng));
+    }
+
+    #[test]
+    fn host_activate_deactivate_keeps_rr_valid() {
+        let p = port(3);
+        let mut h = Host::new(p, 2);
+        h.activate(1, 10);
+        h.activate(1, 11);
+        h.activate(1, 12);
+        h.rr[1] = 2;
+        h.deactivate(1, 11);
+        assert_eq!(h.active[1], vec![10, 12]);
+        assert_eq!(h.rr[1], 1);
+        h.deactivate(1, 99); // unknown flow: no-op
+        assert_eq!(h.active[1].len(), 2);
+    }
+}

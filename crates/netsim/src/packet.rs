@@ -1,0 +1,239 @@
+//! Packet and identifier types.
+
+use simcore::Time;
+
+/// Index of a node (host or switch) in the simulation.
+pub type NodeId = u32;
+
+/// Index of a flow in the simulation.
+pub type FlowId = u32;
+
+/// Wire overhead added to every data payload (Ethernet + IP + transport
+/// headers; the paper's DPDK stack uses a comparable fixed header).
+pub const HEADER_BYTES: u32 = 48;
+
+/// Wire size of an ACK / probe / probe-ACK / NACK control packet.
+pub const CONTROL_BYTES: u32 = 64;
+
+/// One INT (in-band network telemetry) record appended per hop for HPCC.
+#[derive(Clone, Copy, Debug)]
+pub struct IntHop {
+    /// Egress queue length in bytes at enqueue time.
+    pub qlen: u64,
+    /// Cumulative bytes transmitted by the egress port.
+    pub tx_bytes: u64,
+    /// Timestamp of the observation.
+    pub ts: Time,
+    /// Port line rate in bits per second.
+    pub rate_bps: u64,
+}
+
+/// Acknowledgment contents carried by [`PktKind::Ack`] and
+/// [`PktKind::ProbeAck`].
+#[derive(Clone, Debug)]
+pub struct AckInfo {
+    /// Cumulative bytes received in-order at the receiver.
+    pub cum_bytes: u64,
+    /// Sequence (byte offset) of the specific packet being acknowledged.
+    pub acked_seq: u64,
+    /// Number of payload bytes acknowledged by this ACK.
+    pub acked_bytes: u32,
+    /// Sender timestamp echoed back for RTT measurement.
+    pub ts_echo: Time,
+    /// ECN CE mark observed on the acknowledged data packet.
+    pub ecn_echo: bool,
+    /// Selective NACK: a missing byte range `[from, to)` detected by the
+    /// receiver (lossy/IRN mode only).
+    pub nack: Option<(u64, u64)>,
+    /// Echoed INT telemetry (HPCC mode).
+    pub int: Option<Box<Vec<IntHop>>>,
+}
+
+/// What a packet is.
+#[derive(Clone, Debug)]
+pub enum PktKind {
+    /// A data segment.
+    Data,
+    /// A minimal-size delay probe (PrioPlus §4.2.1).
+    Probe,
+    /// Acknowledgment of a data segment.
+    Ack(AckInfo),
+    /// Echo of a probe.
+    ProbeAck(AckInfo),
+    /// PFC pause/resume control frame for one priority, handled out-of-band
+    /// at the MAC layer (never queued).
+    Pfc {
+        /// Priority (queue index) being paused or resumed.
+        prio: u8,
+        /// `true` = pause, `false` = resume.
+        pause: bool,
+    },
+}
+
+impl PktKind {
+    /// True for PFC control frames.
+    pub fn is_pfc(&self) -> bool {
+        matches!(self, PktKind::Pfc { .. })
+    }
+
+    /// True for data segments (the only packets subject to ECN marking,
+    /// non-congestive delay, and drops).
+    pub fn is_data(&self) -> bool {
+        matches!(self, PktKind::Data)
+    }
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Owning flow (undefined for PFC frames, set to `u32::MAX`).
+    pub flow: FlowId,
+    /// Origin host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Physical priority queue index this packet travels in.
+    pub prio: u8,
+    /// DSCP code point carrying the flow's *virtual* priority; used by the
+    /// priority-scaled ECN extension (Appendix B) where switches vary the
+    /// marking threshold by DSCP.
+    pub dscp: u8,
+    /// Total wire size in bytes (header included).
+    pub size: u32,
+    /// Payload bytes (0 for control packets).
+    pub payload: u32,
+    /// Byte-offset sequence number of the first payload byte.
+    pub seq: u64,
+    /// Packet kind and kind-specific contents.
+    pub kind: PktKind,
+    /// Timestamp when the sender put the packet on the wire.
+    pub ts_tx: Time,
+    /// ECN congestion-experienced mark.
+    pub ecn_ce: bool,
+    /// INT telemetry collected along the path (HPCC mode).
+    pub int: Option<Box<Vec<IntHop>>>,
+    /// Transient: ingress port at the switch currently holding the packet
+    /// (for PFC ingress accounting).
+    pub cur_in_port: u16,
+}
+
+impl Packet {
+    /// Construct a data segment.
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        prio: u8,
+        payload: u32,
+        seq: u64,
+        ts_tx: Time,
+    ) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            dscp: 0,
+            size: payload + HEADER_BYTES,
+            payload,
+            seq,
+            kind: PktKind::Data,
+            ts_tx,
+            ecn_ce: false,
+            int: None,
+            cur_in_port: 0,
+        }
+    }
+
+    /// Construct a probe packet.
+    pub fn probe(flow: FlowId, src: NodeId, dst: NodeId, prio: u8, ts_tx: Time) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            dscp: 0,
+            size: CONTROL_BYTES,
+            payload: 0,
+            seq: 0,
+            kind: PktKind::Probe,
+            ts_tx,
+            ecn_ce: false,
+            int: None,
+            cur_in_port: 0,
+        }
+    }
+
+    /// Construct an acknowledgment (or probe echo) for a received packet.
+    pub fn ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        prio: u8,
+        info: AckInfo,
+        probe: bool,
+        ts_tx: Time,
+    ) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            dscp: 0,
+            size: CONTROL_BYTES,
+            payload: 0,
+            seq: 0,
+            kind: if probe {
+                PktKind::ProbeAck(info)
+            } else {
+                PktKind::Ack(info)
+            },
+            ts_tx,
+            ecn_ce: false,
+            int: None,
+            cur_in_port: 0,
+        }
+    }
+
+    /// Construct a PFC pause/resume frame.
+    pub fn pfc(src: NodeId, dst: NodeId, prio: u8, pause: bool) -> Self {
+        Packet {
+            flow: u32::MAX,
+            src,
+            dst,
+            prio,
+            dscp: 0,
+            size: CONTROL_BYTES,
+            payload: 0,
+            seq: 0,
+            kind: PktKind::Pfc { prio, pause },
+            ts_tx: Time::ZERO,
+            ecn_ce: false,
+            int: None,
+            cur_in_port: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_wire_size_includes_header() {
+        let p = Packet::data(0, 1, 2, 3, 1000, 0, Time::ZERO);
+        assert_eq!(p.size, 1048);
+        assert_eq!(p.payload, 1000);
+        assert!(p.kind.is_data());
+    }
+
+    #[test]
+    fn control_packets_are_64_bytes() {
+        let probe = Packet::probe(0, 1, 2, 3, Time::ZERO);
+        assert_eq!(probe.size, CONTROL_BYTES);
+        let pfc = Packet::pfc(1, 2, 0, true);
+        assert_eq!(pfc.size, CONTROL_BYTES);
+        assert!(pfc.kind.is_pfc());
+        assert!(!probe.kind.is_data());
+    }
+}

@@ -1,0 +1,171 @@
+//! Results of a simulation run.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simcore::stats::{ThroughputMeter, TimeSeries};
+use simcore::{Rate, Time};
+
+use crate::packet::{FlowId, NodeId};
+
+/// Outcome of one flow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Physical priority queue used.
+    pub phys_prio: u8,
+    /// Virtual priority (PrioPlus channel).
+    pub virt_prio: u8,
+    /// User tag (coflow id, job id, size class, ...).
+    pub tag: u64,
+    /// Start time.
+    pub start: Time,
+    /// Completion (receiver got the last byte); `None` if censored by the
+    /// simulation end.
+    pub finish: Option<Time>,
+    /// Payload bytes delivered to the receiver.
+    pub delivered: u64,
+    /// Data packets retransmitted by the sender.
+    pub retransmits: u64,
+    /// Base (no-queue) RTT of the flow's path.
+    pub base_rtt: Time,
+    /// Line rate of the sender's NIC.
+    pub line_rate: Rate,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<Time> {
+        self.finish.map(|f| f - self.start)
+    }
+
+    /// Ideal FCT: base RTT for the first byte round plus serialization of
+    /// the whole flow at `rate` (the standard store-and-forward ideal used
+    /// for slowdown normalization).
+    pub fn ideal_fct(&self, rate: Rate, base_rtt: Time) -> Time {
+        base_rtt + rate.serialize_time(self.size)
+    }
+
+    /// FCT slowdown relative to the ideal; `None` when unfinished.
+    pub fn slowdown(&self, rate: Rate, base_rtt: Time) -> Option<f64> {
+        let fct = self.fct()?;
+        let ideal = self.ideal_fct(rate, base_rtt);
+        Some(fct.as_ps() as f64 / ideal.as_ps() as f64)
+    }
+
+    /// FCT slowdown using the flow's own recorded path parameters.
+    pub fn slowdown_auto(&self) -> Option<f64> {
+        self.slowdown(self.line_rate, self.base_rtt)
+    }
+}
+
+/// Aggregate counters of a run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Total events processed.
+    pub events: u64,
+    /// Data packets delivered end-to-end.
+    pub data_delivered: u64,
+    /// PFC pause frames emitted.
+    pub pfc_pauses: u64,
+    /// PFC resume frames emitted.
+    pub pfc_resumes: u64,
+    /// Packets dropped (lossy mode).
+    pub drops: u64,
+    /// Data packets ECN-marked.
+    pub ecn_marks: u64,
+    /// Probe packets sent.
+    pub probes: u64,
+    /// Maximum shared-buffer occupancy observed across switches.
+    pub max_buffer_used: u64,
+}
+
+/// Per-flow time-series traces (only populated when
+/// [`crate::SimConfig::trace_flows`] is on).
+#[derive(Debug, Default)]
+pub struct FlowTrace {
+    /// Receiver goodput meter.
+    pub throughput: Option<ThroughputMeter>,
+    /// Delay samples observed by the sender (µs).
+    pub delay: TimeSeries,
+    /// Congestion window over time (bytes).
+    pub cwnd: TimeSeries,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Per-flow outcomes, indexed by flow id.
+    pub records: Vec<FlowRecord>,
+    /// Aggregate counters.
+    pub counters: SimCounters,
+    /// Per-flow traces (tracing mode).
+    pub traces: HashMap<FlowId, FlowTrace>,
+    /// Monitor output series, in registration order.
+    pub monitors: Vec<(String, TimeSeries)>,
+    /// Time the simulation stopped.
+    pub end_time: Time,
+}
+
+impl SimResult {
+    /// All finished flows.
+    pub fn finished(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.records.iter().filter(|r| r.finish.is_some())
+    }
+
+    /// Fraction of flows that finished.
+    pub fn completion_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.finished().count() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: u64, start: Time, finish: Option<Time>) -> FlowRecord {
+        FlowRecord {
+            flow: 0,
+            src: 0,
+            dst: 1,
+            size,
+            phys_prio: 0,
+            virt_prio: 0,
+            tag: 0,
+            start,
+            finish,
+            delivered: size,
+            retransmits: 0,
+            base_rtt: Time::from_us(12),
+            line_rate: Rate::from_gbps(100),
+        }
+    }
+
+    #[test]
+    fn fct_and_slowdown() {
+        let r = rec(150_000, Time::from_us(10), Some(Time::from_us(40)));
+        assert_eq!(r.fct(), Some(Time::from_us(30)));
+        // Ideal at 100G: 12us rtt + 12us serialization = 24us -> slowdown 1.25.
+        let s = r.slowdown(Rate::from_gbps(100), Time::from_us(12)).unwrap();
+        assert!((s - 30.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn censored_flow_has_no_fct() {
+        let r = rec(1000, Time::ZERO, None);
+        assert!(r.fct().is_none());
+        assert!(r
+            .slowdown(Rate::from_gbps(100), Time::from_us(12))
+            .is_none());
+    }
+}

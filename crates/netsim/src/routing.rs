@@ -1,0 +1,159 @@
+//! Shortest-path ECMP routing.
+//!
+//! Routes are precomputed: for every (node, destination host) pair we store
+//! every port that lies on a shortest path. Per-flow ECMP picks one port by
+//! hashing the flow id with the node id, so a flow is pinned to one path
+//! (no reordering from multipathing) while flows spread across paths.
+
+use crate::packet::{FlowId, NodeId};
+
+/// Precomputed next-hop table.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    /// `next[node][dst]` = ports on shortest paths from `node` to host `dst`.
+    next: Vec<Vec<Vec<u16>>>,
+    salt: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+impl RoutingTable {
+    /// Build from an adjacency list: `adj[node]` = `(port, peer)` pairs.
+    /// `is_host[node]` marks hosts (BFS roots; hosts never forward).
+    pub fn build(adj: &[Vec<(u16, NodeId)>], is_host: &[bool], salt: u64) -> Self {
+        let n = adj.len();
+        let mut next = vec![vec![Vec::new(); n]; n];
+        // Reverse adjacency for BFS from each destination.
+        for (dst, _) in is_host.iter().enumerate().filter(|(_, h)| **h) {
+            let mut dist = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut frontier = vec![dst];
+            while !frontier.is_empty() {
+                let mut nf = Vec::new();
+                for &u in &frontier {
+                    // Hosts never forward traffic: only the destination host
+                    // itself may be an intermediate BFS root.
+                    if u != dst && is_host[u] {
+                        continue;
+                    }
+                    for (node, ports) in adj.iter().enumerate() {
+                        for &(port, peer) in ports {
+                            if peer as usize == u {
+                                let cand = dist[u] + 1;
+                                if dist[node] > cand {
+                                    // First time reached: record distance.
+                                    if dist[node] == u32::MAX {
+                                        nf.push(node);
+                                    }
+                                    dist[node] = cand;
+                                    next[node][dst].clear();
+                                    next[node][dst].push(port);
+                                } else if dist[node] == cand {
+                                    if !next[node][dst].contains(&port) {
+                                        next[node][dst].push(port);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = nf;
+            }
+        }
+        RoutingTable { next, salt }
+    }
+
+    /// All ECMP candidate ports at `node` toward host `dst`.
+    pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[u16] {
+        &self.next[node as usize][dst as usize]
+    }
+
+    /// The ECMP-selected port for `flow` at `node` toward `dst`.
+    ///
+    /// # Panics
+    /// Panics when `dst` is unreachable from `node`.
+    pub fn port_for(&self, node: NodeId, dst: NodeId, flow: FlowId) -> u16 {
+        let cands = self.candidates(node, dst);
+        assert!(!cands.is_empty(), "no route from node {node} to host {dst}");
+        if cands.len() == 1 {
+            return cands[0];
+        }
+        let h = mix(self.salt ^ (flow as u64) << 20 ^ node as u64);
+        cands[(h % cands.len() as u64) as usize]
+    }
+
+    /// Number of nodes the table was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.next.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node line: h0 - s1 - s2 - h3 (hosts at the ends).
+    fn line() -> (Vec<Vec<(u16, NodeId)>>, Vec<bool>) {
+        let adj = vec![
+            vec![(0, 1)],         // h0 -> s1
+            vec![(0, 0), (1, 2)], // s1 -> h0, s2
+            vec![(0, 1), (1, 3)], // s2 -> s1, h3
+            vec![(0, 2)],         // h3 -> s2
+        ];
+        let is_host = vec![true, false, false, true];
+        (adj, is_host)
+    }
+
+    #[test]
+    fn line_routes_forward() {
+        let (adj, is_host) = line();
+        let rt = RoutingTable::build(&adj, &is_host, 0);
+        assert_eq!(rt.port_for(0, 3, 7), 0);
+        assert_eq!(rt.port_for(1, 3, 7), 1);
+        assert_eq!(rt.port_for(2, 3, 7), 1);
+        assert_eq!(rt.port_for(2, 0, 7), 0);
+        assert_eq!(rt.port_for(1, 0, 7), 0);
+    }
+
+    /// Two hosts connected through two parallel switches (ECMP diamond):
+    /// h0 -(0)-> s1 / s2 -> h3, with h0 ports 0,1 and h3 ports 0,1.
+    fn diamond() -> (Vec<Vec<(u16, NodeId)>>, Vec<bool>) {
+        let adj = vec![
+            vec![(0, 1), (1, 2)], // h0 -> s1, s2
+            vec![(0, 0), (1, 3)], // s1
+            vec![(0, 0), (1, 3)], // s2
+            vec![(0, 1), (1, 2)], // h3 -> s1, s2
+        ];
+        let is_host = vec![true, false, false, true];
+        (adj, is_host)
+    }
+
+    #[test]
+    fn ecmp_uses_both_paths_and_is_per_flow_stable() {
+        let (adj, is_host) = diamond();
+        let rt = RoutingTable::build(&adj, &is_host, 42);
+        assert_eq!(rt.candidates(0, 3).len(), 2);
+        let mut used = std::collections::HashSet::new();
+        for f in 0..64u32 {
+            let p = rt.port_for(0, 3, f);
+            assert_eq!(p, rt.port_for(0, 3, f), "per-flow stability");
+            used.insert(p);
+        }
+        assert_eq!(used.len(), 2, "both ECMP paths used across flows");
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_panics() {
+        let adj = vec![vec![], vec![]];
+        let is_host = vec![true, true];
+        let rt = RoutingTable::build(&adj, &is_host, 0);
+        rt.port_for(0, 1, 0);
+    }
+}

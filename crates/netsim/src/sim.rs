@@ -1,0 +1,916 @@
+//! The simulator: event loop, flow management, switch/host event handlers.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simcore::stats::ThroughputMeter;
+use simcore::{EventQueue, Rate, SimRng, Time};
+
+use crate::config::{AckPriority, SimConfig, SwitchConfig};
+use crate::monitor::{Monitor, MonitorKind};
+use crate::node::{Admission, EgressPort, Host, Switch};
+use crate::packet::{
+    AckInfo, FlowId, IntHop, NodeId, Packet, PktKind, CONTROL_BYTES, HEADER_BYTES,
+};
+use crate::record::{FlowRecord, FlowTrace, SimCounters, SimResult};
+use crate::routing::RoutingTable;
+use crate::topology::{NodeKind, Topology};
+use crate::transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};
+
+/// A closed-loop application driver: gets called whenever a flow completes
+/// (receiver got every byte) and may register new flows, enabling iterative
+/// workloads such as ring all-reduce training (§6.2's ML cluster scenario).
+pub trait App {
+    /// `flow` just completed at `sim.now()`.
+    fn on_flow_complete(&mut self, flow: FlowId, sim: &mut Sim);
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at `node` through ingress `in_port` (propagation
+    /// finished).
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port index at the receiving node.
+        in_port: u16,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// `node`'s egress `port` finished serializing its current packet.
+    PortFree {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: u16,
+    },
+    /// A flow begins.
+    FlowStart {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A transport timer fires.
+    FlowTimer {
+        /// The flow whose transport scheduled the timer.
+        flow: FlowId,
+        /// Opaque token chosen by the transport.
+        token: u64,
+    },
+    /// Wake a host NIC to re-poll its transports (pacing).
+    HostPoke {
+        /// The host.
+        node: NodeId,
+    },
+    /// Periodic monitor sample.
+    Sample {
+        /// Monitor index.
+        monitor: u32,
+    },
+    /// End of simulation.
+    End,
+}
+
+/// Description of one flow to simulate.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Payload bytes to transfer.
+    pub size: u64,
+    /// Start time.
+    pub start: Time,
+    /// Physical priority queue (0-based; must be `< SimConfig::num_prios`).
+    pub phys_prio: u8,
+    /// Virtual priority (PrioPlus channel index; informational for
+    /// non-PrioPlus transports).
+    pub virt_prio: u8,
+    /// Arbitrary user tag carried into the flow record.
+    pub tag: u64,
+}
+
+impl FlowSpec {
+    /// Convenience constructor with priority 0 and tag 0.
+    pub fn new(src: NodeId, dst: NodeId, size: u64, start: Time) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            size,
+            start,
+            phys_prio: 0,
+            virt_prio: 0,
+            tag: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecvState {
+    cum: u64,
+    ooo: BTreeMap<u64, u64>,
+    delivered: u64,
+    done: bool,
+    nack_for_cum: u64,
+}
+
+impl RecvState {
+    /// Returns (newly_delivered_bytes, nack_range).
+    fn on_data(&mut self, seq: u64, len: u64, lossy: bool) -> (u64, Option<(u64, u64)>) {
+        let mut new_bytes = 0;
+        let dup = seq < self.cum
+            || self
+                .ooo
+                .range(..=seq)
+                .next_back()
+                .is_some_and(|(_, &e)| e > seq);
+        if !dup {
+            new_bytes = len;
+        }
+        if seq == self.cum {
+            self.cum += len;
+            while let Some((&s, &e)) = self.ooo.iter().next() {
+                if s <= self.cum {
+                    self.cum = self.cum.max(e);
+                    self.ooo.remove(&s);
+                } else {
+                    break;
+                }
+            }
+        } else if seq > self.cum && !dup {
+            let entry = self.ooo.entry(seq).or_insert(seq + len);
+            *entry = (*entry).max(seq + len);
+        }
+        self.delivered += new_bytes;
+        let mut nack = None;
+        if lossy && seq > self.cum && self.nack_for_cum != self.cum {
+            nack = Some((self.cum, seq));
+            self.nack_for_cum = self.cum;
+        }
+        (new_bytes, nack)
+    }
+}
+
+struct Flow {
+    spec: FlowSpec,
+    params: FlowParams,
+    transport: Box<dyn Transport>,
+    recv: RecvState,
+    record: FlowRecord,
+    active: bool,
+}
+
+enum Node {
+    Host(Host),
+    Switch(Switch),
+}
+
+/// The simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    switch_cfg: SwitchConfig,
+    nodes: Vec<Node>,
+    /// (peer, peer_port, rate, prop) per (node, port), aligned with routing.
+    port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>>,
+    routes: RoutingTable,
+    flows: Vec<Flow>,
+    queue: EventQueue<Event>,
+    counters: SimCounters,
+    monitors: Vec<Monitor>,
+    traces: HashMap<FlowId, FlowTrace>,
+    noise_rng: SimRng,
+    ecn_rng: SimRng,
+    nc_rng: SimRng,
+    lossy: bool,
+    app: Option<Box<dyn App>>,
+    completed_buf: Vec<FlowId>,
+}
+
+impl Sim {
+    /// Build a simulator over `topo` with uniform switch configuration.
+    pub fn new(topo: &Topology, cfg: SimConfig, switch_cfg: SwitchConfig) -> Self {
+        let n = topo.num_nodes();
+        // Build per-node port lists in the same order as `Topology::adjacency`.
+        let mut port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>> = vec![Vec::new(); n];
+        for &(a, b, spec) in &topo.links {
+            let pa = port_specs[a as usize].len() as u16;
+            let pb = port_specs[b as usize].len() as u16;
+            port_specs[a as usize].push((b, pb, spec.rate, spec.prop));
+            port_specs[b as usize].push((a, pa, spec.rate, spec.prop));
+        }
+        let adj = topo.adjacency();
+        let is_host: Vec<bool> = topo.kinds.iter().map(|k| *k == NodeKind::Host).collect();
+        let routes = RoutingTable::build(&adj, &is_host, cfg.seed ^ 0x9E3779B97F4A7C15);
+
+        let nq = cfg.num_prios as usize + 1;
+        let mut nodes = Vec::with_capacity(n);
+        for (id, kind) in topo.kinds.iter().enumerate() {
+            let ports: Vec<EgressPort> = port_specs[id]
+                .iter()
+                .map(|&(peer, peer_port, rate, prop)| {
+                    EgressPort::new(peer, peer_port, rate, prop, nq)
+                })
+                .collect();
+            match kind {
+                NodeKind::Host => {
+                    assert_eq!(ports.len(), 1, "host {id} must have exactly one NIC link");
+                    nodes.push(Node::Host(Host::new(
+                        ports.into_iter().next().unwrap(),
+                        cfg.num_prios,
+                    )));
+                }
+                NodeKind::Switch => {
+                    nodes.push(Node::Switch(Switch::new(
+                        switch_cfg.clone(),
+                        ports,
+                        cfg.num_prios,
+                    )));
+                }
+            }
+        }
+
+        let seed = cfg.seed;
+        let lossy = !switch_cfg.pfc_enabled;
+        Sim {
+            cfg,
+            switch_cfg,
+            nodes,
+            port_specs,
+            routes,
+            flows: Vec::new(),
+            queue: EventQueue::new(),
+            counters: SimCounters::default(),
+            monitors: Vec::new(),
+            traces: HashMap::new(),
+            noise_rng: SimRng::new(seed).split(1),
+            ecn_rng: SimRng::new(seed).split(2),
+            nc_rng: SimRng::new(seed).split(3),
+            lossy,
+            app: None,
+            completed_buf: Vec::new(),
+        }
+    }
+
+    /// Install a closed-loop application driver.
+    pub fn set_app(&mut self, app: Box<dyn App>) {
+        self.app = Some(app);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// The record of a flow (live view during the run for [`App`]s).
+    pub fn record(&self, flow: FlowId) -> &FlowRecord {
+        &self.flows[flow as usize].record
+    }
+
+    /// Number of flows registered so far.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The switch configuration.
+    pub fn switch_config(&self) -> &SwitchConfig {
+        &self.switch_cfg
+    }
+
+    /// Compute per-flow parameters (base RTTs, line rate) for a prospective
+    /// flow, so transport factories can be configured before registration.
+    pub fn flow_params(&self, spec: &FlowSpec, flow: FlowId) -> FlowParams {
+        let line_rate = self.port_specs[spec.src as usize][0].2;
+        let data_wire = (self.cfg.mtu + HEADER_BYTES) as u64;
+        let base_rtt = self.path_delay(spec.src, spec.dst, flow, data_wire)
+            + self.path_delay(spec.dst, spec.src, flow, CONTROL_BYTES as u64);
+        let base_rtt_probe = self.path_delay(spec.src, spec.dst, flow, CONTROL_BYTES as u64)
+            + self.path_delay(spec.dst, spec.src, flow, CONTROL_BYTES as u64);
+        FlowParams {
+            flow,
+            size: spec.size,
+            line_rate,
+            base_rtt,
+            base_rtt_probe,
+            mtu: self.cfg.mtu,
+            virt_prio: spec.virt_prio,
+            seed: SimRng::new(self.cfg.seed)
+                .split(0x1000 + flow as u64)
+                .next(),
+        }
+    }
+
+    /// One-way no-queue delay for a `wire_bytes` packet from `src` to `dst`
+    /// following the flow's ECMP path: per hop, serialization + propagation.
+    fn path_delay(&self, src: NodeId, dst: NodeId, flow: FlowId, wire_bytes: u64) -> Time {
+        let mut node = src;
+        let mut total = Time::ZERO;
+        let mut hops = 0;
+        while node != dst {
+            let port = self.routes.port_for(node, dst, flow);
+            let (peer, _, rate, prop) = self.port_specs[node as usize][port as usize];
+            total += rate.serialize_time(wire_bytes) + prop;
+            node = peer;
+            hops += 1;
+            assert!(hops < 64, "routing loop from {src} to {dst}");
+        }
+        total
+    }
+
+    /// Register a flow. `make` receives the computed [`FlowParams`] and
+    /// returns the sender-side transport.
+    pub fn add_flow(
+        &mut self,
+        spec: FlowSpec,
+        make: impl FnOnce(&FlowParams) -> Box<dyn Transport>,
+    ) -> FlowId {
+        assert!(
+            spec.phys_prio < self.cfg.num_prios,
+            "phys_prio {} out of range (num_prios {})",
+            spec.phys_prio,
+            self.cfg.num_prios
+        );
+        assert!(spec.size > 0, "zero-size flow");
+        let id = self.flows.len() as FlowId;
+        let params = self.flow_params(&spec, id);
+        let transport = make(&params);
+        let record = FlowRecord {
+            flow: id,
+            src: spec.src,
+            dst: spec.dst,
+            size: spec.size,
+            phys_prio: spec.phys_prio,
+            virt_prio: spec.virt_prio,
+            tag: spec.tag,
+            start: spec.start,
+            finish: None,
+            delivered: 0,
+            retransmits: 0,
+            base_rtt: params.base_rtt,
+            line_rate: params.line_rate,
+        };
+        if self.cfg.trace_flows {
+            self.traces.insert(
+                id,
+                FlowTrace {
+                    throughput: Some(ThroughputMeter::new(self.cfg.trace_bucket)),
+                    ..Default::default()
+                },
+            );
+        }
+        self.queue
+            .schedule(spec.start, Event::FlowStart { flow: id });
+        self.flows.push(Flow {
+            spec,
+            params,
+            transport,
+            recv: RecvState::default(),
+            record,
+            active: false,
+        });
+        id
+    }
+
+    /// Register a periodic monitor; returns its index.
+    pub fn add_monitor(
+        &mut self,
+        label: impl Into<String>,
+        kind: MonitorKind,
+        period: Time,
+    ) -> usize {
+        let idx = self.monitors.len();
+        self.monitors.push(Monitor::new(label, kind, period));
+        idx
+    }
+
+    /// Egress port index a switch uses toward `dst` for `flow` (exposed for
+    /// tests and monitor setup).
+    pub fn route_port(&self, node: NodeId, dst: NodeId, flow: FlowId) -> u16 {
+        self.routes.port_for(node, dst, flow)
+    }
+
+    /// Run to completion (all events drained or `end_time` reached).
+    pub fn run(mut self) -> SimResult {
+        self.queue.schedule(self.cfg.end_time, Event::End);
+        for i in 0..self.monitors.len() {
+            let period = self.monitors[i].period;
+            self.queue
+                .schedule(period, Event::Sample { monitor: i as u32 });
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.counters.events += 1;
+            match ev {
+                Event::End => break,
+                Event::FlowStart { flow } => self.on_flow_start(flow, now),
+                Event::FlowTimer { flow, token } => self.on_flow_timer(flow, token, now),
+                Event::HostPoke { node } => {
+                    if let Node::Host(h) = &mut self.nodes[node as usize] {
+                        h.next_poke = Time::MAX;
+                    }
+                    self.host_poke(node, now);
+                }
+                Event::PortFree { node, port } => self.on_port_free(node, port, now),
+                Event::Arrive { node, in_port, pkt } => self.on_arrive(node, in_port, pkt, now),
+                Event::Sample { monitor } => self.on_sample(monitor, now),
+            }
+            if !self.completed_buf.is_empty() && self.app.is_some() {
+                let mut app = self.app.take().expect("checked");
+                let done = std::mem::take(&mut self.completed_buf);
+                for f in done {
+                    app.on_flow_complete(f, &mut self);
+                }
+                self.app = Some(app);
+            }
+        }
+        let end_time = self.queue.now();
+        for sw in self.nodes.iter().filter_map(|n| match n {
+            Node::Switch(s) => Some(s),
+            _ => None,
+        }) {
+            self.counters.max_buffer_used = self.counters.max_buffer_used.max(sw.max_buffered);
+        }
+        SimResult {
+            records: self
+                .flows
+                .iter()
+                .map(|f| {
+                    let mut r = f.record.clone();
+                    r.retransmits = f.transport.retransmits();
+                    r
+                })
+                .collect(),
+            counters: self.counters,
+            traces: self.traces,
+            monitors: self
+                .monitors
+                .into_iter()
+                .map(|m| (m.label, m.series))
+                .collect(),
+            end_time,
+        }
+    }
+
+    fn ctx<'a>(
+        queue: &'a mut EventQueue<Event>,
+        traces: &'a mut HashMap<FlowId, FlowTrace>,
+        now: Time,
+        flow: FlowId,
+    ) -> TransportCtx<'a> {
+        let trace = traces.get_mut(&flow);
+        let (delay_trace, cwnd_trace) = match trace {
+            Some(t) => (Some(&mut t.delay), Some(&mut t.cwnd)),
+            None => (None, None),
+        };
+        TransportCtx {
+            now,
+            flow,
+            queue,
+            delay_trace,
+            cwnd_trace,
+        }
+    }
+
+    fn on_flow_start(&mut self, flow: FlowId, now: Time) {
+        let f = &mut self.flows[flow as usize];
+        let src = f.spec.src;
+        let prio = f.spec.phys_prio;
+        f.active = true;
+        {
+            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, flow);
+            f.transport.on_start(&mut ctx);
+        }
+        if let Node::Host(h) = &mut self.nodes[src as usize] {
+            h.activate(prio, flow);
+        } else {
+            panic!("flow source {src} is not a host");
+        }
+        self.host_poke(src, now);
+    }
+
+    fn on_flow_timer(&mut self, flow: FlowId, token: u64, now: Time) {
+        let f = &mut self.flows[flow as usize];
+        if !f.active {
+            return;
+        }
+        {
+            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, flow);
+            f.transport.on_timer(token, &mut ctx);
+        }
+        let src = f.spec.src;
+        self.host_poke(src, now);
+    }
+
+    fn on_port_free(&mut self, node: NodeId, port: u16, now: Time) {
+        match &mut self.nodes[node as usize] {
+            Node::Host(h) => {
+                h.port.busy = false;
+                self.host_poke(node, now);
+            }
+            Node::Switch(s) => {
+                s.ports[port as usize].busy = false;
+                self.switch_dequeue(node, port, now);
+            }
+        }
+    }
+
+    /// Try to start transmitting the next packet on a switch egress port.
+    fn switch_dequeue(&mut self, node: NodeId, port: u16, now: Time) {
+        let Node::Switch(s) = &mut self.nodes[node as usize] else {
+            return;
+        };
+        let p = &mut s.ports[port as usize];
+        if p.busy || !p.has_sendable() {
+            return;
+        }
+        let mut pkt = p.dequeue().expect("has_sendable");
+        let mut resumes = Vec::new();
+        s.on_dequeue(&pkt, &mut resumes);
+        let p = &mut s.ports[port as usize];
+        p.busy = true;
+        p.tx_bytes += pkt.size as u64;
+        let (peer, peer_port, rate, prop) = self.port_specs[node as usize][port as usize];
+        if self.switch_cfg.int_enabled && pkt.kind.is_data() {
+            let qlen = p.queued_bytes_q[pkt.prio as usize];
+            let tx = p.tx_bytes;
+            let rec = IntHop {
+                qlen,
+                tx_bytes: tx,
+                ts: now,
+                rate_bps: rate.as_bps(),
+            };
+            pkt.int.get_or_insert_with(Default::default).push(rec);
+        }
+        let ser = rate.serialize_time(pkt.size as u64);
+        let mut arrival = now + ser + prop;
+        if pkt.kind.is_data() {
+            if let Some(nc) = self.switch_cfg.nc_delay {
+                arrival += nc.sample(&mut self.nc_rng);
+            }
+        }
+        self.queue
+            .schedule(now + ser, Event::PortFree { node, port });
+        self.queue.schedule(
+            arrival,
+            Event::Arrive {
+                node: peer,
+                in_port: peer_port,
+                pkt,
+            },
+        );
+        self.emit_pfc(node, &resumes, false, now);
+    }
+
+    /// Send PFC pause/resume frames upstream out-of-band.
+    fn emit_pfc(&mut self, node: NodeId, list: &[(u16, u8)], pause: bool, now: Time) {
+        for &(in_port, prio) in list {
+            let (peer, peer_port, _, prop) = self.port_specs[node as usize][in_port as usize];
+            if pause {
+                self.counters.pfc_pauses += 1;
+            } else {
+                self.counters.pfc_resumes += 1;
+            }
+            let pkt = Packet::pfc(node, peer, prio, pause);
+            self.queue.schedule(
+                now + prop,
+                Event::Arrive {
+                    node: peer,
+                    in_port: peer_port,
+                    pkt,
+                },
+            );
+        }
+    }
+
+    fn on_arrive(&mut self, node: NodeId, in_port: u16, pkt: Packet, now: Time) {
+        match &self.nodes[node as usize] {
+            Node::Switch(_) => self.switch_arrive(node, in_port, pkt, now),
+            Node::Host(_) => self.host_arrive(node, pkt, now),
+        }
+    }
+
+    fn switch_arrive(&mut self, node: NodeId, in_port: u16, mut pkt: Packet, now: Time) {
+        if let PktKind::Pfc { prio, pause } = pkt.kind {
+            let Node::Switch(s) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            s.ports[in_port as usize].set_paused(prio as usize, pause);
+            if !pause {
+                self.switch_dequeue(node, in_port, now);
+            }
+            return;
+        }
+        let egress = self.routes.port_for(node, pkt.dst, pkt.flow);
+        let Node::Switch(s) = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        if pkt.kind.is_data() {
+            let q = pkt.prio as usize;
+            if s.ecn_mark(egress, q, pkt.dscp, &mut self.ecn_rng) {
+                pkt.ecn_ce = true;
+                self.counters.ecn_marks += 1;
+            }
+        }
+        let mut pauses = Vec::new();
+        match s.admit(egress, in_port, pkt, &mut pauses) {
+            Admission::Dropped => {
+                self.counters.drops += 1;
+            }
+            Admission::Queued => {
+                self.emit_pfc(node, &pauses, true, now);
+                self.switch_dequeue(node, egress, now);
+            }
+        }
+    }
+
+    fn host_arrive(&mut self, node: NodeId, pkt: Packet, now: Time) {
+        match &pkt.kind {
+            PktKind::Pfc { prio, pause } => {
+                let Node::Host(h) = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                h.port.set_paused(*prio as usize, *pause);
+                if !*pause {
+                    self.host_poke(node, now);
+                }
+            }
+            PktKind::Data => {
+                debug_assert_eq!(pkt.dst, node, "data packet misrouted");
+                self.counters.data_delivered += 1;
+                self.receiver_data(node, pkt, now);
+            }
+            PktKind::Probe => {
+                debug_assert_eq!(pkt.dst, node);
+                // Echo the probe back at the same priority it came in on
+                // (probe echoes measure the reverse control path like ACKs).
+                let info = AckInfo {
+                    cum_bytes: 0,
+                    acked_seq: 0,
+                    acked_bytes: 0,
+                    ts_echo: pkt.ts_tx,
+                    ecn_echo: false,
+                    nack: None,
+                    int: None,
+                };
+                let prio = self.ack_prio(pkt.prio);
+                let ack = Packet::ack(pkt.flow, node, pkt.src, prio, info, true, now);
+                self.host_enqueue_control(node, ack, now);
+            }
+            PktKind::Ack(_) | PktKind::ProbeAck(_) => {
+                debug_assert_eq!(pkt.dst, node, "ack misrouted");
+                self.sender_ack(node, pkt, now);
+            }
+        }
+    }
+
+    fn ack_prio(&self, data_prio: u8) -> u8 {
+        match self.cfg.ack_prio {
+            AckPriority::Control => self.cfg.num_prios,
+            AckPriority::SameAsData => data_prio,
+        }
+    }
+
+    /// Receiver-side handling of a data segment: update reassembly state,
+    /// emit a per-packet ACK, record delivery/completion.
+    fn receiver_data(&mut self, node: NodeId, mut pkt: Packet, now: Time) {
+        let flow = &mut self.flows[pkt.flow as usize];
+        let (new_bytes, nack) = flow.recv.on_data(pkt.seq, pkt.payload as u64, self.lossy);
+        flow.record.delivered = flow.recv.delivered;
+        if new_bytes > 0 {
+            if let Some(t) = self.traces.get_mut(&pkt.flow) {
+                if let Some(m) = &mut t.throughput {
+                    m.record(now, new_bytes);
+                }
+            }
+        }
+        if !flow.recv.done && flow.recv.cum >= flow.spec.size {
+            flow.recv.done = true;
+            flow.record.finish = Some(now);
+            self.completed_buf.push(pkt.flow);
+        }
+        let info = AckInfo {
+            cum_bytes: flow.recv.cum,
+            acked_seq: pkt.seq,
+            acked_bytes: pkt.payload,
+            ts_echo: pkt.ts_tx,
+            ecn_echo: pkt.ecn_ce,
+            nack,
+            int: pkt.int.take(),
+        };
+        let prio = self.ack_prio(pkt.prio);
+        let ack = Packet::ack(pkt.flow, node, pkt.src, prio, info, false, now);
+        self.host_enqueue_control(node, ack, now);
+    }
+
+    /// Sender-side handling of an ACK or probe echo.
+    fn sender_ack(&mut self, node: NodeId, pkt: Packet, now: Time) {
+        let fid = pkt.flow;
+        let f = &mut self.flows[fid as usize];
+        if !f.active {
+            return;
+        }
+        let (info, kind) = match pkt.kind {
+            PktKind::Ack(info) => (info, AckKind::Data),
+            PktKind::ProbeAck(info) => (info, AckKind::Probe),
+            _ => unreachable!(),
+        };
+        // Normalize the measured delay to the data base RTT: probes have a
+        // smaller no-queue RTT, so shift by the difference; then apply
+        // measurement noise (additive, §4.3.2).
+        let raw = now - info.ts_echo;
+        let normalized = match kind {
+            AckKind::Data => raw,
+            AckKind::Probe => raw + f.params.base_rtt.saturating_sub(f.params.base_rtt_probe),
+        };
+        let noise = self.cfg.meas_noise.sample(&mut self.noise_rng);
+        let delay = normalized + noise;
+        let ack = AckEvent {
+            kind,
+            delay,
+            cum_bytes: info.cum_bytes,
+            acked_seq: info.acked_seq,
+            acked_bytes: info.acked_bytes,
+            ecn_echo: info.ecn_echo,
+            nack: info.nack,
+            int: info.int,
+        };
+        {
+            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
+            f.transport.on_ack(&ack, &mut ctx);
+        }
+        if f.transport.is_finished() {
+            f.active = false;
+            let (src, prio) = (f.spec.src, f.spec.phys_prio);
+            if let Node::Host(h) = &mut self.nodes[src as usize] {
+                h.deactivate(prio, fid);
+            }
+        }
+        self.host_poke(node, now);
+    }
+
+    /// Queue a locally generated control packet (ACK/probe echo) on the
+    /// host's NIC and kick transmission.
+    fn host_enqueue_control(&mut self, node: NodeId, pkt: Packet, now: Time) {
+        let Node::Host(h) = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        h.port.enqueue(pkt);
+        self.host_poke(node, now);
+    }
+
+    /// The host NIC pull loop: if the NIC is idle, select the next packet
+    /// (queued control first, then strict-priority pull across flows) and
+    /// start transmitting it.
+    fn host_poke(&mut self, node: NodeId, now: Time) {
+        let Node::Host(_) = &self.nodes[node as usize] else {
+            panic!("host_poke on switch {node}")
+        };
+        loop {
+            let Node::Host(h) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
+            if h.port.busy {
+                return;
+            }
+            let mut min_retry = Time::MAX;
+            let mut selected: Option<Packet> = None;
+            let nq = h.port.queues.len();
+            'prio: for q in (0..nq).rev() {
+                // Queued packets (ACKs, probe echoes) first within priority.
+                // The control queue (index nq-1) is never PFC-paused.
+                let paused = q < nq - 1 && h.port.is_paused(q);
+                if !h.port.queues[q].is_empty() && !paused {
+                    let pkt = h.port.queues[q].pop_front().unwrap();
+                    h.port.queued_bytes_q[q] -= pkt.size as u64;
+                    h.port.queued_bytes -= pkt.size as u64;
+                    selected = Some(pkt);
+                    break 'prio;
+                }
+                if q >= h.active.len() || paused {
+                    continue;
+                }
+                // Pull from transports at this data priority, round-robin.
+                let len = h.active[q].len();
+                let mut finished: Vec<FlowId> = Vec::new();
+                for k in 0..len {
+                    let idx = (h.rr[q] + k) % len;
+                    let fid = h.active[q][idx];
+                    let f = &mut self.flows[fid as usize];
+                    match f.transport.try_send(now) {
+                        TrySend::Data { seq, bytes } => {
+                            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
+                            f.transport.on_sent(TrySend::Data { seq, bytes }, &mut ctx);
+                            let mut pkt = Packet::data(
+                                fid,
+                                node,
+                                f.spec.dst,
+                                f.spec.phys_prio,
+                                bytes,
+                                seq,
+                                now,
+                            );
+                            pkt.dscp = f.spec.virt_prio;
+                            h.rr[q] = (idx + 1) % len;
+                            selected = Some(pkt);
+                            break;
+                        }
+                        TrySend::Probe => {
+                            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
+                            f.transport.on_sent(TrySend::Probe, &mut ctx);
+                            self.counters.probes += 1;
+                            let pkt = Packet::probe(fid, node, f.spec.dst, f.spec.phys_prio, now);
+                            h.rr[q] = (idx + 1) % len;
+                            selected = Some(pkt);
+                            break;
+                        }
+                        TrySend::NotBefore(t) => {
+                            min_retry = min_retry.min(t);
+                        }
+                        TrySend::Blocked => {}
+                        TrySend::Finished => finished.push(fid),
+                    }
+                }
+                for fid in finished {
+                    let f = &mut self.flows[fid as usize];
+                    f.active = false;
+                    h.deactivate(q as u8, fid);
+                }
+                if selected.is_some() {
+                    break 'prio;
+                }
+            }
+            match selected {
+                Some(pkt) => {
+                    let (peer, peer_port, rate, prop) = self.port_specs[node as usize][0];
+                    let h = match &mut self.nodes[node as usize] {
+                        Node::Host(h) => h,
+                        _ => unreachable!(),
+                    };
+                    h.port.busy = true;
+                    h.port.tx_bytes += pkt.size as u64;
+                    let ser = rate.serialize_time(pkt.size as u64);
+                    self.queue
+                        .schedule(now + ser, Event::PortFree { node, port: 0 });
+                    self.queue.schedule(
+                        now + ser + prop,
+                        Event::Arrive {
+                            node: peer,
+                            in_port: peer_port,
+                            pkt,
+                        },
+                    );
+                    return;
+                }
+                None => {
+                    if min_retry != Time::MAX {
+                        let at = min_retry.max(now + Time::from_ps(1));
+                        let h = match &mut self.nodes[node as usize] {
+                            Node::Host(h) => h,
+                            _ => unreachable!(),
+                        };
+                        if at < h.next_poke {
+                            h.next_poke = at;
+                            self.queue.schedule(at, Event::HostPoke { node });
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self, monitor: u32, now: Time) {
+        let m = &mut self.monitors[monitor as usize];
+        let value = match m.kind {
+            MonitorKind::QueueBytes { node, port } => match &self.nodes[node as usize] {
+                Node::Switch(s) => s.ports[port as usize].queued_bytes as f64,
+                Node::Host(h) => h.port.queued_bytes as f64,
+            },
+            MonitorKind::QueueBytesPrio { node, port, prio } => match &self.nodes[node as usize] {
+                Node::Switch(s) => s.ports[port as usize].queued_bytes_q[prio as usize] as f64,
+                Node::Host(h) => h.port.queued_bytes_q[prio as usize] as f64,
+            },
+            MonitorKind::PortThroughput { node, port } => {
+                let tx = match &self.nodes[node as usize] {
+                    Node::Switch(s) => s.ports[port as usize].tx_bytes,
+                    Node::Host(h) => h.port.tx_bytes,
+                };
+                let delta = tx - m.last_tx;
+                m.last_tx = tx;
+                delta as f64 * 8.0 / m.period.as_secs_f64() / 1e9
+            }
+            MonitorKind::SwitchBuffer { node } => match &self.nodes[node as usize] {
+                Node::Switch(s) => s.total_buffered as f64,
+                Node::Host(_) => 0.0,
+            },
+        };
+        m.series.push(now, value);
+        if now + m.period < self.cfg.end_time {
+            let period = m.period;
+            self.queue.schedule(now + period, Event::Sample { monitor });
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Topology builders for the paper's evaluation environments.
+//!
+//! - [`Topology::single_switch`]: the micro-benchmark tree — N hosts on one
+//!   switch, host 0 the receiver, so the switch→receiver port is the single
+//!   bottleneck (§3, §6.1);
+//! - [`Topology::testbed_tree`]: the 10 Gbps/≈13 µs testbed (§5);
+//! - [`Topology::fat_tree`]: the standard k-ary fat-tree (flow scheduling,
+//!   §6.2);
+//! - [`Topology::leaf_spine`]: 2-tier leaf–spine with configurable
+//!   oversubscription (coflow fabric, CASSINI-style ML cluster).
+
+use serde::{Deserialize, Serialize};
+use simcore::{Rate, Time};
+
+use crate::config::LinkSpec;
+use crate::packet::NodeId;
+
+/// Role of a node in the topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host with one NIC.
+    Host,
+    /// A switch.
+    Switch,
+}
+
+/// A network topology: nodes and full-duplex links.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Node roles, indexed by [`NodeId`].
+    pub kinds: Vec<NodeKind>,
+    /// Full-duplex links `(a, b, spec)`; the same rate/propagation applies
+    /// in both directions.
+    pub links: Vec<(NodeId, NodeId, LinkSpec)>,
+    /// Host node ids in builder order.
+    pub hosts: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology {
+            kinds: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+        }
+    }
+
+    /// Add a host; returns its id.
+    pub fn add_host(&mut self) -> NodeId {
+        let id = self.kinds.len() as NodeId;
+        self.kinds.push(NodeKind::Host);
+        self.hosts.push(id);
+        id
+    }
+
+    /// Add a switch; returns its id.
+    pub fn add_switch(&mut self) -> NodeId {
+        let id = self.kinds.len() as NodeId;
+        self.kinds.push(NodeKind::Switch);
+        id
+    }
+
+    /// Connect two nodes with a full-duplex link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, rate: Rate, prop: Time) {
+        assert_ne!(a, b, "self link");
+        self.links.push((a, b, LinkSpec { rate, prop }));
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Adjacency list: `adj[node]` = `(port, peer)`, ports numbered in link
+    /// insertion order per node.
+    pub fn adjacency(&self) -> Vec<Vec<(u16, NodeId)>> {
+        let mut adj: Vec<Vec<(u16, NodeId)>> = vec![Vec::new(); self.num_nodes()];
+        for &(a, b, _) in &self.links {
+            let pa = adj[a as usize].len() as u16;
+            adj[a as usize].push((pa, b));
+            let pb = adj[b as usize].len() as u16;
+            adj[b as usize].push((pb, a));
+        }
+        adj
+    }
+
+    /// The micro-benchmark topology: `n_senders + 1` hosts on one switch.
+    /// Host index 0 is the designated receiver; all links share `rate` and
+    /// `prop`. With 100 Gbps links and 3 µs latency this matches the paper's
+    /// 12 µs-RTT bottleneck environment.
+    pub fn single_switch(n_senders: usize, rate: Rate, prop: Time) -> Self {
+        let mut t = Topology::new();
+        let sw = {
+            // Build hosts first for contiguous host ids starting at 0.
+            let mut hosts = Vec::new();
+            for _ in 0..=n_senders {
+                hosts.push(t.add_host());
+            }
+            let sw = t.add_switch();
+            for h in hosts {
+                t.connect(h, sw, rate, prop);
+            }
+            sw
+        };
+        let _ = sw;
+        t
+    }
+
+    /// The paper's testbed (§5): four sender leaves and one receiver root on
+    /// a 10 Gbps tree with ≈13 µs RTT.
+    pub fn testbed_tree() -> Self {
+        // RTT for a 1048B packet + 64B ack through 2 store-and-forward hops:
+        // 2*ser_data + 2*ser_ack + 4*prop. ser_data(10G) = 838.4ns,
+        // ser_ack = 51.2ns => ~1.78us serialization; prop = 2.8us gives
+        // RTT ~ 13.0us.
+        Topology::single_switch(4, Rate::from_gbps(10), Time::from_ns(2_800))
+    }
+
+    /// Standard k-ary fat-tree: `k` pods, `k/2` edge + `k/2` aggregation
+    /// switches per pod, `(k/2)^2` cores, `k/2` hosts per edge switch.
+    /// All links run at `rate` with `prop` one-way latency.
+    ///
+    /// # Panics
+    /// Panics when `k` is odd or zero.
+    pub fn fat_tree(k: usize, rate: Rate, prop: Time) -> Self {
+        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k");
+        let half = k / 2;
+        let mut t = Topology::new();
+        // Hosts first: pod p, edge e, host h.
+        let mut hosts = vec![vec![vec![0; half]; half]; k];
+        for (p, pod) in hosts.iter_mut().enumerate() {
+            let _ = p;
+            for edge in pod.iter_mut() {
+                for h in edge.iter_mut() {
+                    *h = t.add_host();
+                }
+            }
+        }
+        let mut edges = vec![vec![0; half]; k];
+        let mut aggs = vec![vec![0; half]; k];
+        for p in 0..k {
+            for i in 0..half {
+                edges[p][i] = t.add_switch();
+            }
+            for i in 0..half {
+                aggs[p][i] = t.add_switch();
+            }
+        }
+        let mut cores = vec![0; half * half];
+        for c in cores.iter_mut() {
+            *c = t.add_switch();
+        }
+        for p in 0..k {
+            for e in 0..half {
+                for h in 0..half {
+                    t.connect(hosts[p][e][h], edges[p][e], rate, prop);
+                }
+                for a in 0..half {
+                    t.connect(edges[p][e], aggs[p][a], rate, prop);
+                }
+            }
+            for (a, agg) in aggs[p].iter().enumerate() {
+                for j in 0..half {
+                    t.connect(*agg, cores[a * half + j], rate, prop);
+                }
+            }
+        }
+        t
+    }
+
+    /// Two-tier leaf–spine fabric. Each leaf hosts `hosts_per_leaf` hosts at
+    /// `host_rate`; every leaf connects to every spine at `fabric_rate`.
+    /// Oversubscription = `hosts_per_leaf*host_rate / (spines*fabric_rate)`.
+    pub fn leaf_spine(
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+        host_rate: Rate,
+        fabric_rate: Rate,
+        prop: Time,
+    ) -> Self {
+        let mut t = Topology::new();
+        let mut host_ids = Vec::new();
+        for _ in 0..leaves * hosts_per_leaf {
+            host_ids.push(t.add_host());
+        }
+        let leaf_ids: Vec<_> = (0..leaves).map(|_| t.add_switch()).collect();
+        let spine_ids: Vec<_> = (0..spines).map(|_| t.add_switch()).collect();
+        for (l, &leaf) in leaf_ids.iter().enumerate() {
+            for h in 0..hosts_per_leaf {
+                t.connect(host_ids[l * hosts_per_leaf + h], leaf, host_rate, prop);
+            }
+            for &spine in &spine_ids {
+                t.connect(leaf, spine, fabric_rate, prop);
+            }
+        }
+        t
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_counts() {
+        let t = Topology::single_switch(4, Rate::from_gbps(100), Time::from_us(3));
+        assert_eq!(t.hosts.len(), 5);
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.links.len(), 5);
+    }
+
+    #[test]
+    fn fat_tree_k4_counts() {
+        let t = Topology::fat_tree(4, Rate::from_gbps(100), Time::from_us(1));
+        // k=4: 16 hosts, 8 edge, 8 agg, 4 core.
+        assert_eq!(t.hosts.len(), 16);
+        assert_eq!(t.num_nodes(), 16 + 8 + 8 + 4);
+        // Links: 16 host + 4*2*4=32... edge-agg: k pods * half*half *? =
+        // per pod: 2 edges x 2 aggs = 4 => 16; agg-core: per pod 2 aggs x 2 = 4 => 16.
+        assert_eq!(t.links.len(), 16 + 16 + 16);
+    }
+
+    #[test]
+    fn fat_tree_k6_counts() {
+        let t = Topology::fat_tree(6, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.hosts.len(), 54);
+        assert_eq!(t.num_nodes(), 54 + 6 * 6 + 9);
+    }
+
+    #[test]
+    fn leaf_spine_counts_and_oversubscription() {
+        // CASSINI-like: 24 servers, 2:1 oversubscription.
+        let t = Topology::leaf_spine(
+            4,
+            2,
+            6,
+            Rate::from_gbps(100),
+            Rate::from_gbps(150),
+            Time::from_us(1),
+        );
+        assert_eq!(t.hosts.len(), 24);
+        assert_eq!(t.num_nodes(), 24 + 4 + 2);
+        // 6*100G hosts vs 2*150G uplinks per leaf = 2:1.
+        assert_eq!(t.links.len(), 24 + 8);
+    }
+
+    #[test]
+    fn adjacency_ports_are_dense_and_symmetric() {
+        let t = Topology::single_switch(2, Rate::from_gbps(100), Time::from_us(1));
+        let adj = t.adjacency();
+        // Every host has exactly one port; the switch has 3.
+        for &h in &t.hosts {
+            assert_eq!(adj[h as usize].len(), 1);
+        }
+        let sw = 3; // hosts 0,1,2 then switch 3
+        assert_eq!(adj[sw].len(), 3);
+        // Symmetry: peer's port list contains us.
+        for (n, ports) in adj.iter().enumerate() {
+            for &(_, peer) in ports {
+                assert!(adj[peer as usize].iter().any(|&(_, p)| p as usize == n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_fat_tree_rejected() {
+        Topology::fat_tree(3, Rate::from_gbps(100), Time::from_us(1));
+    }
+}

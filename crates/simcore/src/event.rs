@@ -1,0 +1,238 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper around a binary heap keyed on `(time, sequence)`: events
+//! scheduled for the same instant pop in insertion order, which makes whole
+//! simulations reproducible bit-for-bit across runs regardless of heap
+//! internals. Events support O(log n) lazy cancellation via [`ScheduledId`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScheduledId(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want earliest (then lowest
+        // sequence number) first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: Time,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far (for progress reporting).
+    #[inline]
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time: simulated causality
+    /// must never run backwards.
+    pub fn schedule(&mut self, at: Time, event: E) -> ScheduledId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        ScheduledId(seq)
+    }
+
+    /// Schedule `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Time, event: E) -> ScheduledId {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: ScheduledId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(3), "c");
+        q.schedule(Time::from_us(1), "a");
+        q.schedule(Time::from_us(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(10), ());
+        q.schedule(Time::from_us(10), ());
+        q.schedule(Time::from_us(20), ());
+        let mut last = Time::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, Time::from_us(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(10), ());
+        q.pop();
+        q.schedule(Time::from_us(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_us(1), "a");
+        q.schedule(Time::from_us(2), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_us(1), "a");
+        assert!(q.pop().is_some());
+        q.cancel(a);
+        q.schedule(Time::from_us(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(10), 0);
+        q.pop();
+        q.schedule_in(Time::from_us(5), 1);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(Time::from_us(15)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_us(1), "a");
+        q.schedule(Time::from_us(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_us(2)));
+    }
+}

@@ -1,0 +1,296 @@
+//! Summary statistics for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// Accumulates scalar samples and reports mean/percentiles.
+///
+/// Percentiles use the nearest-rank method on the sorted samples, matching
+/// how datacenter transport papers report p99/p999 FCT slowdowns.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample {v}");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// p99.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// Consume and return the raw samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Empirical CDF as `(value, cumulative_fraction)` points.
+    pub fn cdf_points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n / max_points.max(1)).max(1);
+        let mut pts = Vec::new();
+        let mut i = step - 1;
+        while i < n {
+            pts.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if pts.last().map(|&(_, f)| f) != Some(1.0) {
+            pts.push((self.samples[n - 1], 1.0));
+        }
+        pts
+    }
+}
+
+/// A time series sampled at fixed intervals, used by rate/delay-over-time
+/// figures (Fig 3, 8, 9, 10).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample timestamps in microseconds.
+    pub t_us: Vec<f64>,
+    /// Sample values (unit depends on the series).
+    pub v: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, t: Time, v: f64) {
+        self.t_us.push(t.as_us_f64());
+        self.v.push(v);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when no points recorded.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Mean of values within a time window `[from, to)` (in µs).
+    pub fn window_mean(&self, from_us: f64, to_us: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.t_us.iter().zip(&self.v) {
+            if *t >= from_us && *t < to_us {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum value within a time window `[from, to)` (in µs).
+    pub fn window_max(&self, from_us: f64, to_us: f64) -> Option<f64> {
+        self.t_us
+            .iter()
+            .zip(&self.v)
+            .filter(|(t, _)| **t >= from_us && **t < to_us)
+            .map(|(_, v)| *v)
+            .reduce(f64::max)
+    }
+}
+
+/// Counts bytes observed over time to derive achieved throughput, bucketed
+/// into fixed-width intervals.
+#[derive(Clone, Debug)]
+pub struct ThroughputMeter {
+    bucket: Time,
+    bytes: Vec<u64>,
+}
+
+impl ThroughputMeter {
+    /// New meter with the given bucket width.
+    pub fn new(bucket: Time) -> Self {
+        assert!(bucket > Time::ZERO);
+        ThroughputMeter {
+            bucket,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` delivered at time `at`.
+    pub fn record(&mut self, at: Time, bytes: u64) {
+        let idx = (at.as_ps() / self.bucket.as_ps()) as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.bytes[idx] += bytes;
+    }
+
+    /// Produce a throughput time series in Gbit/s, one point per bucket
+    /// (timestamped at the bucket midpoint).
+    pub fn series_gbps(&self) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        let bucket_s = self.bucket.as_secs_f64();
+        for (i, &b) in self.bytes.iter().enumerate() {
+            let mid = Time::from_ps(self.bucket.as_ps() * i as u64 + self.bucket.as_ps() / 2);
+            s.push(mid, b as f64 * 8.0 / bucket_s / 1e9);
+        }
+        s
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut s = Summary::new();
+        for i in 1..=100 {
+            s.add(i as f64);
+        }
+        assert_eq!(s.mean(), Some(50.5));
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.p99(), Some(99.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(1.0), Some(1.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let mut s = Summary::new();
+        assert!(s.mean().is_none());
+        assert!(s.percentile(99.0).is_none());
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = Summary::new();
+        s.add(7.0);
+        assert_eq!(s.percentile(0.0), Some(7.0));
+        assert_eq!(s.percentile(99.9), Some(7.0));
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let mut s = Summary::new();
+        for i in 0..1000 {
+            s.add((i % 37) as f64);
+        }
+        let pts = s.cdf_points(50);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn throughput_meter_buckets() {
+        let mut m = ThroughputMeter::new(Time::from_us(10));
+        // 12.5 KB in first 10us bucket = 10 Gbps.
+        m.record(Time::from_us(1), 6_250);
+        m.record(Time::from_us(9), 6_250);
+        m.record(Time::from_us(15), 12_500);
+        let s = m.series_gbps();
+        assert_eq!(s.len(), 2);
+        assert!((s.v[0] - 10.0).abs() < 1e-9);
+        assert!((s.v[1] - 10.0).abs() < 1e-9);
+        assert_eq!(m.total_bytes(), 25_000);
+    }
+
+    #[test]
+    fn window_stats() {
+        let mut ts = TimeSeries::new();
+        ts.push(Time::from_us(1), 1.0);
+        ts.push(Time::from_us(2), 3.0);
+        ts.push(Time::from_us(10), 100.0);
+        assert_eq!(ts.window_mean(0.0, 5.0), Some(2.0));
+        assert_eq!(ts.window_max(0.0, 20.0), Some(100.0));
+        assert_eq!(ts.window_mean(20.0, 30.0), None);
+    }
+}

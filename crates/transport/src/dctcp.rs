@@ -1,0 +1,331 @@
+//! DCTCP (Alizadeh et al., SIGCOMM '10) and its deadline-aware extension
+//! D2TCP (Vamanan et al., SIGCOMM '12) — the ECN-based baseline §3.1 uses
+//! to show that single-bit congestion signals cannot provide strict
+//! virtual priority.
+//!
+//! DCTCP maintains an EWMA `alpha` of the fraction of ECN-marked bytes per
+//! RTT and cuts the window by `alpha/2` once per RTT when marks occur.
+//! D2TCP exponentiates: the cut becomes `p/2` with `p = alpha^d`, where the
+//! urgency `d` grows as the deadline approaches (`d` clamped to
+//! `[0.5, 2]`): far-deadline flows back off more, near-deadline flows less.
+
+use netsim::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};
+use simcore::event::ScheduledId;
+use simcore::Time;
+
+use crate::sender::{SenderBase, RTO_TOKEN};
+
+/// Configuration for a DCTCP/D2TCP flow.
+#[derive(Clone, Copy, Debug)]
+pub struct D2tcpConfig {
+    /// EWMA gain `g` for the marked fraction.
+    pub g: f64,
+    /// Additive increase per RTT, bytes (one MTU in the papers).
+    pub ai: f64,
+    /// Initial window, bytes.
+    pub init_cwnd: f64,
+    /// Minimum window, bytes.
+    pub min_cwnd: f64,
+    /// Maximum window, bytes.
+    pub max_cwnd: f64,
+    /// Absolute deadline; `None` runs plain DCTCP (urgency fixed at 1).
+    pub deadline: Option<Time>,
+    /// MTU bytes.
+    pub mtu: u32,
+}
+
+impl D2tcpConfig {
+    /// Defaults per the papers, deadline unset (plain DCTCP).
+    pub fn dctcp(mtu: u32, init_cwnd: f64) -> Self {
+        D2tcpConfig {
+            g: 1.0 / 16.0,
+            ai: mtu as f64,
+            init_cwnd,
+            min_cwnd: mtu as f64,
+            max_cwnd: 10_000_000.0,
+            deadline: None,
+            mtu,
+        }
+    }
+
+    /// D2TCP with the given absolute deadline.
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// DCTCP/D2TCP transport.
+pub struct DctcpTransport {
+    base: SenderBase,
+    cfg: D2tcpConfig,
+    cwnd: f64,
+    alpha: f64,
+    /// Per-window mark accounting.
+    acked_bytes_win: u64,
+    marked_bytes_win: u64,
+    win_end_seq: u64,
+    slow_start: bool,
+    rto_timer: Option<ScheduledId>,
+}
+
+impl DctcpTransport {
+    /// New transport.
+    pub fn new(params: FlowParams, cfg: D2tcpConfig) -> Self {
+        DctcpTransport {
+            base: SenderBase::new(params),
+            cwnd: cfg.init_cwnd.clamp(cfg.min_cwnd, cfg.max_cwnd),
+            alpha: 0.0,
+            acked_bytes_win: 0,
+            marked_bytes_win: 0,
+            win_end_seq: 0,
+            slow_start: true,
+            rto_timer: None,
+            cfg,
+        }
+    }
+
+    /// Current `alpha` estimate (diagnostics).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Deadline urgency `d` (D2TCP §3): `d = Tc / D` clamped to `[0.5, 2]`,
+    /// where `Tc` is the projected completion time at the current rate and
+    /// `D` the time to the deadline. Plain DCTCP returns 1.
+    pub fn urgency(&self, now: Time) -> f64 {
+        let Some(deadline) = self.cfg.deadline else {
+            return 1.0;
+        };
+        if deadline <= now {
+            return 2.0;
+        }
+        let remaining_bytes = (self.base.params.size - self.base.acked) as f64;
+        let rate = self.cwnd / self.base.srtt.as_secs_f64().max(1e-9);
+        let tc = remaining_bytes / rate.max(1.0);
+        let d_secs = (deadline - now).as_secs_f64();
+        (tc / d_secs).clamp(0.5, 2.0)
+    }
+
+    fn arm_rto(&mut self, ctx: &mut TransportCtx<'_>) {
+        if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        let at = ctx.now + self.base.rto();
+        self.rto_timer = Some(ctx.schedule_timer(at, RTO_TOKEN));
+    }
+
+    fn end_of_window(&mut self, now: Time) {
+        let f = if self.acked_bytes_win == 0 {
+            0.0
+        } else {
+            self.marked_bytes_win as f64 / self.acked_bytes_win as f64
+        };
+        self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g * f;
+        if self.marked_bytes_win > 0 {
+            self.slow_start = false;
+            let d = self.urgency(now);
+            let p = self.alpha.powf(d);
+            self.cwnd *= 1.0 - p / 2.0;
+        } else if self.slow_start {
+            self.cwnd *= 2.0;
+        } else {
+            self.cwnd += self.cfg.ai;
+        }
+        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+        self.acked_bytes_win = 0;
+        self.marked_bytes_win = 0;
+        self.win_end_seq = self.base.snd_nxt;
+    }
+}
+
+impl Transport for DctcpTransport {
+    fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut TransportCtx<'_>) {
+        if ack.kind != AckKind::Data {
+            return;
+        }
+        let newly = self.base.on_ack(ack, ctx.now);
+        self.acked_bytes_win += newly.max(ack.acked_bytes) as u64;
+        if ack.ecn_echo {
+            self.marked_bytes_win += newly.max(ack.acked_bytes) as u64;
+        }
+        if ack.acked_seq >= self.win_end_seq {
+            self.end_of_window(ctx.now);
+        }
+        ctx.trace_delay(ack.delay);
+        ctx.trace_cwnd(self.cwnd);
+        if !self.base.finished() {
+            self.arm_rto(ctx);
+        } else if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut TransportCtx<'_>) {
+        if token != RTO_TOKEN || self.base.finished() {
+            return;
+        }
+        if ctx.now.saturating_sub(self.base.last_ack) >= self.base.rto()
+            && !self.base.outstanding.is_empty()
+        {
+            self.base.rto_recover();
+            self.cwnd = self.cfg.min_cwnd;
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn try_send(&mut self, now: Time) -> TrySend {
+        self.base.try_send(self.cwnd, now)
+    }
+
+    fn on_sent(&mut self, sent: TrySend, ctx: &mut TransportCtx<'_>) {
+        self.base.on_sent(sent, self.cwnd, ctx.now);
+    }
+
+    fn is_finished(&self) -> bool {
+        self.base.finished()
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn retransmits(&self) -> u64 {
+        self.base.retransmits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Rate;
+
+    fn params(size: u64) -> FlowParams {
+        FlowParams {
+            flow: 0,
+            size,
+            line_rate: Rate::from_gbps(100),
+            base_rtt: Time::from_us(12),
+            base_rtt_probe: Time::from_us(11),
+            mtu: 1000,
+            virt_prio: 0,
+            seed: 1,
+        }
+    }
+
+    fn ack(seq: u64, ecn: bool) -> AckEvent {
+        AckEvent {
+            kind: AckKind::Data,
+            delay: Time::from_us(14),
+            cum_bytes: seq + 1000,
+            acked_seq: seq,
+            acked_bytes: 1000,
+            ecn_echo: ecn,
+            nack: None,
+            int: None,
+        }
+    }
+
+    #[test]
+    fn alpha_converges_to_mark_fraction() {
+        let mut t = DctcpTransport::new(params(100_000_000), D2tcpConfig::dctcp(1000, 10_000.0));
+        // Feed 200 windows of fully-marked ACK streams: alpha -> 1.
+        let mut seq = 0u64;
+        for _ in 0..200 {
+            t.base.snd_nxt = seq + 10_000;
+            for i in 0..10 {
+                t.base.outstanding.insert(seq + i * 1000);
+                t.base.on_ack(&ack(seq + i * 1000, true), Time::ZERO);
+                t.acked_bytes_win += 1000;
+                t.marked_bytes_win += 1000;
+            }
+            t.end_of_window(Time::from_us(1));
+            seq += 10_000;
+        }
+        assert!(t.alpha() > 0.95, "alpha {}", t.alpha());
+    }
+
+    #[test]
+    fn unmarked_windows_grow_marked_windows_shrink() {
+        let mut t = DctcpTransport::new(params(100_000_000), D2tcpConfig::dctcp(1000, 10_000.0));
+        t.slow_start = false;
+        t.acked_bytes_win = 10_000;
+        t.marked_bytes_win = 0;
+        t.end_of_window(Time::from_us(1));
+        assert_eq!(t.cwnd_bytes(), 11_000.0);
+        // Now a fully marked window.
+        t.alpha = 1.0;
+        t.acked_bytes_win = 10_000;
+        t.marked_bytes_win = 10_000;
+        let w = t.cwnd_bytes();
+        t.end_of_window(Time::from_us(2));
+        assert!(t.cwnd_bytes() < w * 0.6, "cut should approach 1/2");
+    }
+
+    #[test]
+    fn urgency_rises_as_deadline_nears() {
+        let cfg = D2tcpConfig::dctcp(1000, 10_000.0).with_deadline(Time::from_ms(1));
+        let t = DctcpTransport::new(params(100_000), cfg);
+        let far = t.urgency(Time::from_us(10));
+        let near = t.urgency(Time::from_us(990));
+        assert!(near > far, "near {near} far {far}");
+        assert!(near <= 2.0 && far >= 0.5);
+    }
+
+    #[test]
+    fn past_deadline_is_maximum_urgency() {
+        let cfg = D2tcpConfig::dctcp(1000, 10_000.0).with_deadline(Time::from_us(10));
+        let t = DctcpTransport::new(params(10_000_000), cfg);
+        assert_eq!(t.urgency(Time::from_us(20)), 2.0);
+    }
+
+    #[test]
+    fn plain_dctcp_urgency_is_one() {
+        let t = DctcpTransport::new(params(1_000), D2tcpConfig::dctcp(1000, 10_000.0));
+        assert_eq!(t.urgency(Time::from_ms(5)), 1.0);
+    }
+
+    #[test]
+    fn d2tcp_urgent_flow_cuts_less() {
+        // Same alpha, different urgency: near-deadline flow keeps more window.
+        let mk = |deadline_us: u64| {
+            let cfg = D2tcpConfig::dctcp(1000, 100_000.0).with_deadline(Time::from_us(deadline_us));
+            let mut t = DctcpTransport::new(params(1_000_000), cfg);
+            t.slow_start = false;
+            t.alpha = 0.5;
+            t.acked_bytes_win = 10_000;
+            t.marked_bytes_win = 10_000;
+            t.end_of_window(Time::from_us(1));
+            t.cwnd_bytes()
+        };
+        let urgent = mk(15); // nearly due
+        let relaxed = mk(1_000_000); // far in the future
+        assert!(
+            urgent > relaxed,
+            "urgent flow must decelerate less: {urgent} vs {relaxed}"
+        );
+    }
+
+    #[test]
+    fn slow_start_doubles_until_first_mark() {
+        let mut t = DctcpTransport::new(params(100_000_000), D2tcpConfig::dctcp(1000, 2_000.0));
+        t.acked_bytes_win = 2_000;
+        t.end_of_window(Time::from_us(1));
+        assert_eq!(t.cwnd_bytes(), 4_000.0);
+        t.acked_bytes_win = 4_000;
+        t.marked_bytes_win = 4_000;
+        t.end_of_window(Time::from_us(2));
+        assert!(!t.slow_start);
+        t.acked_bytes_win = 4_000;
+        t.end_of_window(Time::from_us(3));
+        // After the mark, growth is additive.
+        let w = t.cwnd_bytes();
+        t.acked_bytes_win = 4_000;
+        t.end_of_window(Time::from_us(4));
+        assert!((t.cwnd_bytes() - w - 1000.0).abs() < 1e-6);
+    }
+}

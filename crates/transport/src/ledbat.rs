@@ -1,0 +1,173 @@
+//! LEDBAT-style delay-based congestion control (Rossi et al., ICCCN '10 /
+//! RFC 6817), adapted to the datacenter setting as the paper's second
+//! integration target for PrioPlus (§4.1, §6.2).
+//!
+//! LEDBAT steers the *queuing* delay toward a fixed target with a
+//! proportional controller: `cwnd += GAIN * off_target * bytes_acked /
+//! cwnd`, where `off_target = (TARGET - queuing) / TARGET`. Unlike Swift,
+//! the decrease is proportional rather than multiplicative, which makes it
+//! a useful second data point for PrioPlus integration.
+
+use prioplus::DelayCc;
+use simcore::Time;
+
+/// LEDBAT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LedbatConfig {
+    /// Base (no-queue) RTT used to convert delay to queuing delay.
+    pub base_rtt: Time,
+    /// Queuing-delay target.
+    pub target_queuing: Time,
+    /// Controller gain.
+    pub gain: f64,
+    /// Additive "allowed increase" cap per RTT, bytes.
+    pub ai: f64,
+    /// Minimum window, bytes.
+    pub min_cwnd: f64,
+    /// Maximum window, bytes.
+    pub max_cwnd: f64,
+    /// Initial window, bytes.
+    pub init_cwnd: f64,
+    /// MTU in bytes.
+    pub mtu: u32,
+}
+
+impl LedbatConfig {
+    /// Datacenter defaults mirroring the Swift environment.
+    pub fn datacenter(base_rtt: Time, target_queuing: Time, mtu: u32) -> Self {
+        let min_cwnd = (100e6 / 8.0 * base_rtt.as_secs_f64()).max(64.0);
+        LedbatConfig {
+            base_rtt,
+            target_queuing,
+            gain: 1.0,
+            ai: mtu as f64,
+            min_cwnd,
+            max_cwnd: 10_000_000.0,
+            init_cwnd: 0.0,
+            mtu,
+        }
+    }
+}
+
+/// LEDBAT window state; implements [`DelayCc`] for PrioPlus integration.
+#[derive(Clone, Debug)]
+pub struct LedbatCc {
+    cfg: LedbatConfig,
+    cwnd: f64,
+    ai: f64,
+}
+
+impl LedbatCc {
+    /// New controller.
+    pub fn new(cfg: LedbatConfig) -> Self {
+        assert!(cfg.init_cwnd > 0.0, "init_cwnd must be set");
+        LedbatCc {
+            cwnd: cfg.init_cwnd.clamp(cfg.min_cwnd, cfg.max_cwnd),
+            ai: cfg.ai,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LedbatConfig {
+        &self.cfg
+    }
+}
+
+impl DelayCc for LedbatCc {
+    fn on_ack(&mut self, delay: Time, acked_bytes: u32, _now: Time) {
+        let queuing = delay.saturating_sub(self.cfg.base_rtt);
+        let target = self.cfg.target_queuing.as_ps() as f64;
+        let off = (target - queuing.as_ps() as f64) / target;
+        // Proportional controller; positive off grows, negative shrinks.
+        // The per-ACK step is capped at the allowed increase (ai per RTT).
+        let step =
+            self.cfg.gain * off * self.ai * acked_bytes as f64 / self.cwnd.max(self.cfg.mtu as f64);
+        let max_step = self.ai * acked_bytes as f64 / self.cwnd.max(self.cfg.mtu as f64);
+        self.cwnd += step.clamp(-8.0 * max_step, max_step);
+        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn set_cwnd(&mut self, bytes: f64) {
+        self.cwnd = bytes.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+
+    fn ai(&self) -> f64 {
+        self.ai
+    }
+
+    fn set_ai(&mut self, bytes_per_rtt: f64) {
+        self.ai = bytes_per_rtt.max(0.0);
+    }
+
+    fn ai_origin(&self) -> f64 {
+        self.cfg.ai
+    }
+
+    fn target_delay(&self) -> Time {
+        self.cfg.base_rtt + self.cfg.target_queuing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc() -> LedbatCc {
+        let mut cfg = LedbatConfig::datacenter(Time::from_us(12), Time::from_us(4), 1000);
+        cfg.init_cwnd = 50_000.0;
+        LedbatCc::new(cfg)
+    }
+
+    #[test]
+    fn grows_below_target() {
+        let mut c = cc();
+        let w0 = c.cwnd();
+        c.on_ack(Time::from_us(12), 1000, Time::ZERO); // zero queuing
+        assert!(c.cwnd() > w0);
+    }
+
+    #[test]
+    fn shrinks_above_target() {
+        let mut c = cc();
+        let w0 = c.cwnd();
+        c.on_ack(Time::from_us(30), 1000, Time::ZERO); // 18us queuing >> 4us
+        assert!(c.cwnd() < w0);
+    }
+
+    #[test]
+    fn neutral_at_target() {
+        let mut c = cc();
+        let w0 = c.cwnd();
+        c.on_ack(Time::from_us(16), 1000, Time::ZERO); // queuing == target
+        assert!((c.cwnd() - w0).abs() < 1.0);
+    }
+
+    #[test]
+    fn proportional_response_scales_with_offset() {
+        let mut a = cc();
+        let mut b = cc();
+        a.on_ack(Time::from_us(14), 1000, Time::ZERO); // off = +0.5
+        b.on_ack(Time::from_us(12), 1000, Time::ZERO); // off = +1.0
+        let ga = a.cwnd() - 50_000.0;
+        let gb = b.cwnd() - 50_000.0;
+        assert!((gb / ga - 2.0).abs() < 0.05, "ratio {}", gb / ga);
+    }
+
+    #[test]
+    fn window_stays_in_bounds() {
+        let mut c = cc();
+        for _ in 0..10_000 {
+            c.on_ack(Time::from_ms(1), 1000, Time::ZERO);
+        }
+        assert!(c.cwnd() >= c.config().min_cwnd);
+        for _ in 0..1_000_000 {
+            c.on_ack(Time::from_us(12), 1000, Time::ZERO);
+        }
+        assert!(c.cwnd() <= c.config().max_cwnd);
+    }
+}

@@ -1,0 +1,40 @@
+//! Congestion-control transports for the PrioPlus reproduction.
+//!
+//! Every transport implements [`netsim::Transport`] on top of a shared
+//! sender base ([`sender::SenderBase`]: sequencing, windows, pacing, RTO,
+//! selective retransmission). The delay-based CCs (Swift, LEDBAT) also
+//! implement [`prioplus::DelayCc`], which lets [`PrioPlusTransport`] wrap
+//! them with the PrioPlus virtual-priority enhancement — the Rust analogue
+//! of the paper's 79-line DPDK integration.
+//!
+//! Provided algorithms:
+//!
+//! | Type | Paper role |
+//! |---|---|
+//! | [`SwiftCc`] / plain transport | state-of-the-art delay CC, main baseline |
+//! | [`PrioPlusTransport`]`<SwiftCc>` | **PrioPlus+Swift**, the paper's system |
+//! | [`LedbatCc`] | second delay CC PrioPlus integrates with (§6.2) |
+//! | [`DctcpTransport`] (with deadline) | D2TCP motivation baseline (§3.1) |
+//! | [`HpccTransport`] | INT-based CC comparison (Fig 16, 18) |
+//! | [`BlastTransport`] | "Physical* w/o CC" blind line-rate sender |
+
+#![warn(missing_docs)]
+
+pub mod dctcp;
+pub mod factory;
+pub mod hpcc;
+pub mod ledbat;
+pub mod nocc;
+pub mod plain;
+pub mod pp_transport;
+pub mod sender;
+pub mod swift;
+
+pub use dctcp::{D2tcpConfig, DctcpTransport};
+pub use factory::{CcSpec, PrioPlusPolicy};
+pub use hpcc::{HpccConfig, HpccTransport};
+pub use ledbat::{LedbatCc, LedbatConfig};
+pub use nocc::BlastTransport;
+pub use plain::CcTransport;
+pub use pp_transport::PrioPlusTransport;
+pub use swift::{SwiftCc, SwiftConfig};

@@ -1,0 +1,88 @@
+//! The "no congestion control" sender: blind line-rate injection, used for
+//! the paper's "Physical* w/o CC" baseline (Fig 11, 14, 18). The window is
+//! effectively unbounded, so the NIC drains at line rate and the network's
+//! own mechanisms (PFC or drops) are the only backpressure.
+
+use netsim::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};
+use simcore::event::ScheduledId;
+use simcore::Time;
+
+use crate::sender::{SenderBase, RTO_TOKEN};
+
+/// Blind line-rate transport.
+pub struct BlastTransport {
+    base: SenderBase,
+    rto_timer: Option<ScheduledId>,
+}
+
+/// Effectively-infinite window (bounded to keep arithmetic sane).
+const BLAST_WINDOW: f64 = 1e15;
+
+impl BlastTransport {
+    /// New transport.
+    pub fn new(params: FlowParams) -> Self {
+        BlastTransport {
+            base: SenderBase::new(params),
+            rto_timer: None,
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut TransportCtx<'_>) {
+        if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        let at = ctx.now + self.base.rto();
+        self.rto_timer = Some(ctx.schedule_timer(at, RTO_TOKEN));
+    }
+}
+
+impl Transport for BlastTransport {
+    fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut TransportCtx<'_>) {
+        if ack.kind != AckKind::Data {
+            return;
+        }
+        self.base.on_ack(ack, ctx.now);
+        ctx.trace_delay(ack.delay);
+        if !self.base.finished() {
+            self.arm_rto(ctx);
+        } else if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut TransportCtx<'_>) {
+        if token != RTO_TOKEN || self.base.finished() {
+            return;
+        }
+        if ctx.now.saturating_sub(self.base.last_ack) >= self.base.rto()
+            && !self.base.outstanding.is_empty()
+        {
+            self.base.rto_recover();
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn try_send(&mut self, now: Time) -> TrySend {
+        self.base.try_send(BLAST_WINDOW, now)
+    }
+
+    fn on_sent(&mut self, sent: TrySend, ctx: &mut TransportCtx<'_>) {
+        self.base.on_sent(sent, BLAST_WINDOW, ctx.now);
+    }
+
+    fn is_finished(&self) -> bool {
+        self.base.finished()
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        BLAST_WINDOW
+    }
+
+    fn retransmits(&self) -> u64 {
+        self.base.retransmits
+    }
+}

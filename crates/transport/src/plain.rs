@@ -1,0 +1,99 @@
+//! A plain (non-PrioPlus) transport around any [`DelayCc`]: what "Swift
+//! with physical priority" runs in the paper's comparisons.
+
+use netsim::{AckEvent, AckKind, Transport, TransportCtx, TrySend};
+use prioplus::DelayCc;
+use simcore::event::ScheduledId;
+use simcore::Time;
+
+use crate::sender::{SenderBase, RTO_TOKEN};
+
+/// Window-based transport delegating congestion control to a [`DelayCc`].
+pub struct CcTransport<C: DelayCc> {
+    base: SenderBase,
+    cc: C,
+    rto_timer: Option<ScheduledId>,
+}
+
+impl<C: DelayCc> CcTransport<C> {
+    /// New transport for the flow described by `base`'s parameters.
+    pub fn new(base: SenderBase, cc: C) -> Self {
+        CcTransport {
+            base,
+            cc,
+            rto_timer: None,
+        }
+    }
+
+    /// Borrow the CC (diagnostics).
+    pub fn cc(&self) -> &C {
+        &self.cc
+    }
+
+    /// Borrow the sender base (diagnostics).
+    pub fn base(&self) -> &SenderBase {
+        &self.base
+    }
+
+    fn arm_rto(&mut self, ctx: &mut TransportCtx<'_>) {
+        if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        let at = ctx.now + self.base.rto();
+        self.rto_timer = Some(ctx.schedule_timer(at, RTO_TOKEN));
+    }
+}
+
+impl<C: DelayCc> Transport for CcTransport<C> {
+    fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut TransportCtx<'_>) {
+        if ack.kind != AckKind::Data {
+            return;
+        }
+        let newly = self.base.on_ack(ack, ctx.now);
+        self.cc
+            .on_ack(ack.delay, newly.max(ack.acked_bytes), ctx.now);
+        ctx.trace_delay(ack.delay);
+        ctx.trace_cwnd(self.cc.cwnd());
+        if !self.base.finished() {
+            self.arm_rto(ctx);
+        } else if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut TransportCtx<'_>) {
+        if token != RTO_TOKEN || self.base.finished() {
+            return;
+        }
+        if ctx.now.saturating_sub(self.base.last_ack) >= self.base.rto()
+            && !self.base.outstanding.is_empty()
+        {
+            self.base.rto_recover();
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn try_send(&mut self, now: Time) -> TrySend {
+        self.base.try_send(self.cc.cwnd(), now)
+    }
+
+    fn on_sent(&mut self, sent: TrySend, ctx: &mut TransportCtx<'_>) {
+        self.base.on_sent(sent, self.cc.cwnd(), ctx.now);
+    }
+
+    fn is_finished(&self) -> bool {
+        self.base.finished()
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        self.cc.cwnd()
+    }
+
+    fn retransmits(&self) -> u64 {
+        self.base.retransmits
+    }
+}

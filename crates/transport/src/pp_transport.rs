@@ -1,0 +1,208 @@
+//! The PrioPlus-enhanced transport: binds the [`prioplus`] state machine to
+//! the simulator's transport interface — probing timers, suspension, and
+//! delegation to the wrapped delay CC. This is the counterpart of the
+//! paper's 79-line DPDK integration.
+
+use netsim::{AckEvent, AckKind, Transport, TransportCtx, TrySend};
+use prioplus::{Action, DelayCc, PrioPlus, PrioPlusConfig};
+use simcore::event::ScheduledId;
+use simcore::Time;
+
+use crate::sender::{SenderBase, RTO_TOKEN};
+
+/// Timer token for a scheduled probe transmission.
+pub const PROBE_TOKEN: u64 = 0x9205E;
+/// Timer token for probe-loss recovery ("probe losses are recovered through
+/// the original CC's RTO", §4.2.1).
+pub const PROBE_RTO_TOKEN: u64 = 0x9205F;
+
+/// A transport enhanced with PrioPlus virtual priority.
+pub struct PrioPlusTransport<C: DelayCc> {
+    base: SenderBase,
+    pp: PrioPlus<C>,
+    /// A probe should be handed to the NIC at the next pull.
+    probe_armed: bool,
+    probe_timer: Option<ScheduledId>,
+    probe_rto_timer: Option<ScheduledId>,
+    rto_timer: Option<ScheduledId>,
+    /// Delay observed in the most recent measurement (for probe-RTO
+    /// rescheduling).
+    last_delay: Time,
+}
+
+impl<C: DelayCc> PrioPlusTransport<C> {
+    /// Wrap `cc` with PrioPlus using `cfg`.
+    pub fn new(base: SenderBase, cfg: PrioPlusConfig, cc: C) -> Self {
+        let last_delay = cfg.base_rtt;
+        PrioPlusTransport {
+            base,
+            pp: PrioPlus::new(cfg, cc),
+            probe_armed: false,
+            probe_timer: None,
+            probe_rto_timer: None,
+            rto_timer: None,
+            last_delay,
+        }
+    }
+
+    /// Borrow the PrioPlus state machine (diagnostics).
+    pub fn prioplus(&self) -> &PrioPlus<C> {
+        &self.pp
+    }
+
+    /// Borrow the sender base (diagnostics).
+    pub fn base(&self) -> &SenderBase {
+        &self.base
+    }
+
+    fn arm_rto(&mut self, ctx: &mut TransportCtx<'_>) {
+        if let Some(id) = self.rto_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        let at = ctx.now + self.base.rto();
+        self.rto_timer = Some(ctx.schedule_timer(at, RTO_TOKEN));
+    }
+
+    fn schedule_probe(&mut self, delay_from_now: Time, ctx: &mut TransportCtx<'_>) {
+        if let Some(id) = self.probe_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        if delay_from_now == Time::ZERO {
+            self.probe_armed = true;
+        } else {
+            self.probe_timer = Some(ctx.schedule_timer(ctx.now + delay_from_now, PROBE_TOKEN));
+        }
+    }
+
+    fn handle_action(&mut self, action: Action, ctx: &mut TransportCtx<'_>) {
+        match action {
+            Action::Continue => {}
+            Action::StopAndProbe { probe_in } | Action::ProbeAgain { probe_in } => {
+                self.schedule_probe(probe_in, ctx);
+            }
+            Action::Resume => {
+                // RTT-round tracking restarts; the host will poke us.
+                self.arm_rto(ctx);
+            }
+        }
+    }
+}
+
+impl<C: DelayCc> Transport for PrioPlusTransport<C> {
+    fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
+        let action = self.pp.on_flow_start();
+        self.handle_action(action, ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut TransportCtx<'_>) {
+        self.last_delay = ack.delay;
+        ctx.trace_delay(ack.delay);
+        match ack.kind {
+            AckKind::Data => {
+                let newly = self.base.on_ack(ack, ctx.now);
+                let action = self.pp.on_data_ack(
+                    ack.delay,
+                    ack.acked_seq,
+                    self.base.snd_nxt,
+                    newly.max(ack.acked_bytes),
+                    ctx.now,
+                );
+                self.handle_action(action, ctx);
+                if !self.base.finished() {
+                    self.arm_rto(ctx);
+                } else if let Some(id) = self.rto_timer.take() {
+                    ctx.cancel_timer(id);
+                }
+            }
+            AckKind::Probe => {
+                self.base.last_ack = ctx.now;
+                if let Some(id) = self.probe_rto_timer.take() {
+                    ctx.cancel_timer(id);
+                }
+                let action = self.pp.on_probe_ack(ack.delay, self.base.snd_nxt);
+                self.handle_action(action, ctx);
+            }
+        }
+        ctx.trace_cwnd(self.pp.cwnd());
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut TransportCtx<'_>) {
+        match token {
+            PROBE_TOKEN => {
+                self.probe_timer = None;
+                if self.pp.suspended() {
+                    self.probe_armed = true;
+                }
+            }
+            PROBE_RTO_TOKEN => {
+                self.probe_rto_timer = None;
+                if self.pp.suspended() && !self.probe_armed && self.probe_timer.is_none() {
+                    // Probe (or its echo) lost: retry immediately.
+                    self.probe_armed = true;
+                }
+            }
+            RTO_TOKEN => {
+                if self.base.finished() {
+                    return;
+                }
+                if !self.pp.suspended()
+                    && ctx.now.saturating_sub(self.base.last_ack) >= self.base.rto()
+                    && !self.base.outstanding.is_empty()
+                {
+                    self.base.rto_recover();
+                }
+                self.arm_rto(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn try_send(&mut self, now: Time) -> TrySend {
+        if self.probe_armed {
+            return TrySend::Probe;
+        }
+        if self.pp.suspended() {
+            if self.base.finished() {
+                return TrySend::Finished;
+            }
+            return TrySend::Blocked;
+        }
+        self.base.try_send(self.pp.cwnd(), now)
+    }
+
+    fn on_sent(&mut self, sent: TrySend, ctx: &mut TransportCtx<'_>) {
+        match sent {
+            TrySend::Probe => {
+                self.probe_armed = false;
+                // Probe-loss recovery: if the echo does not come back within
+                // a deadline scaled to the worst observed queueing, retry
+                // ("probe losses are recovered through the original CC's
+                // RTO", §4.2.1).
+                if let Some(id) = self.probe_rto_timer.take() {
+                    ctx.cancel_timer(id);
+                }
+                let deadline =
+                    self.last_delay.mul_f64(3.0) + self.pp.config().base_rtt.mul_f64(8.0);
+                self.probe_rto_timer =
+                    Some(ctx.schedule_timer(ctx.now + deadline, PROBE_RTO_TOKEN));
+            }
+            data @ TrySend::Data { .. } => {
+                self.base.on_sent(data, self.pp.cwnd(), ctx.now);
+            }
+            _ => {}
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.base.finished()
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        self.pp.cwnd()
+    }
+
+    fn retransmits(&self) -> u64 {
+        self.base.retransmits
+    }
+}

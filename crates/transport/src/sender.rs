@@ -1,0 +1,373 @@
+//! Shared sender-side mechanics: sequencing, window gating, sub-MTU pacing,
+//! RTO, and selective (IRN-style) retransmission.
+//!
+//! Every transport in this crate delegates the data-plane bookkeeping to
+//! [`SenderBase`] and contributes only its congestion-window policy.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use netsim::{AckEvent, FlowParams, TrySend};
+use simcore::Time;
+
+/// Timer token used by [`SenderBase`]-driven retransmission timeouts.
+pub const RTO_TOKEN: u64 = 0x5210;
+
+/// Sender-side data-plane state shared by all window-based transports.
+#[derive(Debug)]
+pub struct SenderBase {
+    /// Static flow parameters.
+    pub params: FlowParams,
+    /// Next new payload byte to send.
+    pub snd_nxt: u64,
+    /// Distinct payload bytes acknowledged.
+    pub acked: u64,
+    /// Bytes currently in flight.
+    pub inflight: u64,
+    /// Sequences of sent-but-unacknowledged packets.
+    pub outstanding: BTreeSet<u64>,
+    /// Packets queued for retransmission `(seq, len)`.
+    pub rtx_queue: VecDeque<(u64, u32)>,
+    /// Sequences already queued for retransmission (dedup).
+    rtx_pending: BTreeSet<u64>,
+    /// Total retransmitted packets.
+    pub retransmits: u64,
+    /// Smoothed RTT (initialized to base RTT).
+    pub srtt: Time,
+    /// Time of the last received ACK.
+    pub last_ack: Time,
+    /// Earliest time the next packet may leave (sub-MTU-window pacing).
+    pub pace_next: Time,
+    /// Consecutive RTO firings without an intervening ACK (exponential
+    /// backoff; a starved low-priority flow must not spray go-back-N
+    /// retransmissions while it is simply being preempted).
+    pub rto_backoff: u32,
+}
+
+impl SenderBase {
+    /// Fresh sender state for a flow.
+    pub fn new(params: FlowParams) -> Self {
+        let srtt = params.base_rtt;
+        SenderBase {
+            params,
+            snd_nxt: 0,
+            acked: 0,
+            inflight: 0,
+            outstanding: BTreeSet::new(),
+            rtx_queue: VecDeque::new(),
+            rtx_pending: BTreeSet::new(),
+            retransmits: 0,
+            srtt,
+            last_ack: Time::ZERO,
+            pace_next: Time::ZERO,
+            rto_backoff: 0,
+        }
+    }
+
+    /// True when every payload byte has been acknowledged.
+    pub fn finished(&self) -> bool {
+        self.acked >= self.params.size
+    }
+
+    /// Remaining new bytes not yet sent.
+    pub fn remaining(&self) -> u64 {
+        self.params.size.saturating_sub(self.snd_nxt)
+    }
+
+    /// Size of the next new segment.
+    pub fn next_len(&self) -> u32 {
+        self.remaining().min(self.params.mtu as u64) as u32
+    }
+
+    /// The standard window-gated send decision given the CC's window
+    /// (bytes). Retransmissions take precedence over new data. Sub-MTU
+    /// windows degrade to paced single packets.
+    pub fn try_send(&self, cwnd: f64, now: Time) -> TrySend {
+        if self.finished() {
+            return TrySend::Finished;
+        }
+        // Pick the candidate packet.
+        let (seq, len, is_rtx) = if let Some(&(seq, len)) = self.rtx_queue.front() {
+            (seq, len, true)
+        } else if self.remaining() > 0 {
+            (self.snd_nxt, self.next_len(), false)
+        } else {
+            // Everything sent, awaiting ACKs.
+            return TrySend::Blocked;
+        };
+        let _ = is_rtx;
+        if cwnd >= self.params.mtu as f64 {
+            // Pure window/ACK clocking.
+            if self.inflight + len as u64 <= cwnd as u64 {
+                TrySend::Data { seq, bytes: len }
+            } else {
+                TrySend::Blocked
+            }
+        } else {
+            // Sub-MTU window: one packet at a time, paced so that the
+            // average rate is cwnd/srtt (Swift's fractional-cwnd pacing).
+            if self.inflight > 0 {
+                return TrySend::Blocked;
+            }
+            if now < self.pace_next {
+                return TrySend::NotBefore(self.pace_next);
+            }
+            TrySend::Data { seq, bytes: len }
+        }
+    }
+
+    /// Confirm a send decided by [`SenderBase::try_send`].
+    pub fn on_sent(&mut self, sent: TrySend, cwnd: f64, now: Time) {
+        let TrySend::Data { seq, bytes } = sent else {
+            return;
+        };
+        if let Some(&(fseq, _)) = self.rtx_queue.front() {
+            if fseq == seq {
+                self.rtx_queue.pop_front();
+                self.rtx_pending.remove(&seq);
+                self.retransmits += 1;
+            }
+        }
+        if seq == self.snd_nxt {
+            self.snd_nxt += bytes as u64;
+        }
+        self.outstanding.insert(seq);
+        self.inflight += bytes as u64;
+        if cwnd < self.params.mtu as f64 {
+            // Schedule the pacing gap for the next sub-MTU-window packet.
+            let gap = self.srtt.mul_f64(self.params.mtu as f64 / cwnd.max(1.0));
+            self.pace_next = now + gap;
+        }
+    }
+
+    /// Process the data-plane part of an ACK. Returns the number of payload
+    /// bytes newly acknowledged.
+    pub fn on_ack(&mut self, ack: &AckEvent, now: Time) -> u32 {
+        self.last_ack = now;
+        self.rto_backoff = 0;
+        // Srtt EWMA (alpha = 1/8), on the normalized delay.
+        let s = self.srtt.as_ps() as f64 * 0.875 + ack.delay.as_ps() as f64 * 0.125;
+        self.srtt = Time::from_ps(s as u64);
+        let mut newly = 0;
+        if self.outstanding.remove(&ack.acked_seq) {
+            newly = ack.acked_bytes;
+            self.acked += ack.acked_bytes as u64;
+            self.inflight = self.inflight.saturating_sub(ack.acked_bytes as u64);
+        } else if self.rtx_pending.remove(&ack.acked_seq) {
+            // The "lost" packet was acknowledged before its retransmission
+            // left: drop it from the queue.
+            self.rtx_queue.retain(|&(s, _)| s != ack.acked_seq);
+            newly = ack.acked_bytes;
+            self.acked += ack.acked_bytes as u64;
+        }
+        if let Some((from, to)) = ack.nack {
+            self.queue_rtx_range(from, to);
+        }
+        newly
+    }
+
+    /// Queue every outstanding packet in `[from, to)` for retransmission
+    /// (selective repeat, IRN-style).
+    pub fn queue_rtx_range(&mut self, from: u64, to: u64) {
+        let seqs: Vec<u64> = self
+            .outstanding
+            .range(from..to)
+            .copied()
+            .filter(|s| !self.rtx_pending.contains(s))
+            .collect();
+        for seq in seqs {
+            self.outstanding.remove(&seq);
+            let len = (self.params.size - seq).min(self.params.mtu as u64) as u32;
+            self.inflight = self.inflight.saturating_sub(len as u64);
+            self.rtx_queue.push_back((seq, len));
+            self.rtx_pending.insert(seq);
+        }
+    }
+
+    /// Full timeout recovery: every outstanding packet is considered lost.
+    pub fn rto_recover(&mut self) {
+        let (from, to) = (0, u64::MAX);
+        self.queue_rtx_range(from, to);
+        self.inflight = 0;
+        self.rto_backoff = (self.rto_backoff + 1).min(8);
+    }
+
+    /// Retransmission timeout duration: generous so it only fires on real
+    /// trailing loss (the simulator is lossless unless PFC is disabled).
+    pub fn rto(&self) -> Time {
+        let base =
+            (self.srtt.mul_f64(4.0) + self.params.base_rtt.mul_f64(8.0)).max(Time::from_us(100));
+        base.mul_f64((1u64 << self.rto_backoff.min(8)) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::AckKind;
+    use simcore::Rate;
+
+    fn params(size: u64) -> FlowParams {
+        FlowParams {
+            flow: 0,
+            size,
+            line_rate: Rate::from_gbps(100),
+            base_rtt: Time::from_us(12),
+            base_rtt_probe: Time::from_us(11),
+            mtu: 1000,
+            virt_prio: 0,
+            seed: 1,
+        }
+    }
+
+    fn ack(seq: u64, bytes: u32, delay_us: u64) -> AckEvent {
+        AckEvent {
+            kind: AckKind::Data,
+            delay: Time::from_us(delay_us),
+            cum_bytes: seq + bytes as u64,
+            acked_seq: seq,
+            acked_bytes: bytes,
+            ecn_echo: false,
+            nack: None,
+            int: None,
+        }
+    }
+
+    #[test]
+    fn window_gates_inflight() {
+        let mut b = SenderBase::new(params(10_000));
+        let cwnd = 3_000.0;
+        for _ in 0..3 {
+            let d = b.try_send(cwnd, Time::ZERO);
+            let TrySend::Data { .. } = d else {
+                panic!("expected send, got {d:?}")
+            };
+            b.on_sent(d, cwnd, Time::ZERO);
+        }
+        assert_eq!(b.inflight, 3_000);
+        assert_eq!(b.try_send(cwnd, Time::ZERO), TrySend::Blocked);
+        // An ACK opens the window again.
+        b.on_ack(&ack(0, 1000, 12), Time::from_us(12));
+        assert!(matches!(
+            b.try_send(cwnd, Time::from_us(12)),
+            TrySend::Data { seq: 3000, .. }
+        ));
+    }
+
+    #[test]
+    fn sub_mtu_window_paces() {
+        let mut b = SenderBase::new(params(10_000));
+        let cwnd = 150.0; // 100 Mbps at 12us srtt
+        let d = b.try_send(cwnd, Time::ZERO);
+        assert!(matches!(d, TrySend::Data { .. }));
+        b.on_sent(d, cwnd, Time::ZERO);
+        // Next send blocked by inflight until ACK, then paced.
+        assert_eq!(b.try_send(cwnd, Time::from_us(1)), TrySend::Blocked);
+        b.on_ack(&ack(0, 1000, 12), Time::from_us(12));
+        match b.try_send(cwnd, Time::from_us(13)) {
+            TrySend::NotBefore(t) => {
+                // pace gap = srtt * mtu/cwnd ~ 12us * 6.67 = 80us.
+                assert!(t > Time::from_us(60) && t < Time::from_us(120), "{t}");
+            }
+            other => panic!("expected pacing delay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_segment_is_runt() {
+        let mut b = SenderBase::new(params(2_500));
+        let cwnd = 1e9;
+        for expect in [1000u32, 1000, 500] {
+            let d = b.try_send(cwnd, Time::ZERO);
+            let TrySend::Data { bytes, .. } = d else {
+                panic!()
+            };
+            assert_eq!(bytes, expect);
+            b.on_sent(d, cwnd, Time::ZERO);
+        }
+        assert_eq!(b.try_send(cwnd, Time::ZERO), TrySend::Blocked);
+        b.on_ack(&ack(0, 1000, 12), Time::from_us(1));
+        b.on_ack(&ack(1000, 1000, 12), Time::from_us(2));
+        b.on_ack(&ack(2000, 500, 12), Time::from_us(3));
+        assert!(b.finished());
+        assert_eq!(b.try_send(cwnd, Time::from_us(4)), TrySend::Finished);
+    }
+
+    #[test]
+    fn nack_triggers_selective_retransmit() {
+        let mut b = SenderBase::new(params(5_000));
+        let cwnd = 1e9;
+        for _ in 0..5 {
+            let d = b.try_send(cwnd, Time::ZERO);
+            b.on_sent(d, cwnd, Time::ZERO);
+        }
+        // Packet at seq 1000 lost; receiver acks 2000 with nack [1000,2000).
+        let mut a = ack(2000, 1000, 12);
+        a.nack = Some((1000, 2000));
+        b.on_ack(&a, Time::from_us(12));
+        let d = b.try_send(cwnd, Time::from_us(13));
+        assert!(matches!(
+            d,
+            TrySend::Data {
+                seq: 1000,
+                bytes: 1000
+            }
+        ));
+        b.on_sent(d, cwnd, Time::from_us(13));
+        assert_eq!(b.retransmits, 1);
+        // Retransmitted packet gets acked normally: 1000 (seq 2000's ack)
+        // + 1000 (the retransmitted seq 1000) acknowledged so far.
+        b.on_ack(&ack(1000, 1000, 12), Time::from_us(25));
+        assert_eq!(b.acked, 2000);
+    }
+
+    #[test]
+    fn duplicate_acks_do_not_double_count() {
+        let mut b = SenderBase::new(params(2_000));
+        let cwnd = 1e9;
+        let d = b.try_send(cwnd, Time::ZERO);
+        b.on_sent(d, cwnd, Time::ZERO);
+        b.on_ack(&ack(0, 1000, 12), Time::from_us(12));
+        b.on_ack(&ack(0, 1000, 12), Time::from_us(13));
+        assert_eq!(b.acked, 1000);
+        assert_eq!(b.inflight, 0);
+    }
+
+    #[test]
+    fn rto_requeues_everything_outstanding() {
+        let mut b = SenderBase::new(params(3_000));
+        let cwnd = 1e9;
+        for _ in 0..3 {
+            let d = b.try_send(cwnd, Time::ZERO);
+            b.on_sent(d, cwnd, Time::ZERO);
+        }
+        b.rto_recover();
+        assert_eq!(b.inflight, 0);
+        assert_eq!(b.rtx_queue.len(), 3);
+        let d = b.try_send(cwnd, Time::from_us(1));
+        assert!(matches!(d, TrySend::Data { seq: 0, .. }));
+    }
+
+    #[test]
+    fn ack_of_rtx_pending_packet_cancels_retransmit() {
+        let mut b = SenderBase::new(params(3_000));
+        let cwnd = 1e9;
+        for _ in 0..3 {
+            let d = b.try_send(cwnd, Time::ZERO);
+            b.on_sent(d, cwnd, Time::ZERO);
+        }
+        b.queue_rtx_range(1000, 2000);
+        // The ACK of the supposedly-lost packet arrives late.
+        b.on_ack(&ack(1000, 1000, 12), Time::from_us(12));
+        assert!(b.rtx_queue.is_empty());
+        assert_eq!(b.acked, 1000);
+    }
+
+    #[test]
+    fn srtt_tracks_delay() {
+        let mut b = SenderBase::new(params(1_000_000));
+        for _ in 0..100 {
+            b.on_ack(&ack(u64::MAX - 1, 0, 40), Time::from_us(50));
+        }
+        assert!(b.srtt > Time::from_us(35), "srtt {}", b.srtt);
+    }
+}

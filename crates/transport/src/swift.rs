@@ -1,0 +1,253 @@
+//! Swift congestion control (Kumar et al., SIGCOMM '20), at the fidelity
+//! the PrioPlus paper uses it: a window-based controller targeting a fabric
+//! delay, with additive increase below target, multiplicative decrease
+//! bounded by `max_mdf` at most once per RTT, fractional windows via pacing,
+//! and optional flow-based **target scaling** (the mechanism §3.2 shows
+//! breaks virtual priority, hence PrioPlus disables it).
+
+use prioplus::DelayCc;
+use simcore::Time;
+
+/// Swift parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SwiftConfig {
+    /// Base target delay (absolute, i.e. base RTT + queuing budget).
+    pub target: Time,
+    /// Additive increase per RTT, bytes.
+    pub ai: f64,
+    /// Multiplicative-decrease gain `beta`.
+    pub beta: f64,
+    /// Maximum fractional window decrease per decision.
+    pub max_mdf: f64,
+    /// Minimum congestion window, bytes (sets the minimum send rate that
+    /// keeps congestion signals flowing, §3.3).
+    pub min_cwnd: f64,
+    /// Maximum congestion window, bytes.
+    pub max_cwnd: f64,
+    /// Initial window, bytes.
+    pub init_cwnd: f64,
+    /// Enable flow-based target scaling.
+    pub target_scaling: bool,
+    /// Target-scaling range added on top of `target` (`fs_range`).
+    pub fs_range: Time,
+    /// Window (in MTUs) below which scaling saturates at `fs_range`.
+    pub fs_min_cwnd_pkts: f64,
+    /// Window (in MTUs) above which scaling contributes nothing.
+    pub fs_max_cwnd_pkts: f64,
+    /// MTU in bytes.
+    pub mtu: u32,
+}
+
+impl SwiftConfig {
+    /// Defaults for the paper's 100 Gbps / 12 µs environment: target =
+    /// base RTT + queuing budget, AI of one MTU per RTT, Swift's published
+    /// beta/max_mdf, min rate ≈ 100 Mbps.
+    pub fn datacenter(base_rtt: Time, target_queuing: Time, mtu: u32) -> Self {
+        let min_cwnd = 100e6 / 8.0 * base_rtt.as_secs_f64(); // 100 Mbps
+        SwiftConfig {
+            target: base_rtt + target_queuing,
+            ai: mtu as f64,
+            beta: 0.8,
+            max_mdf: 0.5,
+            min_cwnd: min_cwnd.max(64.0),
+            max_cwnd: 10_000_000.0,
+            init_cwnd: 0.0, // 0 = line-rate BDP, filled by the factory
+            target_scaling: false,
+            // Swift's flow scaling spans a wide range so that heavy incast
+            // degrees (cwnd << 1 packet) still find a stable target; the
+            // large range is exactly what lets rate-reduced flows raise
+            // their target and keep a weighted share (§3.2 / Fig 3b).
+            fs_range: Time::from_us(100),
+            fs_min_cwnd_pkts: 0.1,
+            fs_max_cwnd_pkts: 1000.0,
+            mtu,
+        }
+    }
+}
+
+/// Swift window state. Implements [`DelayCc`] so it can run standalone (via
+/// [`crate::plain::CcTransport`]) or PrioPlus-enhanced (via
+/// [`crate::pp_transport::PrioPlusTransport`]).
+#[derive(Clone, Debug)]
+pub struct SwiftCc {
+    cfg: SwiftConfig,
+    cwnd: f64,
+    ai: f64,
+    last_decrease: Time,
+    srtt_hint: Time,
+}
+
+impl SwiftCc {
+    /// New controller.
+    pub fn new(cfg: SwiftConfig) -> Self {
+        assert!(cfg.init_cwnd > 0.0, "init_cwnd must be set");
+        assert!(cfg.min_cwnd > 0.0 && cfg.max_cwnd >= cfg.min_cwnd);
+        SwiftCc {
+            cwnd: cfg.init_cwnd.clamp(cfg.min_cwnd, cfg.max_cwnd),
+            ai: cfg.ai,
+            last_decrease: Time::ZERO,
+            srtt_hint: cfg.target,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SwiftConfig {
+        &self.cfg
+    }
+
+    /// Effective target delay including flow scaling (Swift §3.1): as the
+    /// window shrinks the flow assumes more competitors and tolerates more
+    /// delay, `target + clamp(alpha/sqrt(cwnd_pkts) + beta_fs, 0, fs_range)`.
+    pub fn effective_target(&self) -> Time {
+        if !self.cfg.target_scaling {
+            return self.cfg.target;
+        }
+        let fs_range = self.cfg.fs_range.as_ps() as f64;
+        let inv_sqrt_min = 1.0 / self.cfg.fs_min_cwnd_pkts.sqrt();
+        let inv_sqrt_max = 1.0 / self.cfg.fs_max_cwnd_pkts.sqrt();
+        let alpha = fs_range / (inv_sqrt_min - inv_sqrt_max);
+        let beta_fs = -alpha * inv_sqrt_max;
+        let pkts = (self.cwnd / self.cfg.mtu as f64).max(1e-3);
+        let extra = (alpha / pkts.sqrt() + beta_fs).clamp(0.0, fs_range);
+        self.cfg.target + Time::from_ps(extra as u64)
+    }
+
+    /// Window after a retransmission timeout.
+    pub fn on_rto(&mut self) {
+        self.cwnd = self.cfg.min_cwnd;
+    }
+}
+
+impl DelayCc for SwiftCc {
+    fn on_ack(&mut self, delay: Time, acked_bytes: u32, now: Time) {
+        let target = self.effective_target();
+        let mtu = self.cfg.mtu as f64;
+        if delay < target {
+            // Additive increase: ai per RTT, spread per ACK.
+            if self.cwnd >= mtu {
+                self.cwnd += self.ai * acked_bytes as f64 / self.cwnd;
+            } else {
+                self.cwnd += self.ai * acked_bytes as f64 / mtu;
+            }
+        } else if now.saturating_sub(self.last_decrease) >= self.srtt_hint {
+            let over = (delay.as_ps() - target.as_ps()) as f64 / delay.as_ps() as f64;
+            // Decrease is capped at max_mdf per RTT.
+            let cut = (self.cfg.beta * over).min(self.cfg.max_mdf);
+            self.cwnd *= 1.0 - cut;
+            self.last_decrease = now;
+            self.srtt_hint = delay; // decrease pacing follows observed RTT
+        }
+        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn set_cwnd(&mut self, bytes: f64) {
+        self.cwnd = bytes.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+
+    fn ai(&self) -> f64 {
+        self.ai
+    }
+
+    fn set_ai(&mut self, bytes_per_rtt: f64) {
+        self.ai = bytes_per_rtt.max(0.0);
+    }
+
+    fn ai_origin(&self) -> f64 {
+        self.cfg.ai
+    }
+
+    fn target_delay(&self) -> Time {
+        self.cfg.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SwiftConfig {
+        let mut c = SwiftConfig::datacenter(Time::from_us(12), Time::from_us(4), 1000);
+        c.init_cwnd = 150_000.0;
+        c
+    }
+
+    #[test]
+    fn increase_below_target_is_ai_per_rtt() {
+        let mut s = SwiftCc::new(cfg());
+        let w0 = s.cwnd();
+        // One window's worth of ACKs below target adds ~ai bytes.
+        let acks = (w0 / 1000.0) as usize;
+        for i in 0..acks {
+            s.on_ack(Time::from_us(13), 1000, Time::from_us(i as u64));
+        }
+        let gained = s.cwnd() - w0;
+        assert!((gained - 1000.0).abs() < 50.0, "gained {gained}");
+    }
+
+    #[test]
+    fn decrease_proportional_to_overshoot_and_capped() {
+        let mut s = SwiftCc::new(cfg());
+        // Slight overshoot: small cut.
+        s.on_ack(Time::from_us(17), 1000, Time::from_us(100));
+        let w1 = s.cwnd();
+        assert!(w1 < 150_000.0 && w1 > 140_000.0, "w1 {w1}");
+        // Huge overshoot later: cut capped at max_mdf.
+        s.on_ack(Time::from_ms(1), 1000, Time::from_ms(1));
+        assert!(s.cwnd() >= w1 * 0.5 - 1.0);
+    }
+
+    #[test]
+    fn one_decrease_per_rtt() {
+        let mut s = SwiftCc::new(cfg());
+        s.on_ack(Time::from_us(20), 1000, Time::from_us(100));
+        let w1 = s.cwnd();
+        s.on_ack(Time::from_us(20), 1000, Time::from_us(101));
+        assert_eq!(s.cwnd(), w1);
+    }
+
+    #[test]
+    fn min_cwnd_implements_min_rate() {
+        let c = cfg();
+        // 100 Mbps * 12us = 150 bytes.
+        assert!((c.min_cwnd - 150.0).abs() < 1.0);
+        let mut s = SwiftCc::new(c);
+        for i in 0..200 {
+            s.on_ack(Time::from_ms(1), 1000, Time::from_ms(i + 1));
+        }
+        assert_eq!(s.cwnd(), 150.0);
+    }
+
+    #[test]
+    fn target_scaling_raises_target_as_window_shrinks() {
+        let mut c = cfg();
+        c.target_scaling = true;
+        let mut s = SwiftCc::new(c);
+        let t_big = s.effective_target();
+        s.set_cwnd(1_000.0); // 1 packet
+        let t_small = s.effective_target();
+        assert!(t_small > t_big, "{t_small} vs {t_big}");
+        assert!(t_small <= c.target + c.fs_range + Time::from_ns(1));
+        // At fs_max_cwnd packets, no extra target.
+        s.set_cwnd(c.fs_max_cwnd_pkts * 1000.0);
+        assert!(s.effective_target() <= c.target + Time::from_ns(10));
+    }
+
+    #[test]
+    fn scaling_disabled_keeps_target_fixed() {
+        let mut s = SwiftCc::new(cfg());
+        s.set_cwnd(200.0);
+        assert_eq!(s.effective_target(), cfg().target);
+    }
+
+    #[test]
+    fn rto_collapses_to_min() {
+        let mut s = SwiftCc::new(cfg());
+        s.on_rto();
+        assert_eq!(s.cwnd(), s.config().min_cwnd);
+    }
+}

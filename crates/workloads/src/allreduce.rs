@@ -1,0 +1,126 @@
+//! Ring all-reduce training-job traffic (the ML cluster scenario, §6.2).
+//!
+//! The paper generates ResNet and VGG data-parallel training traffic with
+//! Astra-sim, using the ring algorithm for all-reduce, and measures training
+//! speed as iterations completed in a fixed period. We model each job as an
+//! iterative compute + communicate loop:
+//!
+//! - **communicate**: every worker simultaneously ships
+//!   `2 * G * (W-1) / W` gradient bytes to its ring successor (the exact
+//!   per-worker volume of ring all-reduce over `W` workers for a gradient of
+//!   `G` bytes); the phase ends when all `W` transfers complete (ring
+//!   all-reduce is synchronous);
+//! - **compute**: a fixed GPU time before the next iteration's
+//!   communication.
+//!
+//! Interleaving the communication phases of different models via priorities
+//! is exactly what the paper's virtual-priority assignment exploits.
+
+use simcore::Time;
+
+/// One data-parallel training job using ring all-reduce.
+#[derive(Clone, Debug)]
+pub struct RingJob {
+    /// Job name (e.g. "resnet-0").
+    pub name: String,
+    /// Host indices of the workers, in ring order.
+    pub workers: Vec<usize>,
+    /// Gradient size `G` in bytes (full model gradient per iteration).
+    pub gradient_bytes: u64,
+    /// Compute time between communication phases.
+    pub compute: Time,
+    /// Virtual/physical priority assigned to this job's traffic.
+    pub prio: u8,
+}
+
+impl RingJob {
+    /// Per-worker bytes shipped to the ring successor per iteration:
+    /// `2 * G * (W-1) / W` (reduce-scatter + all-gather).
+    pub fn bytes_per_worker(&self) -> u64 {
+        let w = self.workers.len() as u64;
+        assert!(w >= 2, "ring needs at least 2 workers");
+        2 * self.gradient_bytes * (w - 1) / w
+    }
+
+    /// The `(src, dst)` host pairs of one communication phase.
+    pub fn ring_pairs(&self) -> Vec<(usize, usize)> {
+        let w = self.workers.len();
+        (0..w)
+            .map(|i| (self.workers[i], self.workers[(i + 1) % w]))
+            .collect()
+    }
+
+    /// A ResNet-50-class job: ≈ 25.6 M parameters → ≈ 102 MB of fp32
+    /// gradients; ~180 ms/iteration compute on the paper-era GPUs, scaled
+    /// by `scale` for reduced-size runs.
+    pub fn resnet(name: impl Into<String>, workers: Vec<usize>, prio: u8, scale: f64) -> Self {
+        RingJob {
+            name: name.into(),
+            workers,
+            gradient_bytes: (102_000_000.0 * scale) as u64,
+            compute: Time::from_ps((Time::from_ms(6).as_ps() as f64 * scale) as u64),
+            prio,
+        }
+    }
+
+    /// A VGG-16-class job: ≈ 138 M parameters → ≈ 552 MB of gradients;
+    /// communication-dominated.
+    pub fn vgg(name: impl Into<String>, workers: Vec<usize>, prio: u8, scale: f64) -> Self {
+        RingJob {
+            name: name.into(),
+            workers,
+            gradient_bytes: (552_000_000.0 * scale) as u64,
+            compute: Time::from_ps((Time::from_ms(4).as_ps() as f64 * scale) as u64),
+            prio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_volume_formula() {
+        let j = RingJob {
+            name: "t".into(),
+            workers: vec![0, 1, 2, 3],
+            gradient_bytes: 1_000_000,
+            compute: Time::from_ms(1),
+            prio: 0,
+        };
+        // 2 * 1MB * 3/4 = 1.5 MB per worker.
+        assert_eq!(j.bytes_per_worker(), 1_500_000);
+    }
+
+    #[test]
+    fn ring_pairs_form_a_single_cycle() {
+        let j = RingJob {
+            name: "t".into(),
+            workers: vec![5, 9, 2],
+            gradient_bytes: 1,
+            compute: Time::ZERO,
+            prio: 0,
+        };
+        let pairs = j.ring_pairs();
+        assert_eq!(pairs, vec![(5, 9), (9, 2), (2, 5)]);
+        // Each worker appears exactly once as src and once as dst.
+        let srcs: std::collections::HashSet<_> = pairs.iter().map(|p| p.0).collect();
+        let dsts: std::collections::HashSet<_> = pairs.iter().map(|p| p.1).collect();
+        assert_eq!(srcs.len(), 3);
+        assert_eq!(dsts.len(), 3);
+    }
+
+    #[test]
+    fn vgg_is_communication_heavier_than_resnet() {
+        let r = RingJob::resnet("r", vec![0, 1, 2], 0, 1.0);
+        let v = RingJob::vgg("v", vec![0, 1, 2], 0, 1.0);
+        assert!(v.gradient_bytes > 4 * r.gradient_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 workers")]
+    fn single_worker_rejected() {
+        RingJob::resnet("r", vec![0], 0, 1.0).bytes_per_worker();
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generators for the PrioPlus evaluation scenarios.
+//!
+//! - [`websearch`]: the DCTCP WebSearch flow-size distribution with Poisson
+//!   open-loop arrivals at a target load (flow-scheduling scenario, §6.2);
+//! - [`coflow`]: a synthetic coflow generator statistically matched to the
+//!   published characterization of the Facebook Hadoop trace, plus the
+//!   20-into-1 file-request incast pattern (coflow scenario, §6.2);
+//! - [`allreduce`]: ring all-reduce training-job schedules for the ML
+//!   cluster scenario (ResNet/VGG data-parallel jobs, §6.2);
+//! - [`priomap`]: size-class → priority assignment helpers (smaller flows
+//!   get higher priorities, approximating pFabric-style scheduling).
+//!
+//! Everything is deterministic given a seed; generators emit plain structs
+//! the experiment harness turns into `netsim` flows.
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod coflow;
+pub mod priomap;
+pub mod websearch;
+
+pub use allreduce::RingJob;
+pub use coflow::{Coflow, CoflowGen};
+pub use priomap::SizeClassifier;
+pub use websearch::{FlowArrival, PoissonArrivals, SizeDist, WEBSEARCH_CDF};

@@ -1,0 +1,95 @@
+//! Size-class → priority mapping.
+//!
+//! The evaluation approximates priority-based flow scheduling algorithms
+//! (pFabric/PIAS-style) by grouping flows into `n` classes by size and
+//! assigning *smaller* classes *higher* priorities (§6.2). The same mapping
+//! is used for coflows (by total coflow size).
+
+use crate::websearch::SizeDist;
+
+/// Maps sizes to priority levels using equal-probability quantile bounds of
+/// a size distribution.
+#[derive(Clone, Debug)]
+pub struct SizeClassifier {
+    bounds: Vec<u64>,
+    num_prios: u8,
+}
+
+impl SizeClassifier {
+    /// Classifier with `num_prios` classes split at the distribution's
+    /// quantiles.
+    pub fn from_dist(dist: &SizeDist, num_prios: u8) -> Self {
+        assert!(num_prios >= 1);
+        SizeClassifier {
+            bounds: dist.quantile_bounds(num_prios as usize),
+            num_prios,
+        }
+    }
+
+    /// Classifier with explicit ascending boundaries; `bounds.len() + 1`
+    /// classes.
+    pub fn from_bounds(bounds: Vec<u64>) -> Self {
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must ascend");
+        }
+        let num_prios = bounds.len() as u8 + 1;
+        SizeClassifier { bounds, num_prios }
+    }
+
+    /// Number of priority classes.
+    pub fn num_prios(&self) -> u8 {
+        self.num_prios
+    }
+
+    /// Priority for a flow of `size` bytes: the smallest class gets the
+    /// *highest* priority `num_prios - 1`, the largest gets 0.
+    pub fn priority(&self, size: u64) -> u8 {
+        let class = self
+            .bounds
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(self.bounds.len());
+        self.num_prios - 1 - class as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_flows_get_higher_priority() {
+        let c = SizeClassifier::from_bounds(vec![10_000, 100_000, 1_000_000]);
+        assert_eq!(c.num_prios(), 4);
+        assert_eq!(c.priority(1_000), 3);
+        assert_eq!(c.priority(10_000), 3);
+        assert_eq!(c.priority(10_001), 2);
+        assert_eq!(c.priority(500_000), 1);
+        assert_eq!(c.priority(50_000_000), 0);
+    }
+
+    #[test]
+    fn single_class_is_priority_zero() {
+        let c = SizeClassifier::from_bounds(vec![]);
+        assert_eq!(c.num_prios(), 1);
+        assert_eq!(c.priority(123), 0);
+    }
+
+    #[test]
+    fn dist_classifier_covers_all_priorities() {
+        let d = SizeDist::websearch();
+        let c = SizeClassifier::from_dist(&d, 8);
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = simcore::SimRng::new(3);
+        for _ in 0..10_000 {
+            seen.insert(c.priority(d.sample(&mut rng)));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn rejects_unsorted_bounds() {
+        SizeClassifier::from_bounds(vec![100, 50]);
+    }
+}

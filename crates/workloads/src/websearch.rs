@@ -1,0 +1,302 @@
+//! Flow-size distributions and Poisson arrival processes.
+//!
+//! The flow-scheduling scenario uses the WebSearch workload (DCTCP's
+//! production web-search trace), the standard heavy-tailed distribution of
+//! datacenter transport papers, sampled from its published CDF by inverse
+//! transform with log-linear interpolation between knots.
+
+use simcore::{Rate, SimRng, Time};
+
+/// `(size_bytes, cumulative_probability)` CDF knots of the WebSearch
+/// workload (DCTCP, SIGCOMM '10; the same table shipped with the HPCC
+/// artifacts). Mean ≈ 1.6 MB; >95 % of *bytes* come from flows over 1 MB
+/// while >80 % of *flows* are under 1 MB.
+pub const WEBSEARCH_CDF: &[(u64, f64)] = &[
+    (6_000, 0.0),
+    (10_000, 0.15),
+    (20_000, 0.20),
+    (30_000, 0.30),
+    (50_000, 0.40),
+    (80_000, 0.53),
+    (200_000, 0.60),
+    (1_000_000, 0.70),
+    (2_000_000, 0.80),
+    (5_000_000, 0.90),
+    (10_000_000, 0.97),
+    (30_000_000, 1.00),
+];
+
+/// A piecewise-linear flow-size distribution defined by CDF knots.
+#[derive(Clone, Debug)]
+pub struct SizeDist {
+    knots: Vec<(u64, f64)>,
+}
+
+impl SizeDist {
+    /// Build from CDF knots (must start at probability 0, end at 1, and be
+    /// strictly increasing in both coordinates).
+    pub fn new(knots: &[(u64, f64)]) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert_eq!(knots[0].1, 0.0, "CDF must start at 0");
+        assert_eq!(knots[knots.len() - 1].1, 1.0, "CDF must end at 1");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "non-monotone CDF");
+        }
+        SizeDist {
+            knots: knots.to_vec(),
+        }
+    }
+
+    /// The WebSearch distribution.
+    pub fn websearch() -> Self {
+        SizeDist::new(WEBSEARCH_CDF)
+    }
+
+    /// Analytic mean of the piecewise-linear distribution, bytes.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        for w in self.knots.windows(2) {
+            let p = w[1].1 - w[0].1;
+            m += p * (w[0].0 + w[1].0) as f64 / 2.0;
+        }
+        m
+    }
+
+    /// Inverse-transform sample.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        for w in self.knots.windows(2) {
+            if u <= w[1].1 {
+                let span = w[1].1 - w[0].1;
+                let frac = if span <= 0.0 {
+                    0.0
+                } else {
+                    (u - w[0].1) / span
+                };
+                let lo = w[0].0 as f64;
+                let hi = w[1].0 as f64;
+                return (lo + frac * (hi - lo)).round() as u64;
+            }
+        }
+        self.knots[self.knots.len() - 1].0
+    }
+
+    /// Size boundaries that split the distribution into `n` equal-probability
+    /// groups (used to map flows to priorities by size, §6.2). Returns `n-1`
+    /// ascending boundaries; group `g` = sizes in
+    /// `(bound[g-1], bound[g]]`.
+    pub fn quantile_bounds(&self, n: usize) -> Vec<u64> {
+        assert!(n >= 1);
+        (1..n).map(|i| self.quantile(i as f64 / n as f64)).collect()
+    }
+
+    /// The `q`-quantile size.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let q = q.clamp(0.0, 1.0);
+        for w in self.knots.windows(2) {
+            if q <= w[1].1 {
+                let span = w[1].1 - w[0].1;
+                let frac = if span <= 0.0 {
+                    0.0
+                } else {
+                    (q - w[0].1) / span
+                };
+                return (w[0].0 as f64 + frac * (w[1].0 - w[0].0) as f64).round() as u64;
+            }
+        }
+        self.knots[self.knots.len() - 1].0
+    }
+}
+
+/// One generated flow arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowArrival {
+    /// Start time.
+    pub start: Time,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Source host index (into the caller's host list).
+    pub src: usize,
+    /// Destination host index (`!= src`).
+    pub dst: usize,
+}
+
+/// Open-loop Poisson flow arrivals over a host set at a target load.
+///
+/// Load is defined edge-normalized, as in the evaluation: a load of 0.7
+/// means the expected offered traffic equals 70 % of the aggregate host
+/// NIC capacity (each flow consumes capacity at both its source and its
+/// destination edge, hence the factor-of-one accounting on sources).
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    dist: SizeDist,
+    hosts: usize,
+    /// Mean inter-arrival time across the whole cluster.
+    mean_gap: Time,
+    rng: SimRng,
+    next: Time,
+}
+
+impl PoissonArrivals {
+    /// Build a generator: `hosts` hosts with `host_rate` NICs at `load`
+    /// (fraction of aggregate capacity), starting at `start`.
+    pub fn new(
+        dist: SizeDist,
+        hosts: usize,
+        host_rate: Rate,
+        load: f64,
+        start: Time,
+        seed: u64,
+    ) -> Self {
+        assert!(hosts >= 2, "need at least two hosts");
+        assert!(load > 0.0 && load <= 1.5, "unreasonable load {load}");
+        let agg_bytes_per_sec = host_rate.as_bps() as f64 / 8.0 * hosts as f64;
+        let flows_per_sec = agg_bytes_per_sec * load / dist.mean();
+        let mean_gap = Time::from_ps((1e12 / flows_per_sec) as u64);
+        PoissonArrivals {
+            dist,
+            hosts,
+            mean_gap,
+            rng: SimRng::new(seed),
+            next: start,
+        }
+    }
+
+    /// Generate all arrivals up to `until`.
+    pub fn generate_until(&mut self, until: Time) -> Vec<FlowArrival> {
+        let mut out = Vec::new();
+        while self.next < until {
+            let gap = self.rng.exponential(self.mean_gap.as_ps() as f64);
+            self.next = self.next + Time::from_ps(gap as u64);
+            if self.next >= until {
+                break;
+            }
+            let src = self.rng.choose_index(self.hosts);
+            let mut dst = self.rng.choose_index(self.hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            out.push(FlowArrival {
+                start: self.next,
+                size: self.dist.sample(&mut self.rng).max(1),
+                src,
+                dst,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn websearch_mean_is_about_1_6mb() {
+        let d = SizeDist::websearch();
+        let m = d.mean();
+        assert!((1.2e6..2.2e6).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let d = SizeDist::websearch();
+        let mut rng = SimRng::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let sample_mean = sum / n as f64;
+        let err = (sample_mean - d.mean()).abs() / d.mean();
+        assert!(err < 0.02, "sample mean off by {err}");
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let d = SizeDist::websearch();
+        let mut rng = SimRng::new(6);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((6_000..=30_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_split_mass() {
+        let d = SizeDist::websearch();
+        let b = d.quantile_bounds(8);
+        assert_eq!(b.len(), 7);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Empirically, each group gets ~1/8 of flows.
+        let mut rng = SimRng::new(7);
+        let mut counts = vec![0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            let g = b.iter().position(|&x| s <= x).unwrap_or(7);
+            counts[g] += 1;
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.125).abs() < 0.02, "group {g}: {frac}");
+        }
+    }
+
+    #[test]
+    fn poisson_load_is_calibrated() {
+        let d = SizeDist::websearch();
+        let mean = d.mean();
+        let mut gen = PoissonArrivals::new(d, 16, Rate::from_gbps(100), 0.7, Time::ZERO, 11);
+        let horizon = Time::from_ms(50);
+        let arrivals = gen.generate_until(horizon);
+        let bytes: f64 = arrivals.iter().map(|a| a.size as f64).sum();
+        let offered = bytes * 8.0 / horizon.as_secs_f64();
+        let capacity = 16.0 * 100e9;
+        let load = offered / capacity;
+        assert!((load - 0.7).abs() < 0.05, "offered load {load}");
+        let _ = mean;
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_self_loops_excluded() {
+        let mut gen = PoissonArrivals::new(
+            SizeDist::websearch(),
+            4,
+            Rate::from_gbps(100),
+            0.5,
+            Time::from_us(100),
+            13,
+        );
+        let arrivals = gen.generate_until(Time::from_ms(5));
+        assert!(!arrivals.is_empty());
+        for w in arrivals.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for a in &arrivals {
+            assert_ne!(a.src, a.dst);
+            assert!(a.start >= Time::from_us(100));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            PoissonArrivals::new(
+                SizeDist::websearch(),
+                8,
+                Rate::from_gbps(100),
+                0.3,
+                Time::ZERO,
+                42,
+            )
+            .generate_until(Time::from_ms(2))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn rejects_bad_cdf() {
+        SizeDist::new(&[(100, 0.0), (50, 1.0)]);
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table at the default (quick) scale.
+# Outputs land in results/ (text) and results/json/ (machine-readable).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results/json
+export REPRO_JSON_DIR="$PWD/results/json"
+
+cargo build --release -p experiments --bins
+
+bins=(
+  fig02_buffer_ratio
+  fig03_motivation
+  tab02_start_strategies
+  fig07_noise_cdf
+  fig08_testbed_prios
+  fig09_fluctuation
+  fig10_micro
+  fig11_flow_scheduling
+  fig12_coflow
+  fig13_noncongestive
+  fig14_breakdown
+  fig16_hpcc_ackprio
+  fig17_lossy_coflow
+  fig18_coflow_extra
+  appd_fluctuation
+)
+
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  ./target/release/"$b" "$@" | tee "results/$b.txt"
+done
+echo "All figures regenerated under results/."

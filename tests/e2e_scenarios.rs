@@ -1,0 +1,94 @@
+//! Smoke tests of the three large-scale scenarios at tiny scale: they must
+//! run, complete most flows, and show the paper's qualitative orderings.
+
+use experiments::coflowsched::{self, CoflowConfig};
+use experiments::flowsched::{self, FlowSchedConfig};
+use experiments::mltrain::{self, MlConfig};
+use experiments::Scheme;
+use simcore::Time;
+
+fn quick_flowsched(scheme: Scheme) -> flowsched::FlowSchedResult {
+    let mut cfg = FlowSchedConfig::new(scheme, 4);
+    cfg.duration = Time::from_ms(2);
+    cfg.load = 0.5;
+    cfg.seed = 3;
+    flowsched::run(&cfg)
+}
+
+#[test]
+fn flow_scheduling_prioplus_runs_and_completes() {
+    let r = quick_flowsched(Scheme::PrioPlusSwift);
+    assert!(r.flows.len() > 50, "too few flows: {}", r.flows.len());
+    assert!(r.completion > 0.8, "completion {}", r.completion);
+    // Small flows (high prio) must beat large flows on slowdown.
+    let small = r.mean_slowdown(|f| f.size < 300_000).unwrap();
+    let large = r.mean_slowdown(|f| f.size >= 6_000_000);
+    if let Some(large) = large {
+        assert!(
+            small < large * 1.5,
+            "small {small} should not be much worse than large {large}"
+        );
+    }
+}
+
+#[test]
+fn flow_scheduling_physical_star_runs() {
+    let r = quick_flowsched(Scheme::PhysicalStarSwift);
+    assert!(r.completion > 0.8, "completion {}", r.completion);
+}
+
+#[test]
+fn flow_scheduling_no_cc_triggers_pfc_storms() {
+    let nocc = quick_flowsched(Scheme::PhysicalStarNoCc);
+    let pp = quick_flowsched(Scheme::PrioPlusSwift);
+    assert!(
+        nocc.pfc_pauses > pp.pfc_pauses * 2,
+        "uncontrolled injection should pause far more: {} vs {}",
+        nocc.pfc_pauses,
+        pp.pfc_pauses
+    );
+}
+
+#[test]
+fn coflow_scenario_runs_and_prioplus_beats_baseline_on_small() {
+    let mut base_cfg = CoflowConfig::new(Scheme::BaselineSwift, 0.4);
+    base_cfg.duration = Time::from_ms(8);
+    let base = coflowsched::run(&base_cfg);
+    assert!(
+        base.completion > 0.5,
+        "baseline completion {}",
+        base.completion
+    );
+
+    let mut pp_cfg = CoflowConfig::new(Scheme::PrioPlusSwift, 0.4);
+    pp_cfg.duration = Time::from_ms(8);
+    let pp = coflowsched::run(&pp_cfg);
+    assert!(pp.completion > 0.5, "prioplus completion {}", pp.completion);
+
+    // High-priority (small) coflows must not be systematically hurt vs the
+    // no-priority baseline.
+    let hi = coflowsched::mean_speedup(&pp, &base, |c| c.class >= 4);
+    if let Some(hi) = hi {
+        assert!(hi > 0.85, "high-prio coflow speedup {hi} should be >= ~1");
+    }
+}
+
+#[test]
+fn ml_training_prioplus_interleaves_better_than_baseline() {
+    let base = mltrain::run(&MlConfig::new(Scheme::BaselineSwift));
+    let pp = mltrain::run(&MlConfig::new(Scheme::PrioPlusSwift));
+    let b = base.iterations("all");
+    let p = pp.iterations("all");
+    assert!(b > 0 && p > 0, "both must make progress: {b} vs {p}");
+    // PrioPlus should not be slower overall than the baseline (the paper
+    // reports +13%).
+    assert!(
+        p as f64 >= b as f64 * 0.85,
+        "PrioPlus {p} iterations vs baseline {b}"
+    );
+    // Every job must make progress under PrioPlus (no starvation: the paper
+    // stresses that priority assignment does not create unfairness).
+    for j in &pp.jobs {
+        assert!(j.iterations > 0, "job {} starved", j.name);
+    }
+}
