@@ -1,0 +1,10 @@
+//! Criterion benchmark harness for the PrioPlus reproduction.
+//!
+//! This crate carries no library logic; its `benches/` directory holds one
+//! Criterion bench per paper table/figure plus simulator micro-benchmarks.
+//! It is **excluded** from the workspace because criterion lives on
+//! crates.io, which the offline tier-1 build cannot reach. Build it
+//! explicitly (with network access) via
+//! `cargo bench --manifest-path crates/bench/criterion-benches/Cargo.toml`.
+//! The dependency-free perf harness is `cargo run --release -p
+//! prioplus-bench --bin simbench`.

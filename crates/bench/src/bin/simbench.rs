@@ -1,0 +1,182 @@
+//! `simbench`: the dependency-free performance harness.
+//!
+//! Runs fixed seeded scenarios, reports wall-clock and events/sec per
+//! scenario, and writes `BENCH_simbench.json` at the repo root so the perf
+//! trajectory is tracked PR-over-PR. Scenarios:
+//!
+//! - `event_queue`: raw [`EventQueue`] schedule/pop churn, with a cancelled
+//!   timer per slot — the simulator's innermost loop in isolation;
+//! - `incast_swift`: a 64-flow Swift incast on the single-switch topology;
+//! - `incast_prioplus`: the same incast under PrioPlus+Swift (probes, virt
+//!   priorities);
+//! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
+//! - `sweep_flowsched`: N quick flow-scheduling configs serial (`jobs=1`)
+//!   vs parallel (`--jobs`/`PRIOPLUS_JOBS`/cores) — wall-clock speedup of
+//!   the sweep runner.
+//!
+//! Timed sections run `REPS` times and keep the best (fastest) wall clock,
+//! the standard way to damp scheduler noise without statistics deps.
+
+use std::time::Instant;
+
+use experiments::flowsched::{run_many, FlowSchedConfig};
+use experiments::micro::{Micro, MicroEnv};
+use experiments::report::json_string;
+use experiments::sweep::default_jobs;
+use experiments::Scheme;
+use netsim::NoiseModel;
+use simcore::{EventQueue, Time};
+use transport::{CcSpec, PrioPlusPolicy};
+
+const REPS: usize = 3;
+
+struct Scenario {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Best-of-`REPS` timing of `f`, which returns the number of events (or
+/// operations) it processed.
+fn time_best(f: impl Fn() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        events = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, events)
+}
+
+fn scenario(name: &'static str, f: impl Fn() -> u64) -> Scenario {
+    let (secs, events) = time_best(f);
+    let s = Scenario {
+        name,
+        wall_ms: secs * 1e3,
+        events,
+        events_per_sec: events as f64 / secs,
+    };
+    println!(
+        "{:<18} {:>10.1} ms  {:>12} events  {:>14.0} events/s",
+        s.name, s.wall_ms, s.events, s.events_per_sec
+    );
+    s
+}
+
+/// Raw event-queue churn: a sliding window of scheduled events with one
+/// cancellable timer per step that is always cancelled and replaced —
+/// mirroring the transports' per-ACK RTO reschedule pattern.
+fn bench_event_queue() -> u64 {
+    const OPS: u64 = 2_000_000;
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rto = None;
+    // Keep ~64 events pending so pops always have heap work to do.
+    for i in 0..64u64 {
+        q.schedule(Time::from_ns(i * 7 + 1), i);
+    }
+    let mut popped = 0u64;
+    while popped < OPS {
+        let (now, v) = q.pop().expect("queue never drains");
+        popped += 1;
+        if let Some(id) = rto.take() {
+            q.cancel(id);
+        }
+        rto = Some(q.schedule_cancellable(now + Time::from_us(100), v));
+        q.schedule(now + Time::from_ns(400 + (v % 13) * 31), v.wrapping_add(1));
+    }
+    popped
+}
+
+fn bench_incast(prioplus: bool) -> u64 {
+    let n = 64;
+    let mut m = Micro::build(&MicroEnv {
+        senders: n,
+        end: Time::from_ms(8),
+        trace: false,
+        seed: 7,
+        noise: NoiseModel::testbed(),
+        ..Default::default()
+    });
+    let cc = if prioplus {
+        CcSpec::PrioPlusSwift {
+            policy: PrioPlusPolicy::paper_default(8),
+        }
+    } else {
+        CcSpec::Swift {
+            queuing: Time::from_us(4),
+            scaling: false,
+        }
+    };
+    for s in 1..=n {
+        m.add_flow(s, 2_000_000, Time::ZERO, 0, 4, &cc);
+    }
+    let res = m.sim.run();
+    res.counters.events
+}
+
+fn flowsched_cfg(seed: u64) -> FlowSchedConfig {
+    let mut cfg = FlowSchedConfig::new(Scheme::PrioPlusSwift, 4);
+    cfg.k = 4;
+    cfg.duration = Time::from_ms(2);
+    cfg.seed = seed;
+    cfg
+}
+
+fn main() {
+    println!("simbench: fixed seeded scenarios, best of {REPS} runs\n");
+    let scenarios = vec![
+        scenario("event_queue", bench_event_queue),
+        scenario("incast_swift", || bench_incast(false)),
+        scenario("incast_prioplus", || bench_incast(true)),
+        scenario("flowsched_k4", || {
+            let r = run_many(&[flowsched_cfg(11)], 1);
+            r[0].flows.len() as u64
+        }),
+    ];
+
+    // Sweep speedup: the same config list serial vs parallel.
+    let jobs = default_jobs();
+    let cfgs: Vec<FlowSchedConfig> = (0..8).map(|i| flowsched_cfg(100 + i)).collect();
+    let (serial_s, _) = time_best(|| run_many(&cfgs, 1).len() as u64);
+    let (parallel_s, _) = time_best(|| run_many(&cfgs, jobs).len() as u64);
+    let speedup = serial_s / parallel_s;
+    println!(
+        "\nsweep_flowsched    {} configs: serial {:.1} ms, parallel ({} jobs) {:.1} ms, speedup {:.2}x",
+        cfgs.len(),
+        serial_s * 1e3,
+        jobs,
+        parallel_s * 1e3,
+        speedup
+    );
+
+    // Write BENCH_simbench.json at the repo root.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_simbench.json");
+    let mut json = String::from("{\n  \"bench\": \"simbench\",\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{comma}\n",
+            json_string(s.name),
+            s.wall_ms,
+            s.events,
+            s.events_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sweep\": {{\"configs\": {}, \"jobs\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n",
+        cfgs.len(),
+        jobs,
+        serial_s * 1e3,
+        parallel_s * 1e3,
+        speedup
+    ));
+    json.push_str("}\n");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write {}: {e}", path.display()),
+    }
+}

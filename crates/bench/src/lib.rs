@@ -1,4 +1,7 @@
-//! Criterion benchmark harness for the PrioPlus reproduction.
+//! Performance harness for the PrioPlus reproduction.
 //!
-//! This crate carries no library logic; its `benches/` directory holds one
-//! Criterion bench per paper table/figure plus simulator micro-benchmarks.
+//! The `simbench` binary (`cargo run --release -p prioplus-bench --bin
+//! simbench`) runs fixed seeded scenarios with no external dependencies and
+//! writes `BENCH_simbench.json` at the repo root. The criterion benches live
+//! in the excluded `crates/bench/criterion-benches` crate (they need
+//! crates.io, which tier-1 verify must not require).

@@ -15,11 +15,10 @@
 //! `D_limit - D_target = 2.4 µs`, exactly the thresholds used throughout
 //! the evaluation.
 
-use serde::{Deserialize, Serialize};
 use simcore::{Rate, Time};
 
 /// Channel thresholds generator for a ladder of virtual priorities.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ChannelConfig {
     /// Base (no-queue) RTT of the environment.
     pub base_rtt: Time,

@@ -256,7 +256,10 @@ fn sub_d() {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let which = experiments::sweep::positional_args()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".into());
     match which.as_str() {
         "a" => sub_a(),
         "b" => sub_b(),

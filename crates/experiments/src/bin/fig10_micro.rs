@@ -219,11 +219,25 @@ fn sub_d() {
             "min width (us)",
         ],
     );
-    for scale in [1.0, 2.0, 4.0, 8.0] {
+    // The 4x4 (noise scale, channel width) grid is 16 independent runs;
+    // sweep them across threads, results in grid order.
+    let scales = [1.0, 2.0, 4.0, 8.0];
+    let widths = [1.0, 2.0, 4.0, 8.0];
+    let grid: Vec<(f64, f64)> = scales
+        .iter()
+        .flat_map(|&s| widths.iter().map(move |&w| (s, w)))
+        .collect();
+    let utils = experiments::sweep::run_ordered(
+        &grid,
+        experiments::sweep::default_jobs(),
+        &|&(s, w)| run_noise_case(s, w),
+    );
+    let mut utils = utils.into_iter();
+    for scale in scales {
         let mut row = vec![format!("{scale}x")];
         let mut min_width = None;
-        for wmul in [1.0, 2.0, 4.0, 8.0] {
-            let util = run_noise_case(scale, wmul);
+        for wmul in widths {
+            let util = utils.next().expect("one result per grid cell");
             let ok = util >= 0.98;
             row.push(format!("{:.3}{}", util, if ok { "*" } else { "" }));
             if ok && min_width.is_none() {
@@ -272,9 +286,9 @@ fn run_noise_case(noise_scale: f64, width_mul: f64) -> f64 {
 
 fn main() {
     let scale = Scale::from_args();
-    let which = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--full")
+    let which = experiments::sweep::positional_args()
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "all".into());
     match which.as_str() {
         "a" => sub_a(scale),

@@ -5,9 +5,11 @@
 //!
 //! WebSearch workload at 70 % load on a fat-tree; buffer sized at
 //! 4.4 MB/Tbps (Tomahawk4). `--full` runs k = 6 at the paper's duration.
+//! Runs fan out across threads (`--jobs N`); output is identical to serial.
 
-use experiments::flowsched::{bucket_of, run, FlowSchedConfig};
+use experiments::flowsched::{bucket_of, run_many, FlowSchedConfig};
 use experiments::report::opt3;
+use experiments::sweep::default_jobs;
 use experiments::{Scale, Scheme, Table};
 use simcore::Time;
 
@@ -20,6 +22,25 @@ fn main() {
         Scheme::PrioPlusSwift,
         Scheme::PhysicalStarNoCc,
     ];
+
+    // Physical (real) supports at most 8 priorities (§2.2); those cells stay
+    // empty. Every other (classes, scheme) cell is one independent run.
+    let runnable = |scheme: Scheme, classes: u8| !(scheme == Scheme::PhysicalSwift && classes > 8);
+    let mut cfgs = Vec::new();
+    for &classes in &prio_counts {
+        for scheme in schemes {
+            if !runnable(scheme, classes) {
+                continue;
+            }
+            let mut cfg = FlowSchedConfig::new(scheme, classes);
+            cfg.k = scale.pick(4, 6);
+            cfg.duration = scale.pick(Time::from_ms(3), Time::from_ms(20));
+            cfg.seed = 20 + classes as u64; // same workload across schemes
+            cfgs.push(cfg);
+        }
+    }
+    let results = run_many(&cfgs, default_jobs());
+    let mut results = results.iter();
 
     let mut tables: Vec<Table> = ["total", "small", "middle", "large"]
         .iter()
@@ -62,8 +83,7 @@ fn main() {
         let mut tail_row = Vec::new();
         let mut pfc_row = Vec::new();
         for scheme in schemes {
-            // Physical (real) supports at most 8 priorities (§2.2).
-            if scheme == Scheme::PhysicalSwift && classes > 8 {
+            if !runnable(scheme, classes) {
                 for r in rows.iter_mut() {
                     r.push(None);
                 }
@@ -71,11 +91,7 @@ fn main() {
                 pfc_row.push(None);
                 continue;
             }
-            let mut cfg = FlowSchedConfig::new(scheme, classes);
-            cfg.k = scale.pick(4, 6);
-            cfg.duration = scale.pick(Time::from_ms(3), Time::from_ms(20));
-            cfg.seed = 20 + classes as u64; // same workload across schemes
-            let r = run(&cfg);
+            let r = results.next().expect("one result per config");
             rows[0].push(r.mean_fct_us(|_| true));
             rows[1].push(r.mean_fct_us(|f| bucket_of(f.size) == "small"));
             rows[2].push(r.mean_fct_us(|f| bucket_of(f.size) == "middle"));

@@ -30,8 +30,13 @@ fn coflow_at(load: f64, scale: Scale) {
         }
         cfg
     };
-    eprintln!("  running baseline...");
-    let base = coflowsched::run(&mk(Scheme::BaselineSwift));
+    // Baseline + the three schemes are independent runs; sweep them all.
+    let mut all_schemes = vec![Scheme::BaselineSwift];
+    all_schemes.extend(schemes);
+    let cfgs: Vec<CoflowConfig> = all_schemes.iter().map(|&s| mk(s)).collect();
+    eprintln!("  running baseline + {} schemes...", schemes.len());
+    let mut outs = coflowsched::run_many(&cfgs, experiments::sweep::default_jobs());
+    let base = outs.remove(0);
     let mut t = Table::new(
         format!(
             "Figure 12 ({:.0}% load): mean CCT speedup vs Swift baseline",
@@ -46,11 +51,8 @@ fn coflow_at(load: f64, scale: Scale) {
         ),
         &["scheme", "high prios (4-7)", "low prios (0-3)", "overall"],
     );
-    let mut results = Vec::new();
-    for scheme in schemes {
-        eprintln!("  running {}...", scheme.label());
-        results.push((scheme, coflowsched::run(&mk(scheme))));
-    }
+    let results: Vec<(Scheme, coflowsched::CoflowResult)> =
+        schemes.into_iter().zip(outs).collect();
     // Compare on the coflows completed in EVERY run, otherwise schemes that
     // starve (and censor) their slowest coflows look better than they are.
     let mut all: Vec<&coflowsched::CoflowResult> = vec![&base];
@@ -98,15 +100,22 @@ fn ml(scale: Scale) {
         }
         cfg
     };
-    eprintln!("  running ML baseline...");
-    let base = mltrain::run(&mk(Scheme::BaselineSwift));
+    let schemes = [Scheme::PhysicalSwift, Scheme::PrioPlusSwift];
+    let mut cases = vec![Scheme::BaselineSwift];
+    cases.extend(schemes);
+    let cfgs: Vec<MlConfig> = cases.iter().map(|&s| mk(s)).collect();
+    eprintln!("  running ML baseline + {} schemes...", schemes.len());
+    let mut outs = experiments::sweep::run_ordered(
+        &cfgs,
+        experiments::sweep::default_jobs(),
+        &mltrain::run,
+    );
+    let base = outs.remove(0);
     let mut t = Table::new(
         "Figure 12c: training speedup vs Swift baseline (4 ResNet + 4 VGG)",
         &["scheme", "ResNet", "VGG", "overall"],
     );
-    for scheme in [Scheme::PhysicalSwift, Scheme::PrioPlusSwift] {
-        eprintln!("  running {}...", scheme.label());
-        let r = mltrain::run(&mk(scheme));
+    for (scheme, r) in schemes.into_iter().zip(outs) {
         let speed = |fam: &str| {
             let b = base.iterations(fam).max(1) as f64;
             format!("{:.2}x", r.iterations(fam) as f64 / b)
@@ -127,9 +136,9 @@ fn ml(scale: Scale) {
 
 fn main() {
     let scale = Scale::from_args();
-    let which = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--full")
+    let which = experiments::sweep::positional_args()
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "all".into());
     match which.as_str() {
         "40" => coflow_at(0.4, scale),

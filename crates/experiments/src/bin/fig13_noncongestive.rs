@@ -5,6 +5,9 @@
 //! 20, 30 µs. The metric is the Normalized FCT Gap vs Physical+Swift:
 //! `sum(|FCT_pp - FCT_phys| / FCT_phys)` over the flows. Performance should
 //! hold until the non-congestive range exceeds the configured tolerance.
+//!
+//! The (range × B × seed) grid is a sweep of independent cases; `--jobs N`
+//! fans it across threads with output identical to a serial run.
 
 use experiments::micro::{testbed_env, Micro, MicroEnv};
 use experiments::report::f3;
@@ -47,52 +50,73 @@ fn run_flows(env: &MicroEnv, cc_of: &dyn Fn(u8) -> CcSpec, phys: bool, seed: u64
         .collect()
 }
 
+/// One grid cell sample: the FCT gap between the Physical+Swift reference
+/// and PrioPlus with noise allowance `B = tol_us`, under `range` µs of
+/// uniform non-congestive delay, for one seed.
+fn gap_case(range: u64, tol_us: u64, seed: u64) -> f64 {
+    let mut env = testbed_env();
+    env.switch.nc_delay = if range == 0 {
+        None
+    } else {
+        Some(NoiseModel::Uniform {
+            range_ps: Time::from_us(range).as_ps(),
+        })
+    };
+    // Physical reference: Swift in physical priority queues, same in-path nc
+    // delay (physical scheduling is unaffected by delay-measurement
+    // confusion).
+    let phys_fcts = run_flows(
+        &env,
+        &|prio| CcSpec::Swift {
+            queuing: Time::from_us(4 * (prio as u64 + 1)),
+            scaling: false,
+        },
+        true,
+        seed,
+    );
+    // PrioPlus with widened channels: noise allowance B = tol.
+    let policy = PrioPlusPolicy {
+        noise: Time::from_us(tol_us),
+        ..PrioPlusPolicy::paper_default(7)
+    };
+    let pp_fcts = run_flows(&env, &|_| CcSpec::PrioPlusSwift { policy }, false, seed);
+    phys_fcts
+        .iter()
+        .zip(&pp_fcts)
+        .map(|(p, q)| (q - p).abs() / p)
+        .sum::<f64>()
+}
+
 fn main() {
     let mut t = Table::new(
         "Figure 13: Normalized FCT Gap vs non-congestive delay range",
         &["nc range (us)", "B=10us", "B=20us", "B=30us"],
     );
     let ranges: Vec<u64> = vec![0, 6, 10, 14, 18, 24, 28, 32, 40];
+    let tols = [10u64, 20, 30];
+    // Average the gap over several seeds: the nc-delay draws are random and
+    // a single staggered-8-flow run is noisy.
+    let seeds = [1u64, 2, 3, 4];
+    let mut cases: Vec<(u64, u64, u64)> = Vec::new();
+    for &range in &ranges {
+        for &tol in &tols {
+            for &seed in &seeds {
+                cases.push((range, tol, seed));
+            }
+        }
+    }
+    let gaps = experiments::sweep::run_ordered(
+        &cases,
+        experiments::sweep::default_jobs(),
+        &|&(range, tol, seed)| gap_case(range, tol, seed),
+    );
+    let mut gaps = gaps.into_iter();
     for &range in &ranges {
         let mut cells = vec![range.to_string()];
-        for tol_us in [10u64, 20, 30] {
-            let mut env = testbed_env();
-            env.switch.nc_delay = if range == 0 {
-                None
-            } else {
-                Some(NoiseModel::Uniform {
-                    range_ps: Time::from_us(range).as_ps(),
-                })
-            };
-            // Average the gap over several seeds: the nc-delay draws are
-            // random and a single staggered-8-flow run is noisy.
-            let seeds = [1u64, 2, 3, 4];
-            let mut gap_sum = 0.0;
-            for &seed in &seeds {
-                // Physical reference: Swift in physical priority queues,
-                // same in-path nc delay (physical scheduling is unaffected
-                // by delay-measurement confusion).
-                let phys_fcts = run_flows(
-                    &env,
-                    &|prio| CcSpec::Swift {
-                        queuing: Time::from_us(4 * (prio as u64 + 1)),
-                        scaling: false,
-                    },
-                    true,
-                    seed,
-                );
-                // PrioPlus with widened channels: noise allowance B = tol.
-                let policy = PrioPlusPolicy {
-                    noise: Time::from_us(tol_us),
-                    ..PrioPlusPolicy::paper_default(7)
-                };
-                let pp_fcts = run_flows(&env, &|_| CcSpec::PrioPlusSwift { policy }, false, seed);
-                gap_sum += phys_fcts
-                    .iter()
-                    .zip(&pp_fcts)
-                    .map(|(p, q)| (q - p).abs() / p)
-                    .sum::<f64>();
-            }
+        for _tol in tols {
+            let gap_sum: f64 = (0..seeds.len())
+                .map(|_| gaps.next().expect("one gap per case"))
+                .sum();
             cells.push(f3(gap_sum / seeds.len() as f64));
         }
         t.row(cells);

@@ -132,16 +132,23 @@ fn mean_fct(outs: &[Out], b: &str, s: &str) -> Option<f64> {
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("running Physical*+Swift reference...");
-    let reference = run(Scheme::PhysicalStarSwift, scale);
     let schemes = [
         Scheme::PrioPlusSwift,
         Scheme::PhysicalStarNoCc,
         Scheme::D2tcp,
     ];
-    for scheme in schemes {
-        eprintln!("running {}...", scheme.label());
-        let outs = run(scheme, scale);
+    // The reference and the three schemes are independent runs; fan all
+    // four out together (`--jobs N`), results in input order.
+    let mut cases = vec![Scheme::PhysicalStarSwift];
+    cases.extend(schemes);
+    let mut all = experiments::sweep::run_ordered(
+        &cases,
+        experiments::sweep::default_jobs(),
+        &|&scheme| run(scheme, scale),
+    );
+    let reference = all.remove(0);
+    for (scheme, outs) in schemes.into_iter().zip(all) {
+        eprintln!("ran {}...", scheme.label());
         let mut t = Table::new(
             format!(
                 "Figure 14 ({}): mean FCT normalized by Physical*+Swift",

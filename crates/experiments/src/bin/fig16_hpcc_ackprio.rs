@@ -4,7 +4,7 @@
 //! Expected: PrioPlus* within ~10 % of PrioPlus; both beat HPCC (≥15 % on
 //! average FCT); HPCC protects small flows at the cost of medium/large.
 
-use experiments::flowsched::{bucket_of, run, FlowSchedConfig};
+use experiments::flowsched::{bucket_of, run_many, FlowSchedConfig};
 use experiments::report::opt3;
 use experiments::{Scale, Scheme, Table};
 use simcore::Time;
@@ -21,13 +21,18 @@ fn main() {
         "Figure 16: avg FCT (us) — PrioPlus vs PrioPlus* (in-band ACKs) vs HPCC",
         &["scheme", "total", "small", "middle", "large", "p99 total"],
     );
-    for scheme in schemes {
-        eprintln!("running {}...", scheme.label());
-        let mut cfg = FlowSchedConfig::new(scheme, classes);
-        cfg.k = scale.pick(4, 6);
-        cfg.duration = scale.pick(Time::from_ms(3), Time::from_ms(20));
-        cfg.seed = 16;
-        let r = run(&cfg);
+    let cfgs: Vec<FlowSchedConfig> = schemes
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = FlowSchedConfig::new(scheme, classes);
+            cfg.k = scale.pick(4, 6);
+            cfg.duration = scale.pick(Time::from_ms(3), Time::from_ms(20));
+            cfg.seed = 16;
+            cfg
+        })
+        .collect();
+    let results = run_many(&cfgs, experiments::sweep::default_jobs());
+    for (scheme, r) in schemes.into_iter().zip(results) {
         t.row(vec![
             scheme.label().into(),
             opt3(r.mean_fct_us(|_| true)),

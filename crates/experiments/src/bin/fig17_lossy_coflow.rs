@@ -35,16 +35,25 @@ fn main() {
             "rtx",
         ],
     );
+    // All six (scheme × env) runs are independent: sweep them together.
+    let schemes = [Scheme::PhysicalSwift, Scheme::PrioPlusSwift];
+    let mut cfgs = Vec::new();
+    for lossless in [true, false] {
+        cfgs.push(mk(Scheme::BaselineSwift, lossless));
+        for scheme in schemes {
+            cfgs.push(mk(scheme, lossless));
+        }
+    }
+    eprintln!("running {} coflow configs...", cfgs.len());
+    let outs = coflowsched::run_many(&cfgs, experiments::sweep::default_jobs());
+    let mut outs = outs.into_iter();
     for lossless in [true, false] {
         let env = if lossless { "lossless" } else { "lossy" };
-        eprintln!("running baseline ({env})...");
-        let base = coflowsched::run(&mk(Scheme::BaselineSwift, lossless));
-        let schemes = [Scheme::PhysicalSwift, Scheme::PrioPlusSwift];
-        let mut results = Vec::new();
-        for scheme in schemes {
-            eprintln!("running {} ({env})...", scheme.label());
-            results.push((scheme, coflowsched::run(&mk(scheme, lossless))));
-        }
+        let base = outs.next().expect("baseline result");
+        let results: Vec<(Scheme, coflowsched::CoflowResult)> = schemes
+            .iter()
+            .map(|&s| (s, outs.next().expect("scheme result")))
+            .collect();
         let mut all: Vec<&coflowsched::CoflowResult> = vec![&base];
         all.extend(results.iter().map(|(_, r)| r));
         let common = coflowsched::common_ids(&all);

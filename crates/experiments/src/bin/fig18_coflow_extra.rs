@@ -21,8 +21,6 @@ fn main() {
         }
         cfg
     };
-    eprintln!("running baseline...");
-    let base = coflowsched::run(&mk(Scheme::BaselineSwift));
     let mut t = Table::new(
         "Figure 18: coflow speedups at 70% load — HPCC and physical w/o CC",
         &["scheme", "mean speedup", "p99 speedup", "completion"],
@@ -32,11 +30,14 @@ fn main() {
         Scheme::PhysicalStarHpcc,
         Scheme::PhysicalStarNoCc,
     ];
-    let mut results = Vec::new();
-    for scheme in schemes {
-        eprintln!("running {}...", scheme.label());
-        results.push((scheme, coflowsched::run(&mk(scheme))));
-    }
+    let mut cases = vec![Scheme::BaselineSwift];
+    cases.extend(schemes);
+    let cfgs: Vec<CoflowConfig> = cases.iter().map(|&s| mk(s)).collect();
+    eprintln!("running baseline + {} schemes...", schemes.len());
+    let mut outs = coflowsched::run_many(&cfgs, experiments::sweep::default_jobs());
+    let base = outs.remove(0);
+    let results: Vec<(Scheme, coflowsched::CoflowResult)> =
+        schemes.into_iter().zip(outs).collect();
     let mut all: Vec<&coflowsched::CoflowResult> = vec![&base];
     all.extend(results.iter().map(|(_, r)| r));
     let common = coflowsched::common_ids(&all);

@@ -343,3 +343,9 @@ pub fn run(cfg: &CoflowConfig) -> CoflowResult {
         coflows,
     }
 }
+
+/// Run many independent configs across `jobs` threads; results are returned
+/// in input order, identical to calling [`run`] on each config serially.
+pub fn run_many(cfgs: &[CoflowConfig], jobs: usize) -> Vec<CoflowResult> {
+    crate::sweep::run_ordered(cfgs, jobs, &run)
+}

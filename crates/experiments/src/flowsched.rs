@@ -307,3 +307,9 @@ pub fn run(cfg: &FlowSchedConfig) -> FlowSchedResult {
         flows,
     }
 }
+
+/// Run many independent configs across `jobs` threads; results are returned
+/// in input order, identical to calling [`run`] on each config serially.
+pub fn run_many(cfgs: &[FlowSchedConfig], jobs: usize) -> Vec<FlowSchedResult> {
+    crate::sweep::run_ordered(cfgs, jobs, &run)
+}

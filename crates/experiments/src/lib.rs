@@ -11,7 +11,9 @@
 //!   17, 18);
 //! - [`mltrain`]: the ring all-reduce ML-cluster scenario (Fig 12c);
 //! - [`report`]: plain-text table + JSON emission so EXPERIMENTS.md entries
-//!   can be regenerated and diffed.
+//!   can be regenerated and diffed;
+//! - [`sweep`]: the parallel sweep runner (`--jobs N` / `PRIOPLUS_JOBS`)
+//!   that fans independent runs across threads with input-order results.
 //!
 //! Every runner accepts a [`Scale`] so the default invocation finishes in
 //! seconds while `--full` reproduces the paper-scale parameters.
@@ -23,8 +25,10 @@ pub mod flowsched;
 pub mod micro;
 pub mod mltrain;
 pub mod report;
+pub mod sweep;
 
 pub use report::Table;
+pub use sweep::Sweep;
 
 /// Run scale selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -75,16 +75,55 @@ impl Table {
         println!("{}", self.render());
         if let Ok(dir) = std::env::var("REPRO_JSON_DIR") {
             let path = Path::new(&dir).join(format!("{slug}.json"));
-            let value = serde_json::json!({
-                "title": self.title,
-                "columns": self.columns,
-                "rows": self.rows,
-            });
-            if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap()) {
+            if let Err(e) = std::fs::write(&path, self.to_json()) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             }
         }
     }
+
+    /// Structured JSON form (`{"title", "columns", "rows"}`), pretty-printed
+    /// with 2-space indentation. Hand-rolled so the workspace carries no JSON
+    /// dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        out.push_str("  \"columns\": [\n");
+        for (i, c) in self.columns.iter().enumerate() {
+            let comma = if i + 1 < self.columns.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", json_string(c));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    [{}]{comma}", cells.join(", "));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Quote and escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float with 3 significant decimals.
@@ -119,6 +158,17 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut t = Table::new("Quote \"q\"\n", &["a"]);
+        t.row(vec!["x\\y".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"Quote \\\"q\\\"\\n\""));
+        assert!(j.contains("[\"x\\\\y\"]"));
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with('}'));
     }
 
     #[test]

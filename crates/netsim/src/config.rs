@@ -1,12 +1,11 @@
 //! Simulation-wide and per-switch configuration.
 
-use serde::{Deserialize, Serialize};
 use simcore::{Rate, Time};
 
 use crate::noise::NoiseModel;
 
 /// Which physical priority ACKs travel in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AckPriority {
     /// ACKs use a dedicated highest control queue (the paper's default and
     /// the common practice in production data centers, §4.4).
@@ -16,7 +15,7 @@ pub enum AckPriority {
 }
 
 /// Shared-buffer and scheduling configuration of a switch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SwitchConfig {
     /// Total shared buffer in bytes.
     pub buffer_bytes: u64,
@@ -92,7 +91,7 @@ impl SwitchConfig {
 }
 
 /// Global simulation configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of physical data priorities (queues per port, excluding the
     /// control queue).
@@ -132,7 +131,7 @@ impl Default for SimConfig {
 }
 
 /// Properties of one directional link attachment (rate + propagation).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LinkSpec {
     /// Line rate.
     pub rate: Rate,

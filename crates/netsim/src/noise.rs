@@ -6,11 +6,10 @@
 //! simulations inject this noise into delay samples to increase fidelity; we
 //! do the same with a fitted synthetic model.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimRng, Time};
 
 /// Additive delay-measurement noise applied to every RTT sample a host takes.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum NoiseModel {
     /// No noise (idealized hardware timestamps).
     None,

@@ -28,6 +28,89 @@ pub struct IntHop {
     pub rate_bps: u64,
 }
 
+impl IntHop {
+    const ZERO: IntHop = IntHop {
+        qlen: 0,
+        tx_bytes: 0,
+        ts: Time::ZERO,
+        rate_bps: 0,
+    };
+}
+
+/// Hop count an [`IntPath`] stores without touching the heap. Data-center
+/// paths in the paper's topologies are ≤ 5 hops, so the inline capacity
+/// covers them with margin.
+pub const INT_INLINE_HOPS: usize = 8;
+
+/// The INT records collected along a packet's path.
+///
+/// Stores up to [`INT_INLINE_HOPS`] hops inline; only paths longer than that
+/// spill to a heap `Vec`. Boxed as `Option<Box<IntPath>>` in [`Packet`] /
+/// [`AckInfo`], an INT-carrying packet costs exactly one allocation, versus
+/// the old `Box<Vec<IntHop>>`'s box + vec buffer + growth reallocations.
+#[derive(Clone, Debug)]
+pub struct IntPath {
+    len: u8,
+    inline: [IntHop; INT_INLINE_HOPS],
+    spill: Vec<IntHop>,
+}
+
+impl Default for IntPath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntPath {
+    /// New empty path.
+    pub fn new() -> Self {
+        IntPath {
+            len: 0,
+            inline: [IntHop::ZERO; INT_INLINE_HOPS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append one hop record.
+    pub fn push(&mut self, hop: IntHop) {
+        if self.spill.is_empty() {
+            if (self.len as usize) < INT_INLINE_HOPS {
+                self.inline[self.len as usize] = hop;
+                self.len += 1;
+                return;
+            }
+            // First spill: migrate the inline records so `as_slice` stays a
+            // single contiguous view.
+            self.spill.reserve(INT_INLINE_HOPS * 2);
+            self.spill.extend_from_slice(&self.inline[..self.len as usize]);
+        }
+        self.spill.push(hop);
+    }
+
+    /// Number of hop records.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len as usize
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// True when no hops have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All hop records, in path order.
+    pub fn as_slice(&self) -> &[IntHop] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
 /// Acknowledgment contents carried by [`PktKind::Ack`] and
 /// [`PktKind::ProbeAck`].
 #[derive(Clone, Debug)]
@@ -46,7 +129,7 @@ pub struct AckInfo {
     /// receiver (lossy/IRN mode only).
     pub nack: Option<(u64, u64)>,
     /// Echoed INT telemetry (HPCC mode).
-    pub int: Option<Box<Vec<IntHop>>>,
+    pub int: Option<Box<IntPath>>,
 }
 
 /// What a packet is.
@@ -111,7 +194,7 @@ pub struct Packet {
     /// ECN congestion-experienced mark.
     pub ecn_ce: bool,
     /// INT telemetry collected along the path (HPCC mode).
-    pub int: Option<Box<Vec<IntHop>>>,
+    pub int: Option<Box<IntPath>>,
     /// Transient: ingress port at the switch currently holding the packet
     /// (for PFC ingress accounting).
     pub cur_in_port: u16,
@@ -225,6 +308,31 @@ mod tests {
         assert_eq!(p.size, 1048);
         assert_eq!(p.payload, 1000);
         assert!(p.kind.is_data());
+    }
+
+    #[test]
+    fn int_path_inline_then_spills() {
+        let mut p = IntPath::new();
+        assert!(p.is_empty());
+        let hop = |i: u64| IntHop {
+            qlen: i,
+            tx_bytes: i * 10,
+            ts: Time::from_us(i),
+            rate_bps: 100,
+        };
+        for i in 0..INT_INLINE_HOPS as u64 {
+            p.push(hop(i));
+        }
+        assert_eq!(p.len(), INT_INLINE_HOPS);
+        assert_eq!(p.as_slice().len(), INT_INLINE_HOPS);
+        // Push past inline capacity: order must be preserved across the
+        // spill.
+        for i in INT_INLINE_HOPS as u64..12 {
+            p.push(hop(i));
+        }
+        assert_eq!(p.len(), 12);
+        let qlens: Vec<u64> = p.as_slice().iter().map(|h| h.qlen).collect();
+        assert_eq!(qlens, (0..12).collect::<Vec<u64>>());
     }
 
     #[test]

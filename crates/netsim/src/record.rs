@@ -2,14 +2,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::{ThroughputMeter, TimeSeries};
 use simcore::{Rate, Time};
 
 use crate::packet::{FlowId, NodeId};
 
 /// Outcome of one flow.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowRecord {
     /// Flow id.
     pub flow: FlowId,
@@ -67,7 +66,7 @@ impl FlowRecord {
 }
 
 /// Aggregate counters of a run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimCounters {
     /// Total events processed.
     pub events: u64,

@@ -460,7 +460,13 @@ impl Sim {
         now: Time,
         flow: FlowId,
     ) -> TransportCtx<'a> {
-        let trace = traces.get_mut(&flow);
+        // Tracing is off in almost every run; skip the per-callback hash
+        // lookup entirely then.
+        let trace = if traces.is_empty() {
+            None
+        } else {
+            traces.get_mut(&flow)
+        };
         let (delay_trace, cwnd_trace) = match trace {
             Some(t) => (Some(&mut t.delay), Some(&mut t.cwnd)),
             None => (None, None),

@@ -9,14 +9,13 @@
 //! - [`Topology::leaf_spine`]: 2-tier leaf–spine with configurable
 //!   oversubscription (coflow fabric, CASSINI-style ML cluster).
 
-use serde::{Deserialize, Serialize};
 use simcore::{Rate, Time};
 
 use crate::config::LinkSpec;
 use crate::packet::NodeId;
 
 /// Role of a node in the topology.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// An end host with one NIC.
     Host,
@@ -25,7 +24,7 @@ pub enum NodeKind {
 }
 
 /// A network topology: nodes and full-duplex links.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     /// Node roles, indexed by [`NodeId`].
     pub kinds: Vec<NodeKind>,

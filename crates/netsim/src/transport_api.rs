@@ -9,7 +9,7 @@
 use simcore::event::ScheduledId;
 use simcore::{EventQueue, Time};
 
-use crate::packet::{FlowId, IntHop};
+use crate::packet::{FlowId, IntPath};
 use crate::sim::Event;
 
 /// Static per-flow parameters handed to the transport at creation.
@@ -71,7 +71,7 @@ pub struct AckEvent {
     /// Missing byte range reported by the receiver (lossy mode).
     pub nack: Option<(u64, u64)>,
     /// INT telemetry echoed by the receiver (HPCC).
-    pub int: Option<Box<Vec<IntHop>>>,
+    pub int: Option<Box<IntPath>>,
 }
 
 /// What a transport wants to put on the wire right now.
@@ -113,7 +113,8 @@ impl<'a> TransportCtx<'a> {
     /// at absolute time `at`.
     pub fn schedule_timer(&mut self, at: Time, token: u64) -> ScheduledId {
         let flow = self.flow;
-        self.queue.schedule(at, Event::FlowTimer { flow, token })
+        self.queue
+            .schedule_cancellable(at, Event::FlowTimer { flow, token })
     }
 
     /// Cancel a previously scheduled timer.

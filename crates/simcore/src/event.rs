@@ -3,20 +3,51 @@
 //! A thin wrapper around a binary heap keyed on `(time, sequence)`: events
 //! scheduled for the same instant pop in insertion order, which makes whole
 //! simulations reproducible bit-for-bit across runs regardless of heap
-//! internals. Events support O(log n) lazy cancellation via [`ScheduledId`].
+//! internals.
+//!
+//! Cancellation uses generation-stamped slots instead of a tombstone set:
+//! [`schedule_cancellable`](EventQueue::schedule_cancellable) hands out a
+//! [`ScheduledId`] naming a slot plus the generation it was issued under, and
+//! the heap entry carries the slot index. The pop path checks cancellation
+//! with one array index — no hashing, no allocation — and plain
+//! [`schedule`](EventQueue::schedule) (the vast majority of traffic) carries
+//! a sentinel slot and skips the bookkeeping entirely. A stale id (already
+//! fired or already cancelled) fails the generation check and is a no-op, so
+//! `len()` can never under-count and no tombstone can leak.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::Time;
 
-/// Handle to a scheduled event, usable for cancellation.
+/// Handle to a cancellable scheduled event.
+///
+/// Ids are generation-stamped: once the event fires or is cancelled, the id
+/// goes stale and later [`EventQueue::cancel`] calls with it are no-ops,
+/// even if the underlying slot has been reused for a newer event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct ScheduledId(u64);
+pub struct ScheduledId {
+    slot: u32,
+    gen: u32,
+}
+
+/// Slot index carried by heap entries that were scheduled without a
+/// cancellation handle.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-slot cancellation state. `gen` advances every time the slot is
+/// retired (fire or cancel), invalidating outstanding ids; `live` is false
+/// while a cancelled entry is still sitting in the heap.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    gen: u32,
+    live: bool,
+}
 
 struct Entry<E> {
     at: Time,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -46,7 +77,10 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// Entries still in the heap whose slot was cancelled.
+    cancelled_in_heap: usize,
     now: Time,
     popped: u64,
 }
@@ -63,7 +97,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            cancelled_in_heap: 0,
             now: Time::ZERO,
             popped: 0,
         }
@@ -82,8 +118,9 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of pending (non-cancelled) events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled_in_heap
     }
 
     /// True when no live events remain.
@@ -91,12 +128,8 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// # Panics
-    /// Panics if `at` is earlier than the current time: simulated causality
-    /// must never run backwards.
-    pub fn schedule(&mut self, at: Time, event: E) -> ScheduledId {
+    #[inline]
+    fn push_entry(&mut self, at: Time, slot: u32, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: {at} < now {}",
@@ -104,25 +137,98 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        ScheduledId(seq)
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            event,
+        });
+    }
+
+    /// Schedule `event` at absolute time `at`. The event cannot be
+    /// cancelled; use [`schedule_cancellable`](Self::schedule_cancellable)
+    /// when a cancellation handle is needed.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time: simulated causality
+    /// must never run backwards.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        self.push_entry(at, NO_SLOT, event);
     }
 
     /// Schedule `event` `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: Time, event: E) -> ScheduledId {
-        self.schedule(self.now + delay, event)
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Schedule `event` at absolute time `at`, returning a handle that can
+    /// cancel it until it fires.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_cancellable(&mut self, at: Time, event: E) -> ScheduledId {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                let s = self.slots.len();
+                assert!(s < NO_SLOT as usize, "slot index space exhausted");
+                self.slots.push(Slot { gen: 0, live: true });
+                s as u32
+            }
+        };
+        self.push_entry(at, slot, event);
+        ScheduledId {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op.
+    /// already-cancelled event is a no-op (the stale id fails its generation
+    /// check), so `len()` stays accurate.
     pub fn cancel(&mut self, id: ScheduledId) {
-        self.cancelled.insert(id.0);
+        if let Some(slot) = self.slots.get_mut(id.slot as usize) {
+            if slot.gen == id.gen && slot.live {
+                slot.live = false;
+                // Invalidate the id immediately; the heap entry is retired
+                // lazily on pop/peek, which recycles the slot.
+                slot.gen = slot.gen.wrapping_add(1);
+                self.cancelled_in_heap += 1;
+            }
+        }
+    }
+
+    /// Retire the slot of an entry leaving the heap. Returns true when the
+    /// entry was live (should be delivered).
+    #[inline]
+    fn retire(&mut self, slot: u32) -> bool {
+        if slot == NO_SLOT {
+            return true;
+        }
+        let s = &mut self.slots[slot as usize];
+        if s.live {
+            // Fired: invalidate outstanding ids, then recycle.
+            s.live = false;
+            s.gen = s.gen.wrapping_add(1);
+            self.free_slots.push(slot);
+            true
+        } else {
+            // Cancelled earlier; gen was already bumped then.
+            self.cancelled_in_heap -= 1;
+            self.free_slots.push(slot);
+            false
+        }
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !self.retire(entry.slot) {
                 continue;
             }
             debug_assert!(entry.at >= self.now);
@@ -136,13 +242,13 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+            let (at, slot) = (entry.at, entry.slot);
+            if slot == NO_SLOT || self.slots[slot as usize].live {
+                return Some(at);
             }
-            return Some(entry.at);
+            // Cancelled: drop it now so peek stays amortized O(1).
+            self.heap.pop();
+            self.retire(slot);
         }
         None
     }
@@ -168,6 +274,21 @@ mod tests {
         let t = Time::from_us(5);
         for i in 0..100 {
             q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_cancellable_ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(5);
+        for i in 0..100 {
+            if i % 3 == 0 {
+                let _ = q.schedule_cancellable(t, i);
+            } else {
+                q.schedule(t, i);
+            }
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
@@ -200,7 +321,7 @@ mod tests {
     #[test]
     fn cancellation_skips_events() {
         let mut q = EventQueue::new();
-        let a = q.schedule(Time::from_us(1), "a");
+        let a = q.schedule_cancellable(Time::from_us(1), "a");
         q.schedule(Time::from_us(2), "b");
         q.cancel(a);
         assert_eq!(q.len(), 1);
@@ -211,11 +332,45 @@ mod tests {
     #[test]
     fn cancel_after_fire_is_noop() {
         let mut q = EventQueue::new();
-        let a = q.schedule(Time::from_us(1), "a");
+        let a = q.schedule_cancellable(Time::from_us(1), "a");
         assert!(q.pop().is_some());
         q.cancel(a);
         q.schedule(Time::from_us(2), "b");
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    /// Regression: the old tombstone-set design let `cancel()` on a fired id
+    /// insert a never-matching tombstone, making `len()` under-report and
+    /// underflow-panic once the heap drained below the tombstone count.
+    #[test]
+    fn cancel_after_fire_keeps_len_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(Time::from_us(1), "a");
+        q.pop();
+        assert_eq!(q.len(), 0);
+        q.cancel(a); // stale id: must not disturb the live count
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        q.schedule(Time::from_us(2), "b");
+        assert_eq!(q.len(), 1); // would panic on underflow before the fix
+        q.cancel(a); // still a no-op, even with events pending
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(Time::from_us(1), "a");
+        q.schedule(Time::from_us(2), "b");
+        q.cancel(a);
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
     }
 
     #[test]
@@ -230,9 +385,79 @@ mod tests {
     #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
-        let a = q.schedule(Time::from_us(1), "a");
+        let a = q.schedule_cancellable(Time::from_us(1), "a");
         q.schedule(Time::from_us(2), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Time::from_us(2)));
+    }
+
+    #[test]
+    fn cancel_then_reschedule_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(7);
+        let a = q.schedule_cancellable(t, "old");
+        q.cancel(a);
+        // Reschedule at the same instant; the cancelled entry's slot may be
+        // recycled for the replacement, so the stale id must stay dead.
+        let b = q.schedule_cancellable(t, "new");
+        q.cancel(a); // stale: must not kill "new"
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("new"));
+        assert!(q.pop().is_none());
+        let _ = b;
+    }
+
+    #[test]
+    fn cancel_interleaved_with_peek() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(Time::from_us(1), 1);
+        let b = q.schedule_cancellable(Time::from_us(2), 2);
+        q.schedule(Time::from_us(3), 3);
+        assert_eq!(q.peek_time(), Some(Time::from_us(1)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_us(2)));
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(Time::from_us(3)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_us(3), 3)));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn mass_cancel_then_drain() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1000)
+            .map(|i| q.schedule_cancellable(Time::from_us(i), i))
+            .collect();
+        // Keep every 10th event; cancel the rest in scattered order.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 10 != 0 {
+                q.cancel(*id);
+            }
+        }
+        assert_eq!(q.len(), 100);
+        let survivors: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(survivors, (0..1000).step_by(10).collect::<Vec<_>>());
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_ids() {
+        let mut q = EventQueue::new();
+        // Run many schedule/fire/cancel-stale cycles through the same slot.
+        let mut stale = Vec::new();
+        for round in 0..50u64 {
+            let id = q.schedule_cancellable(Time::from_us(round + 1), round);
+            // Every stale id from prior rounds must be inert against the
+            // recycled slot now hosting the current event.
+            for old in &stale {
+                q.cancel(*old);
+            }
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(round));
+            stale.push(id);
+        }
+        assert!(q.is_empty());
     }
 }

@@ -2,7 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{Time, PS_PER_SEC};
 
@@ -11,7 +10,7 @@ use crate::time::{Time, PS_PER_SEC};
 /// Serialization delays are computed exactly in picoseconds with `u128`
 /// intermediates so that no rate/packet-size combination used in the paper
 /// loses precision.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rate(u64);
 
 impl Rate {

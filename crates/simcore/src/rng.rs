@@ -2,10 +2,8 @@
 //!
 //! The simulator must be a pure function of `(config, seed)`. We use a
 //! SplitMix64-seeded xoshiro256++-style generator implemented locally so the
-//! stream is stable across `rand` versions, and expose `rand`-compatible
-//! trait impls for use with distributions.
-
-use rand::RngCore;
+//! stream is stable regardless of external RNG crate versions (and so the
+//! workspace builds with no registry access at all).
 
 /// A deterministic 64-bit PRNG (xoshiro256++), split-able into independent
 /// substreams so that e.g. each flow's noise sampling is decoupled from the
@@ -121,22 +119,19 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
+impl SimRng {
+    /// Next 32-bit value (top half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Fill a byte slice from the stream (little-endian word order).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let v = self.next().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -1,6 +1,5 @@
 //! Summary statistics for experiment reporting.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
@@ -8,10 +7,9 @@ use crate::time::Time;
 ///
 /// Percentiles use the nearest-rank method on the sorted samples, matching
 /// how datacenter transport papers report p99/p999 FCT slowdowns.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     samples: Vec<f64>,
-    #[serde(skip)]
     sorted: bool,
 }
 
@@ -118,7 +116,7 @@ impl Summary {
 
 /// A time series sampled at fixed intervals, used by rate/delay-over-time
 /// figures (Fig 3, 8, 9, 10).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     /// Sample timestamps in microseconds.
     pub t_us: Vec<f64>,

@@ -9,7 +9,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// Picoseconds per nanosecond.
 pub const PS_PER_NS: u64 = 1_000;
@@ -21,12 +20,12 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
 /// An instant in simulated time (picoseconds since simulation start).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 /// A signed span of simulated time, used for delay arithmetic that may be
 /// transiently negative (e.g. `measured - target`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeDelta(i64);
 
 impl Time {

@@ -170,7 +170,7 @@ impl Transport for HpccTransport {
         }
         let _newly = self.base.on_ack(ack, ctx.now);
         if let Some(int) = &ack.int {
-            self.measure_inflight(int);
+            self.measure_inflight(int.as_slice());
             let update_wc = ack.acked_seq >= self.wc_seq;
             if update_wc {
                 self.wc_seq = self.base.snd_nxt;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build release, run the dependency-free simbench harness, and diff
+# events/sec against the previously committed BENCH_simbench.json.
+#
+# Usage: scripts/bench.sh  (honors PRIOPLUS_JOBS / --jobs via simbench)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_FILE="BENCH_simbench.json"
+PREV=""
+if [[ -f "$BENCH_FILE" ]]; then
+  PREV=$(mktemp)
+  cp "$BENCH_FILE" "$PREV"
+fi
+
+cargo build --release -p prioplus-bench --bin simbench
+./target/release/simbench "$@"
+
+if [[ -n "$PREV" ]]; then
+  echo
+  echo "=== events/sec vs previous $BENCH_FILE ==="
+  # Extract "name events_per_sec" pairs from old and new and print deltas.
+  extract() {
+    sed -n 's/.*"name": "\([^"]*\)".*"events_per_sec": \([0-9.]*\).*/\1 \2/p' "$1"
+  }
+  join <(extract "$PREV" | sort) <(extract "$BENCH_FILE" | sort) |
+    while read -r name old new; do
+      awk -v n="$name" -v o="$old" -v c="$new" 'BEGIN {
+        delta = (o > 0) ? (c - o) / o * 100.0 : 0.0
+        printf "  %-18s %14.0f -> %14.0f  (%+.1f%%)\n", n, o, c, delta
+      }'
+    done
+  rm -f "$PREV"
+else
+  echo "(no previous $BENCH_FILE; baseline written)"
+fi

@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
 # Regenerate every paper figure/table at the default (quick) scale.
 # Outputs land in results/ (text) and results/json/ (machine-readable).
+#
+# Flags are passed through to every figure binary:
+#   --full       paper-scale parameters
+#   --jobs N     parallel sweep workers (default: all cores; also
+#                settable via PRIOPLUS_JOBS). Output is byte-identical
+#                to a serial run regardless of N.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
