@@ -43,6 +43,13 @@ pub trait DelayCc {
     /// The CC's target delay (= the channel's `D_target` after
     /// integration).
     fn target_delay(&self) -> Time;
+
+    /// Audit hook: verify the controller's internal invariants (window
+    /// within its clamp bounds, finite values). Returns a description of
+    /// the first violated invariant. Default: no checks.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// A minimal reference [`DelayCc`] used in unit tests and documentation: an
@@ -119,6 +126,22 @@ impl DelayCc for SimpleAimd {
 
     fn target_delay(&self) -> Time {
         self.target
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.cwnd.is_finite() {
+            return Err(format!("cwnd {} is not finite", self.cwnd));
+        }
+        if self.cwnd < self.min_cwnd || self.cwnd > self.max_cwnd {
+            return Err(format!(
+                "cwnd {} outside [{}, {}]",
+                self.cwnd, self.min_cwnd, self.max_cwnd
+            ));
+        }
+        if !self.ai.is_finite() || self.ai < 0.0 {
+            return Err(format!("ai step {} invalid", self.ai));
+        }
+        Ok(())
     }
 }
 

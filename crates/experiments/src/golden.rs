@@ -1,0 +1,175 @@
+//! Golden-trace pinning: small deterministic scenarios whose integer
+//! summaries (per-flow finish times, delivered bytes, retransmits, global
+//! counters) are checked into `tests/golden/` and diffed by the tier-1
+//! tests.
+//!
+//! The summaries are pure integers — no floats — so the files are stable
+//! across platforms and rustc versions; any diff is a behavioral change of
+//! the simulator, not formatting noise. Regenerate intentionally with
+//! `GOLDEN_BLESS=1 cargo test -p experiments --test golden_traces`.
+
+use crate::micro::{testbed_env, Micro, MicroEnv};
+use netsim::{NoiseModel, SimResult, SwitchConfig};
+use simcore::Time;
+use transport::{CcSpec, PrioPlusPolicy};
+
+/// 64-bit FNV-1a digest, used to headline each golden file.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One pinned scenario: a name (the golden file stem) and a runner. The
+/// flag enables the invariant audit for the run.
+pub struct Golden {
+    /// Golden file stem under `tests/golden/`.
+    pub name: &'static str,
+    /// Build and run the scenario.
+    pub run: fn(audit: bool) -> SimResult,
+}
+
+/// All pinned scenarios.
+pub fn cases() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "fig10_staircase",
+            run: staircase,
+        },
+        Golden {
+            name: "fig13_nc_delay",
+            run: nc_delay,
+        },
+        Golden {
+            name: "lossy_dt_incast",
+            run: lossy_incast,
+        },
+    ]
+}
+
+/// Fig 10a in miniature: 4 virtual priorities x 2 flows with staggered
+/// starts over one PrioPlus+Swift bottleneck, testbed noise.
+fn staircase(audit: bool) -> SimResult {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 8,
+        end: Time::from_ms(10),
+        trace: false,
+        noise: NoiseModel::testbed(),
+        seed: 3,
+        ..Default::default()
+    });
+    if audit {
+        m.sim.enable_audit();
+    }
+    let cc = CcSpec::PrioPlusSwift {
+        policy: PrioPlusPolicy::paper_default(4),
+    };
+    for p in 0..4u8 {
+        let start = Time::from_ms(p as u64);
+        for f in 0..2usize {
+            let sender = 1 + (p as usize * 2 + f);
+            m.add_flow(sender, 400_000 * (p as u64 + 1), start, 0, p, &cc);
+        }
+    }
+    m.sim.run()
+}
+
+/// Fig 13 in miniature: the testbed environment with 10 µs of uniform
+/// non-congestive delay at the bottleneck; PrioPlus widened to tolerate it.
+fn nc_delay(audit: bool) -> SimResult {
+    let mut env = testbed_env();
+    env.end = Time::from_ms(8);
+    env.trace = false;
+    env.seed = 5;
+    env.switch.nc_delay = Some(NoiseModel::Uniform {
+        range_ps: Time::from_us(10).as_ps(),
+    });
+    let mut m = Micro::build(&env);
+    if audit {
+        m.sim.enable_audit();
+    }
+    let policy = PrioPlusPolicy {
+        noise: Time::from_us(10),
+        ..PrioPlusPolicy::paper_default(4)
+    };
+    let cc = CcSpec::PrioPlusSwift { policy };
+    for (i, prio) in [1u8, 3].iter().enumerate() {
+        for f in 0..2usize {
+            let sender = 1 + (i * 2 + f);
+            m.add_flow(
+                sender,
+                500_000,
+                Time::from_ms(i as u64),
+                0,
+                *prio,
+                &cc,
+            );
+        }
+    }
+    m.sim.run()
+}
+
+/// Lossy-mode incast: a small shared buffer forces Dynamic-Threshold drops
+/// and Swift retransmissions, pinning the DT/drop/RTO paths.
+fn lossy_incast(audit: bool) -> SimResult {
+    let mut m = Micro::build(&MicroEnv {
+        senders: 8,
+        end: Time::from_ms(10),
+        trace: false,
+        seed: 9,
+        switch: SwitchConfig {
+            pfc_enabled: false,
+            buffer_bytes: 200_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    if audit {
+        m.sim.enable_audit();
+    }
+    let cc = CcSpec::Swift {
+        queuing: Time::from_us(4),
+        scaling: false,
+    };
+    for s in 1..=8 {
+        m.add_flow(s, 500_000, Time::ZERO, 0, 0, &cc);
+    }
+    m.sim.run()
+}
+
+/// Render the integer summary that gets pinned: one line per flow plus the
+/// global counters, digest in the header.
+pub fn summarize(res: &SimResult) -> String {
+    let mut body = String::new();
+    for r in &res.records {
+        body.push_str(&format!(
+            "flow {} src={} dst={} size={} prio={}/{} finish_ps={} delivered={} rtx={}\n",
+            r.flow,
+            r.src,
+            r.dst,
+            r.size,
+            r.phys_prio,
+            r.virt_prio,
+            r.finish.map(|t| t.as_ps() as i64).unwrap_or(-1),
+            r.delivered,
+            r.retransmits,
+        ));
+    }
+    let c = &res.counters;
+    body.push_str(&format!(
+        "counters events={} data_delivered={} pfc_pauses={} pfc_resumes={} \
+         drops={} ecn_marks={} probes={} max_buffer_used={}\n",
+        c.events,
+        c.data_delivered,
+        c.pfc_pauses,
+        c.pfc_resumes,
+        c.drops,
+        c.ecn_marks,
+        c.probes,
+        c.max_buffer_used,
+    ));
+    format!("digest fnv1a64={:016x}\n{}", fnv1a64(body.as_bytes()), body)
+}

@@ -22,6 +22,7 @@
 
 pub mod coflowsched;
 pub mod flowsched;
+pub mod golden;
 pub mod micro;
 pub mod mltrain;
 pub mod report;

@@ -1,0 +1,863 @@
+//! Invariant auditing: conservation and state-machine checks at event
+//! boundaries.
+//!
+//! The audit layer is the simulator's deterministic-simulation-testing
+//! harness. When enabled (the `audit` cargo feature, plus a runtime toggle:
+//! [`crate::Sim::enable_audit`], the `PRIOPLUS_AUDIT` environment variable,
+//! or a `--audit` CLI flag), the event loop verifies after every event that
+//! the simulation state still satisfies the invariants the paper's switch
+//! mechanisms guarantee in hardware:
+//!
+//! - **packet conservation** — data packets injected = delivered + dropped +
+//!   in flight; receiver-delivered bytes never exceed the flow size;
+//!   [`crate::record::SimCounters`] agree with independently tallied counts;
+//! - **buffer accounting** — per-queue/per-port/per-switch byte counters
+//!   match a recount of the actual queued packets, occupancy never exceeds
+//!   the physical buffer, and lossy-mode admissions respect the
+//!   Dynamic-Threshold limit;
+//! - **PFC legality** — Xoff fires whenever an ingress counter crosses the
+//!   pause threshold, pause/resume transitions alternate, and no more than
+//!   the reserved headroom arrives for a paused (port, priority);
+//! - **ECN bounds** — RED marking never marks below `kmin` and always marks
+//!   above `kmax` (per-DSCP-scaled where configured);
+//! - **transport sanity** — per-CC invariants (cwnd clamps, sequence-state
+//!   consistency) via [`crate::transport_api::Transport::check_invariants`];
+//! - **event queue** — the scheduler's internal bookkeeping
+//!   ([`simcore::EventQueue::check_invariants`]).
+//!
+//! Violations become structured [`Violation`] records pinpointing the event,
+//! node, port, queue, and flow, alongside a ring buffer of the most recent
+//! events ([`EventRecord`]) so a failure is debuggable after the fact. The
+//! whole layer compiles out with `--no-default-features` and costs one
+//! `Option` check per event when compiled in but disabled.
+
+use std::collections::HashMap;
+
+use simcore::{RingLog, Time};
+
+use crate::node::Switch;
+use crate::packet::{FlowId, NodeId};
+use crate::record::SimCounters;
+
+/// Configuration of the audit layer.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Number of trailing events retained for violation context.
+    pub ring_capacity: usize,
+    /// Violations stored verbatim; excess violations are only counted.
+    pub max_violations: usize,
+    /// Panic with a full dump on the first violation (fail-fast debugging).
+    pub panic_on_violation: bool,
+    /// Run the O(state) deep scan every N events (1 = every event). The
+    /// focused per-event checks always run.
+    pub deep_every: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            ring_capacity: 64,
+            max_violations: 64,
+            panic_on_violation: false,
+            deep_every: 1,
+        }
+    }
+}
+
+/// Class of invariant violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A byte counter disagrees with a recount of the queued packets.
+    BufferAccounting,
+    /// Occupancy exceeded the physical buffer or a DT admission limit.
+    BufferOverflow,
+    /// More bytes than the reserved PFC headroom arrived for a paused
+    /// (ingress port, priority).
+    HeadroomOverdraw,
+    /// An ingress counter sits above the pause threshold right after an
+    /// admission, but no Xoff was sent.
+    PfcXoffMissed,
+    /// A pause arrived while paused, or a resume while not paused.
+    PfcIllegalTransition,
+    /// A packet was ECN-marked below `kmin` or left unmarked above `kmax`.
+    EcnBounds,
+    /// Delivered + dropped packets exceed injected, or a receiver delivered
+    /// more bytes than the flow size.
+    PacketConservation,
+    /// [`SimCounters`] disagree with the audit's independent tallies.
+    CounterMismatch,
+    /// A transport's internal invariants failed
+    /// ([`crate::transport_api::Transport::check_invariants`]).
+    TransportSanity,
+    /// The event queue's internal bookkeeping failed
+    /// ([`simcore::EventQueue::check_invariants`]).
+    EventQueue,
+}
+
+/// One recorded invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What class of invariant failed.
+    pub kind: ViolationKind,
+    /// Simulated time of the event that exposed it.
+    pub time: Time,
+    /// Node involved, when applicable.
+    pub node: Option<NodeId>,
+    /// Port involved, when applicable.
+    pub port: Option<u16>,
+    /// Queue / priority involved, when applicable.
+    pub queue: Option<u8>,
+    /// Flow involved, when applicable.
+    pub flow: Option<FlowId>,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?}] t={}", self.kind, self.time)?;
+        if let Some(n) = self.node {
+            write!(f, " node={n}")?;
+        }
+        if let Some(p) = self.port {
+            write!(f, " port={p}")?;
+        }
+        if let Some(q) = self.queue {
+            write!(f, " queue={q}")?;
+        }
+        if let Some(fl) = self.flow {
+            write!(f, " flow={fl}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Compact record of one processed event, kept in the trailing ring buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct EventRecord {
+    /// Position in the event stream (0-based).
+    pub seq: u64,
+    /// Event timestamp.
+    pub time: Time,
+    /// Event kind (static label).
+    pub kind: &'static str,
+    /// Primary id of the event (node, flow, or monitor index).
+    pub id: u32,
+}
+
+/// Final audit output, attached to [`crate::record::SimResult`].
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Stored violations (capped at [`AuditConfig::max_violations`]).
+    pub violations: Vec<Violation>,
+    /// Total violations detected, including ones beyond the storage cap.
+    pub total_violations: u64,
+    /// Events the audit layer observed.
+    pub events_audited: u64,
+    /// Deep scans performed.
+    pub deep_scans: u64,
+    /// The most recent events, oldest first.
+    pub recent_events: Vec<EventRecord>,
+}
+
+impl AuditReport {
+    /// True when no violation was detected.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Multi-line human-readable dump: every stored violation plus the
+    /// trailing event ring.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} violation(s) over {} events ({} deep scans)",
+            self.total_violations, self.events_audited, self.deep_scans
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        if !self.recent_events.is_empty() {
+            let _ = writeln!(out, "  recent events (oldest first):");
+            for e in &self.recent_events {
+                let _ = writeln!(out, "    #{} t={} {} id={}", e.seq, e.time, e.kind, e.id);
+            }
+        }
+        out
+    }
+}
+
+/// PFC pause-state mirror for one (node, ingress port, priority).
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+#[derive(Clone, Copy, Debug, Default)]
+struct PfcMirror {
+    paused: bool,
+    /// Bytes that arrived for this (port, priority) since the pause was
+    /// emitted; must stay within the reserved headroom.
+    since_pause_bytes: u64,
+}
+
+/// Details of a packet that just went through switch admission, handed to
+/// [`Audit::note_switch_arrive`] by the event loop.
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+pub(crate) struct SwitchArrive {
+    pub(crate) node: NodeId,
+    pub(crate) in_port: u16,
+    pub(crate) egress: u16,
+    pub(crate) queue: u8,
+    pub(crate) wire: u64,
+    pub(crate) is_data: bool,
+    pub(crate) dropped: bool,
+    /// For data packets: (egress queue bytes before enqueue, dscp, marked).
+    pub(crate) ecn: Option<(u64, u8, bool)>,
+}
+
+/// The (switch, ingress port, queue) an admission in the current event
+/// touched; checked against the Xoff invariant at the event boundary.
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+#[derive(Debug)]
+pub(crate) struct Focus {
+    pub(crate) node: NodeId,
+    pub(crate) in_port: u16,
+    pub(crate) queue: u8,
+}
+
+/// Live audit state held by the simulator while auditing is enabled.
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+#[derive(Debug)]
+pub struct Audit {
+    cfg: AuditConfig,
+    ring: RingLog<EventRecord>,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    events_audited: u64,
+    deep_scans: u64,
+    injected_pkts: u64,
+    injected_wire: u64,
+    delivered_pkts: u64,
+    delivered_wire: u64,
+    dropped_pkts: u64,
+    dropped_wire: u64,
+    pfc: HashMap<(NodeId, u16, u8), PfcMirror>,
+    focus: Option<Focus>,
+    touched: Vec<FlowId>,
+}
+
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+impl Audit {
+    /// New audit state.
+    pub fn new(cfg: AuditConfig) -> Self {
+        let ring = RingLog::new(cfg.ring_capacity.max(1));
+        Audit {
+            cfg,
+            ring,
+            violations: Vec::new(),
+            total_violations: 0,
+            events_audited: 0,
+            deep_scans: 0,
+            injected_pkts: 0,
+            injected_wire: 0,
+            delivered_pkts: 0,
+            delivered_wire: 0,
+            dropped_pkts: 0,
+            dropped_wire: 0,
+            pfc: HashMap::new(),
+            focus: None,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Record one violation (central sink; applies the storage cap and the
+    /// panic-on-violation policy).
+    pub(crate) fn violate(&mut self, v: Violation) {
+        self.total_violations += 1;
+        if self.cfg.panic_on_violation {
+            let mut dump = String::from("audit violation: ");
+            dump.push_str(&v.to_string());
+            dump.push('\n');
+            dump.push_str(&self.snapshot_report().dump());
+            panic!("{dump}");
+        }
+        if self.violations.len() < self.cfg.max_violations {
+            self.violations.push(v);
+        }
+    }
+
+    fn report(
+        &mut self,
+        kind: ViolationKind,
+        time: Time,
+        node: Option<NodeId>,
+        port: Option<u16>,
+        queue: Option<u8>,
+        flow: Option<FlowId>,
+        detail: String,
+    ) {
+        self.violate(Violation {
+            kind,
+            time,
+            node,
+            port,
+            queue,
+            flow,
+            detail,
+        });
+    }
+
+    /// Ring-log one event about to be processed.
+    pub(crate) fn on_event(&mut self, time: Time, kind: &'static str, id: u32) {
+        self.ring.push(EventRecord {
+            seq: self.events_audited,
+            time,
+            kind,
+            id,
+        });
+        self.events_audited += 1;
+    }
+
+    /// A data packet left a sender NIC (includes retransmissions).
+    pub(crate) fn on_data_injected(&mut self, flow: FlowId, wire: u64) {
+        self.injected_pkts += 1;
+        self.injected_wire += wire;
+        self.touch_flow(flow);
+    }
+
+    /// A data packet arrived at its destination host.
+    pub(crate) fn on_data_delivered(&mut self, time: Time, flow: FlowId, wire: u64) {
+        self.delivered_pkts += 1;
+        self.delivered_wire += wire;
+        self.touch_flow(flow);
+        if self.delivered_pkts + self.dropped_pkts > self.injected_pkts {
+            let (d, dr, i) = (self.delivered_pkts, self.dropped_pkts, self.injected_pkts);
+            self.report(
+                ViolationKind::PacketConservation,
+                time,
+                None,
+                None,
+                None,
+                Some(flow),
+                format!("delivered {d} + dropped {dr} > injected {i}"),
+            );
+        }
+    }
+
+    /// Mark a flow's transport state as touched by the current event; its
+    /// invariants are verified at the boundary.
+    pub(crate) fn touch_flow(&mut self, flow: FlowId) {
+        if self.touched.last() != Some(&flow) {
+            self.touched.push(flow);
+        }
+    }
+
+    /// Pop one touched flow (boundary drain).
+    pub(crate) fn pop_touched(&mut self) -> Option<FlowId> {
+        self.touched.pop()
+    }
+
+    /// A PFC pause/resume frame was emitted by `node` toward ingress
+    /// `in_port`'s upstream peer: verify the transition is legal and update
+    /// the pause mirror.
+    pub(crate) fn on_pfc_frame(
+        &mut self,
+        time: Time,
+        node: NodeId,
+        in_port: u16,
+        prio: u8,
+        pause: bool,
+    ) {
+        let m = self.pfc.entry((node, in_port, prio)).or_default();
+        let illegal = m.paused == pause;
+        m.paused = pause;
+        m.since_pause_bytes = 0;
+        if illegal {
+            let what = if pause {
+                "pause while already paused"
+            } else {
+                "resume while not paused"
+            };
+            self.report(
+                ViolationKind::PfcIllegalTransition,
+                time,
+                Some(node),
+                Some(in_port),
+                Some(prio),
+                None,
+                what.to_string(),
+            );
+        }
+    }
+
+    /// A packet went through switch admission: run the per-packet checks
+    /// (ECN bounds, DT limit, headroom draw) and arm the boundary Xoff
+    /// check. Must be called *before* the pause frames from this admission
+    /// are emitted, so the triggering packet itself never draws headroom.
+    pub(crate) fn note_switch_arrive(&mut self, time: Time, info: &SwitchArrive, sw: &Switch) {
+        if info.dropped {
+            self.dropped_pkts += 1;
+            self.dropped_wire += info.wire;
+        }
+        if let Some((q_pre, dscp, marked)) = info.ecn {
+            let scale = if sw.cfg.ecn_prio_scaled {
+                dscp as u64 + 1
+            } else {
+                1
+            };
+            let (kmin, kmax) = (sw.cfg.ecn_kmin * scale, sw.cfg.ecn_kmax * scale);
+            if marked && q_pre <= kmin {
+                self.report(
+                    ViolationKind::EcnBounds,
+                    time,
+                    Some(info.node),
+                    Some(info.egress),
+                    Some(info.queue),
+                    None,
+                    format!("marked at queue {q_pre} B <= kmin {kmin} B"),
+                );
+            } else if !marked && q_pre >= kmax {
+                self.report(
+                    ViolationKind::EcnBounds,
+                    time,
+                    Some(info.node),
+                    Some(info.egress),
+                    Some(info.queue),
+                    None,
+                    format!("unmarked at queue {q_pre} B >= kmax {kmax} B"),
+                );
+            }
+        }
+        if info.dropped {
+            return;
+        }
+        // Headroom draw: bytes arriving for an already-paused (port, prio)
+        // come out of the reserved headroom and must fit in it.
+        if let Some(m) = self
+            .pfc
+            .get_mut(&(info.node, info.in_port, info.queue))
+            .filter(|m| m.paused)
+        {
+            m.since_pause_bytes += info.wire;
+            let drawn = m.since_pause_bytes;
+            let headroom = sw.cfg.pfc_headroom_bytes;
+            if drawn > headroom {
+                self.report(
+                    ViolationKind::HeadroomOverdraw,
+                    time,
+                    Some(info.node),
+                    Some(info.in_port),
+                    Some(info.queue),
+                    None,
+                    format!("{drawn} B arrived since pause, headroom {headroom} B"),
+                );
+            }
+        }
+        // Lossy-mode Dynamic Threshold: the post-admission queue must fit
+        // under alpha * (free-at-admission) = alpha * (free_now + size).
+        if !sw.cfg.pfc_enabled && info.is_data {
+            let q_post = sw.ports[info.egress as usize].queued_bytes_q[info.queue as usize];
+            let limit =
+                (sw.cfg.dt_alpha * (sw.free_buffer() + info.wire) as f64) as u64 + info.wire;
+            if q_post > limit {
+                self.report(
+                    ViolationKind::BufferOverflow,
+                    time,
+                    Some(info.node),
+                    Some(info.egress),
+                    Some(info.queue),
+                    None,
+                    format!("queue {q_post} B exceeds DT admission limit {limit} B"),
+                );
+            }
+        }
+        // Arm the boundary Xoff-must-fire check for this (port, priority).
+        let nq = sw.ports[info.egress as usize].queues.len();
+        if sw.cfg.pfc_enabled && (info.queue as usize) < nq - 1 {
+            self.focus = Some(Focus {
+                node: info.node,
+                in_port: info.in_port,
+                queue: info.queue,
+            });
+        }
+    }
+
+    /// Take the admission focus armed by the last event, if any.
+    pub(crate) fn take_focus(&mut self) -> Option<Focus> {
+        self.focus.take()
+    }
+
+    /// Xoff-must-fire: right after an admission for (in_port, queue), an
+    /// ingress counter above the pause threshold implies a pause was sent.
+    ///
+    /// This is sound at the event boundary because between the admission and
+    /// the boundary only dequeues happen on this switch: the ingress counter
+    /// can only fall and the threshold can only rise, and a resume requires
+    /// falling below `threshold - resume_offset`. So `bytes > threshold`
+    /// still holding here means the admission itself saw it and must have
+    /// paused.
+    pub(crate) fn check_xoff(&mut self, time: Time, focus: &Focus, sw: &Switch) {
+        let (ip, q) = (focus.in_port as usize, focus.queue as usize);
+        let bytes = sw.ingress_bytes[ip][q];
+        let threshold = sw.pfc_pause_threshold();
+        if bytes > threshold && !sw.ingress_paused[ip][q] {
+            self.report(
+                ViolationKind::PfcXoffMissed,
+                time,
+                Some(focus.node),
+                Some(focus.in_port),
+                Some(focus.queue),
+                None,
+                format!("ingress {bytes} B > pause threshold {threshold} B, no Xoff sent"),
+            );
+        }
+    }
+
+    /// True when the periodic deep scan is due for the event just processed.
+    pub(crate) fn should_deep_scan(&self) -> bool {
+        self.cfg.deep_every <= 1 || self.events_audited % self.cfg.deep_every == 0
+    }
+
+    /// Deep-scan one switch: recount every queue against the byte counters,
+    /// check occupancy against the physical buffer, and cross-check the PFC
+    /// pause mirror. Returns the data wire bytes found buffered (for the
+    /// conservation check).
+    pub(crate) fn check_switch(&mut self, time: Time, node: NodeId, sw: &Switch) -> u64 {
+        self.deep_scans += 1;
+        let mut switch_total = 0u64;
+        let mut data_wire = 0u64;
+        for (pi, port) in sw.ports.iter().enumerate() {
+            let mut port_total = 0u64;
+            for (qi, queue) in port.queues.iter().enumerate() {
+                let mut recount = 0u64;
+                for pkt in queue {
+                    recount += pkt.size as u64;
+                    if pkt.kind.is_data() {
+                        data_wire += pkt.size as u64;
+                    }
+                }
+                if recount != port.queued_bytes_q[qi] {
+                    let counter = port.queued_bytes_q[qi];
+                    self.report(
+                        ViolationKind::BufferAccounting,
+                        time,
+                        Some(node),
+                        Some(pi as u16),
+                        Some(qi as u8),
+                        None,
+                        format!("queue recount {recount} B != counter {counter} B"),
+                    );
+                }
+                port_total += recount;
+            }
+            if port_total != port.queued_bytes {
+                let counter = port.queued_bytes;
+                self.report(
+                    ViolationKind::BufferAccounting,
+                    time,
+                    Some(node),
+                    Some(pi as u16),
+                    None,
+                    None,
+                    format!("port recount {port_total} B != counter {counter} B"),
+                );
+            }
+            switch_total += port_total;
+        }
+        if switch_total != sw.total_buffered {
+            let counter = sw.total_buffered;
+            self.report(
+                ViolationKind::BufferAccounting,
+                time,
+                Some(node),
+                None,
+                None,
+                None,
+                format!("switch recount {switch_total} B != total_buffered {counter} B"),
+            );
+        }
+        let ingress_total: u64 = sw.ingress_bytes.iter().flatten().sum();
+        if ingress_total != sw.total_buffered {
+            let counter = sw.total_buffered;
+            self.report(
+                ViolationKind::BufferAccounting,
+                time,
+                Some(node),
+                None,
+                None,
+                None,
+                format!("ingress recount {ingress_total} B != total_buffered {counter} B"),
+            );
+        }
+        if sw.total_buffered > sw.cfg.buffer_bytes {
+            let (used, cap) = (sw.total_buffered, sw.cfg.buffer_bytes);
+            self.report(
+                ViolationKind::BufferOverflow,
+                time,
+                Some(node),
+                None,
+                None,
+                None,
+                format!("buffered {used} B exceeds physical buffer {cap} B"),
+            );
+        }
+        // Pause mirror vs switch state: every emitted pause we saw must
+        // match what the switch believes, and vice versa.
+        for (ip, prios) in sw.ingress_paused.iter().enumerate() {
+            for (qi, &paused) in prios.iter().enumerate() {
+                let mirrored = self
+                    .pfc
+                    .get(&(node, ip as u16, qi as u8))
+                    .map(|m| m.paused)
+                    .unwrap_or(false);
+                if mirrored != paused {
+                    self.report(
+                        ViolationKind::PfcIllegalTransition,
+                        time,
+                        Some(node),
+                        Some(ip as u16),
+                        Some(qi as u8),
+                        None,
+                        format!(
+                            "switch pause state {paused} but emitted frames imply {mirrored}"
+                        ),
+                    );
+                }
+            }
+        }
+        data_wire
+    }
+
+    /// Conservation across the whole fabric: what is buffered in switches
+    /// can be at most what was injected and neither delivered nor dropped
+    /// (the remainder is in flight on links).
+    pub(crate) fn check_conservation(&mut self, time: Time, buffered_data_wire: u64) {
+        let outstanding = self
+            .injected_wire
+            .saturating_sub(self.delivered_wire)
+            .saturating_sub(self.dropped_wire);
+        if buffered_data_wire > outstanding
+            || self.delivered_wire + self.dropped_wire > self.injected_wire
+        {
+            let (i, d, dr) = (self.injected_wire, self.delivered_wire, self.dropped_wire);
+            self.report(
+                ViolationKind::PacketConservation,
+                time,
+                None,
+                None,
+                None,
+                None,
+                format!(
+                    "buffered {buffered_data_wire} B > injected {i} - delivered {d} - dropped {dr}"
+                ),
+            );
+        }
+    }
+
+    /// Cross-check the simulator's public counters against the audit's
+    /// independent tallies.
+    pub(crate) fn check_counters(&mut self, time: Time, counters: &SimCounters) {
+        if counters.data_delivered != self.delivered_pkts {
+            let (c, a) = (counters.data_delivered, self.delivered_pkts);
+            self.report(
+                ViolationKind::CounterMismatch,
+                time,
+                None,
+                None,
+                None,
+                None,
+                format!("counters.data_delivered {c} != audited {a}"),
+            );
+        }
+        if counters.drops != self.dropped_pkts {
+            let (c, a) = (counters.drops, self.dropped_pkts);
+            self.report(
+                ViolationKind::CounterMismatch,
+                time,
+                None,
+                None,
+                None,
+                None,
+                format!("counters.drops {c} != audited {a}"),
+            );
+        }
+    }
+
+    /// Flow-scoped violation helper (transport sanity / receiver state).
+    pub(crate) fn flow_violation(
+        &mut self,
+        kind: ViolationKind,
+        time: Time,
+        flow: FlowId,
+        detail: String,
+    ) {
+        self.report(kind, time, None, None, None, Some(flow), detail);
+    }
+
+    /// Event-queue violation helper.
+    pub(crate) fn queue_violation(&mut self, time: Time, detail: String) {
+        self.report(ViolationKind::EventQueue, time, None, None, None, None, detail);
+    }
+
+    fn snapshot_report(&self) -> AuditReport {
+        AuditReport {
+            violations: self.violations.clone(),
+            total_violations: self.total_violations,
+            events_audited: self.events_audited,
+            deep_scans: self.deep_scans,
+            recent_events: self.ring.iter().copied().collect(),
+        }
+    }
+
+    /// Consume the audit state into its final report.
+    pub fn into_report(self) -> AuditReport {
+        AuditReport {
+            recent_events: self.ring.iter().copied().collect(),
+            violations: self.violations,
+            total_violations: self.total_violations,
+            events_audited: self.events_audited,
+            deep_scans: self.deep_scans,
+        }
+    }
+}
+
+/// Whether auditing was requested from the environment: `PRIOPLUS_AUDIT`
+/// set to anything but `0`, or a literal `--audit` CLI argument. Cached, so
+/// the per-run cost is one relaxed load.
+pub fn env_enabled() -> bool {
+    use std::sync::OnceLock;
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("PRIOPLUS_AUDIT")
+            .map(|v| v != "0")
+            .unwrap_or(false)
+            || std::env::args().any(|a| a == "--audit")
+    })
+}
+
+/// Whether environment-requested audits should panic (with a full ring-log
+/// dump) on the first violation: `PRIOPLUS_AUDIT_PANIC` set to anything but
+/// `0`. Only consulted for audits enabled via [`env_enabled`]; explicit
+/// [`crate::Sim::enable_audit_with`] calls carry their own config.
+pub fn env_panic() -> bool {
+    use std::sync::OnceLock;
+    static PANIC: OnceLock<bool> = OnceLock::new();
+    *PANIC.get_or_init(|| {
+        std::env::var("PRIOPLUS_AUDIT_PANIC")
+            .map(|v| v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Deep-scan cadence for environment-requested audits:
+/// `PRIOPLUS_AUDIT_DEEP=N` runs the O(state) scan every N events
+/// (default 64; `1` = every event). The cheap focused checks always run
+/// per event regardless. Explicit [`crate::Sim::enable_audit_with`] calls
+/// carry their own config.
+pub fn env_deep_every() -> u64 {
+    use std::sync::OnceLock;
+    static DEEP: OnceLock<u64> = OnceLock::new();
+    *DEEP.get_or_init(|| {
+        std::env::var("PRIOPLUS_AUDIT_DEEP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_caps_storage_but_counts_all() {
+        let mut a = Audit::new(AuditConfig {
+            max_violations: 2,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            a.flow_violation(
+                ViolationKind::TransportSanity,
+                Time::from_us(i),
+                i as u32,
+                "x".into(),
+            );
+        }
+        let r = a.into_report();
+        assert_eq!(r.total_violations, 5);
+        assert_eq!(r.violations.len(), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut a = Audit::new(AuditConfig {
+            ring_capacity: 3,
+            ..Default::default()
+        });
+        for i in 0..10u32 {
+            a.on_event(Time::from_us(i as u64), "arrive", i);
+        }
+        let r = a.into_report();
+        assert_eq!(r.events_audited, 10);
+        let ids: Vec<u32> = r.recent_events.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn pfc_transition_legality() {
+        let mut a = Audit::new(AuditConfig::default());
+        let t = Time::from_us(1);
+        a.on_pfc_frame(t, 0, 1, 0, true); // pause: legal
+        a.on_pfc_frame(t, 0, 1, 0, true); // pause again: illegal
+        a.on_pfc_frame(t, 0, 1, 0, false); // resume: legal
+        a.on_pfc_frame(t, 0, 1, 0, false); // resume again: illegal
+        let r = a.into_report();
+        assert_eq!(r.total_violations, 2);
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::PfcIllegalTransition));
+    }
+
+    #[test]
+    fn conservation_detects_over_delivery() {
+        let mut a = Audit::new(AuditConfig::default());
+        let t = Time::from_us(1);
+        a.on_data_injected(0, 1048);
+        a.on_data_delivered(t, 0, 1048);
+        assert_eq!(a.total_violations, 0);
+        a.on_data_delivered(t, 0, 1048); // one more than injected
+        assert_eq!(a.total_violations, 1);
+        let r = a.into_report();
+        assert_eq!(r.violations[0].kind, ViolationKind::PacketConservation);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let mut a = Audit::new(AuditConfig::default());
+        a.on_event(Time::from_us(1), "arrive", 3);
+        a.flow_violation(
+            ViolationKind::TransportSanity,
+            Time::from_us(2),
+            7,
+            "cwnd below floor".into(),
+        );
+        let dump = a.into_report().dump();
+        assert!(dump.contains("TransportSanity"));
+        assert!(dump.contains("flow=7"));
+        assert!(dump.contains("arrive"));
+    }
+
+    #[test]
+    fn panic_on_violation_fires() {
+        let result = std::panic::catch_unwind(|| {
+            let mut a = Audit::new(AuditConfig {
+                panic_on_violation: true,
+                ..Default::default()
+            });
+            a.queue_violation(Time::ZERO, "boom".into());
+        });
+        assert!(result.is_err());
+    }
+}

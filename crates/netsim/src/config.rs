@@ -14,6 +14,22 @@ pub enum AckPriority {
     SameAsData,
 }
 
+/// Deliberate switch fault injection ("buggify"), used to prove the audit
+/// layer catches real accounting bugs. Always `None` in real runs; the
+/// audit self-tests set one variant and assert a violation is reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Buggify {
+    /// `on_dequeue` forgets to release shared-buffer/ingress accounting,
+    /// leaking occupancy on every departure.
+    DequeueLeak,
+    /// The PFC pause check compares the threshold against the counter
+    /// *before* the just-admitted packet (the classic off-by-one), so Xoff
+    /// fires one packet late and headroom can be overdrawn.
+    PfcPauseOffByOne,
+    /// `ecn_mark` marks every data packet, even below `kmin`.
+    EcnMarkBelowKmin,
+}
+
 /// Shared-buffer and scheduling configuration of a switch.
 #[derive(Clone, Debug)]
 pub struct SwitchConfig {
@@ -56,6 +72,8 @@ pub struct SwitchConfig {
     /// Extra non-congestive delay applied per data packet at egress,
     /// uniformly distributed (Fig 13); `None` disables it.
     pub nc_delay: Option<NoiseModel>,
+    /// Fault injection for audit self-tests; `None` in every real run.
+    pub buggify: Option<Buggify>,
 }
 
 impl Default for SwitchConfig {
@@ -75,6 +93,7 @@ impl Default for SwitchConfig {
             ecn_prio_scaled: false,
             int_enabled: false,
             nc_delay: None,
+            buggify: None,
         }
     }
 }

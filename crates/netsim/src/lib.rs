@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod monitor;
 pub mod node;
@@ -41,7 +42,8 @@ pub mod sim;
 pub mod topology;
 pub mod transport_api;
 
-pub use config::{AckPriority, SimConfig, SwitchConfig};
+pub use audit::{AuditConfig, AuditReport, Violation, ViolationKind};
+pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
 pub use noise::NoiseModel;
 pub use packet::{FlowId, NodeId, Packet, PktKind};
 pub use record::{FlowRecord, SimCounters, SimResult};

@@ -64,4 +64,72 @@ impl Monitor {
             last_tx: 0,
         }
     }
+
+    /// Record a gauge sample (queue depth, buffer occupancy).
+    pub fn record_gauge(&mut self, now: Time, value: f64) {
+        self.series.push(now, value);
+    }
+
+    /// Record a throughput sample from a cumulative tx-byte counter: the
+    /// delta since the previous sample, expressed in Gbit/s over one
+    /// sampling period. The first sample measures from a zero baseline.
+    pub fn record_tx(&mut self, now: Time, cum_tx_bytes: u64) {
+        let delta = cum_tx_bytes.saturating_sub(self.last_tx);
+        self.last_tx = cum_tx_bytes;
+        let gbps = delta as f64 * 8.0 / self.period.as_secs_f64() / 1e9;
+        self.series.push(now, gbps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon(kind: MonitorKind) -> Monitor {
+        Monitor::new("m", kind, Time::from_us(10))
+    }
+
+    #[test]
+    fn throughput_matches_hand_computed_line_rate() {
+        // 125_000 B in 10 us = 1e11 bit/s = exactly 100 Gbit/s.
+        let mut m = mon(MonitorKind::PortThroughput { node: 0, port: 0 });
+        m.record_tx(Time::from_us(10), 125_000);
+        assert!((m.series.v[0] - 100.0).abs() < 1e-9, "{}", m.series.v[0]);
+        // Next period: port idle, counter unchanged -> 0 Gbit/s.
+        m.record_tx(Time::from_us(20), 125_000);
+        assert_eq!(m.series.v[1], 0.0);
+        // Half-rate period.
+        m.record_tx(Time::from_us(30), 125_000 + 62_500);
+        assert!((m.series.v[2] - 50.0).abs() < 1e-9, "{}", m.series.v[2]);
+    }
+
+    #[test]
+    fn throughput_deltas_sum_to_the_cumulative_counter() {
+        let mut m = mon(MonitorKind::PortThroughput { node: 0, port: 0 });
+        let readings = [10_000u64, 45_000, 45_000, 200_000, 201_500];
+        for (i, &tx) in readings.iter().enumerate() {
+            m.record_tx(Time::from_us(10 * (i as u64 + 1)), tx);
+        }
+        // sum(gbps_i) * period = total bytes * 8: no byte lost or doubled.
+        let sum_gbps: f64 = m.series.v.iter().sum();
+        let total_bits = sum_gbps * 1e9 * Time::from_us(10).as_secs_f64();
+        assert!((total_bits - 201_500.0 * 8.0).abs() < 1e-6, "{total_bits}");
+    }
+
+    #[test]
+    fn gauge_samples_pass_through_untouched() {
+        let mut m = mon(MonitorKind::SwitchBuffer { node: 3 });
+        m.record_gauge(Time::from_us(1), 42.0);
+        m.record_gauge(Time::from_us(2), 0.0);
+        assert_eq!(m.series.t_us, vec![1.0, 2.0]);
+        assert_eq!(m.series.v, vec![42.0, 0.0]);
+    }
+
+    #[test]
+    fn counter_regression_is_not_negative_throughput() {
+        let mut m = mon(MonitorKind::PortThroughput { node: 0, port: 0 });
+        m.record_tx(Time::from_us(10), 1000);
+        m.record_tx(Time::from_us(20), 500); // reset/regression
+        assert_eq!(m.series.v[1], 0.0);
+    }
 }

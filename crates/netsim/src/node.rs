@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use simcore::{Rate, SimRng, Time};
 
-use crate::config::SwitchConfig;
+use crate::config::{Buggify, SwitchConfig};
 use crate::packet::{FlowId, NodeId, Packet};
 
 /// One directional egress attachment (switch port or host NIC).
@@ -183,6 +183,9 @@ impl Switch {
     /// priority-scaled ECN (Appendix B extension) the thresholds grow with
     /// the packet's DSCP, so lower virtual priorities mark first.
     pub fn ecn_mark(&self, port: u16, queue: usize, dscp: u8, rng: &mut SimRng) -> bool {
+        if self.cfg.buggify == Some(Buggify::EcnMarkBelowKmin) {
+            return true;
+        }
         let q = self.ports[port as usize].queued_bytes_q[queue];
         let scale = if self.cfg.ecn_prio_scaled {
             dscp as u64 + 1
@@ -235,9 +238,14 @@ impl Switch {
         if self.cfg.pfc_enabled && q < nq - 1 {
             // PFC protects data priorities; control queue is never paused.
             let threshold = self.pfc_pause_threshold();
-            if !self.ingress_paused[in_port as usize][q]
-                && self.ingress_bytes[in_port as usize][q] > threshold
-            {
+            let counted = if self.cfg.buggify == Some(Buggify::PfcPauseOffByOne) {
+                // Injected fault: compare the pre-admission counter, so the
+                // pause fires one packet late.
+                self.ingress_bytes[in_port as usize][q].saturating_sub(size)
+            } else {
+                self.ingress_bytes[in_port as usize][q]
+            };
+            if !self.ingress_paused[in_port as usize][q] && counted > threshold {
                 self.ingress_paused[in_port as usize][q] = true;
                 pauses.push((in_port, q as u8));
             }
@@ -248,6 +256,10 @@ impl Switch {
     /// Account a packet leaving the switch from egress `port`. Returns PFC
     /// resume frames to emit as `(ingress_port, prio)`.
     pub fn on_dequeue(&mut self, pkt: &Packet, resumes: &mut Vec<(u16, u8)>) {
+        if self.cfg.buggify == Some(Buggify::DequeueLeak) {
+            // Injected fault: departure accounting is skipped entirely.
+            return;
+        }
         let nq = self.ports[0].queues.len();
         let q = queue_index(pkt, nq);
         let size = pkt.size as u64;

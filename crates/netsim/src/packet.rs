@@ -164,6 +164,12 @@ impl PktKind {
     pub fn is_data(&self) -> bool {
         matches!(self, PktKind::Data)
     }
+
+    /// True for end-to-end control packets (ACKs, probes, probe echoes):
+    /// everything that is neither a data segment nor a link-local PFC frame.
+    pub fn is_control(&self) -> bool {
+        !self.is_data() && !self.is_pfc()
+    }
 }
 
 /// A packet in flight.

@@ -111,6 +111,9 @@ pub struct SimResult {
     pub monitors: Vec<(String, TimeSeries)>,
     /// Time the simulation stopped.
     pub end_time: Time,
+    /// Invariant-audit report; `Some` when the audit layer was enabled for
+    /// the run ([`crate::sim::Sim::enable_audit`]).
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 impl SimResult {

@@ -156,4 +156,109 @@ mod tests {
         let rt = RoutingTable::build(&adj, &is_host, 0);
         rt.port_for(0, 1, 0);
     }
+
+    /// Two hosts joined by `n` parallel 2-hop paths (a wide ECMP fan):
+    /// h0 - {s1..sn} - h(n+1).
+    fn fan(n: usize) -> (Vec<Vec<(u16, NodeId)>>, Vec<bool>) {
+        let dst = (n + 1) as NodeId;
+        let mut adj = vec![Vec::new(); n + 2];
+        for i in 0..n {
+            let sw = (i + 1) as NodeId;
+            let p = adj[0].len() as u16;
+            adj[0].push((p, sw));
+            adj[sw as usize] = vec![(0, 0), (1, dst)];
+            let p = adj[dst as usize].len() as u16;
+            adj[dst as usize].push((p, sw));
+        }
+        let mut is_host = vec![false; n + 2];
+        is_host[0] = true;
+        is_host[dst as usize] = true;
+        (adj, is_host)
+    }
+
+    #[test]
+    fn hash_is_stable_across_table_rebuilds() {
+        // The selection must be a pure function of (salt, node, flow), not
+        // of construction order or table identity: rebuilding the same
+        // topology reproduces every flow's path exactly.
+        let (adj, is_host) = fan(8);
+        let a = RoutingTable::build(&adj, &is_host, 1234);
+        let b = RoutingTable::build(&adj, &is_host, 1234);
+        for f in 0..256u32 {
+            assert_eq!(a.port_for(0, 9, f), b.port_for(0, 9, f), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn wide_fan_coverage_is_roughly_balanced() {
+        let (adj, is_host) = fan(8);
+        let rt = RoutingTable::build(&adj, &is_host, 7);
+        assert_eq!(rt.candidates(0, 9).len(), 8);
+        let mut count = [0usize; 8];
+        const FLOWS: usize = 1024;
+        for f in 0..FLOWS as u32 {
+            count[rt.port_for(0, 9, f) as usize] += 1;
+        }
+        // Every path is used, and no path gets less than a quarter or more
+        // than double its fair share (a loose bound; the hash is not
+        // cryptographic but must not collapse onto a few ports).
+        let fair = FLOWS / 8;
+        for (p, &c) in count.iter().enumerate() {
+            assert!(c >= fair / 4, "port {p} starved: {c}/{FLOWS}");
+            assert!(c <= fair * 2, "port {p} overloaded: {c}/{FLOWS}");
+        }
+    }
+
+    #[test]
+    fn salt_remaps_flow_placement() {
+        let (adj, is_host) = fan(8);
+        let a = RoutingTable::build(&adj, &is_host, 1);
+        let b = RoutingTable::build(&adj, &is_host, 2);
+        let moved = (0..256u32)
+            .filter(|&f| a.port_for(0, 9, f) != b.port_for(0, 9, f))
+            .count();
+        assert!(moved > 64, "changing the salt moved only {moved}/256 flows");
+    }
+
+    #[test]
+    fn fat_tree_shortest_path_candidate_counts() {
+        // k=4 fat-tree: hosts 0..16, edges/aggs/cores after. From an edge
+        // switch, a remote-pod host is reachable through every aggregation
+        // switch of the pod (k/2 ways); a directly attached host has exactly
+        // one port; an aggregation switch fans out over k/2 cores.
+        let t = crate::topology::Topology::fat_tree(
+            4,
+            simcore::Rate::from_gbps(100),
+            simcore::Time::from_us(1),
+        );
+        let adj = t.adjacency();
+        let is_host: Vec<bool> = t
+            .kinds
+            .iter()
+            .map(|k| *k == crate::topology::NodeKind::Host)
+            .collect();
+        let rt = RoutingTable::build(&adj, &is_host, 0);
+        // Layout: 16 hosts, then per pod edges followed by aggs:
+        // pod 0 edges 16,17 aggs 18,19; pod 1 edges 20,21 aggs 22,23; ...
+        let pod0_edge = 16 as NodeId;
+        let pod0_agg = 18 as NodeId;
+        let local_host = 0 as NodeId; // host 0 hangs off pod 0 edge 0
+        let remote_host = 15 as NodeId; // last host, pod 3
+        assert_eq!(rt.candidates(pod0_edge, local_host).len(), 1);
+        assert_eq!(
+            rt.candidates(pod0_edge, remote_host).len(),
+            2,
+            "k/2 aggs up from an edge"
+        );
+        assert_eq!(
+            rt.candidates(pod0_agg, remote_host).len(),
+            2,
+            "k/2 cores up from an agg"
+        );
+        // Flows spread over both uplinks at the edge.
+        let used: std::collections::HashSet<u16> = (0..64u32)
+            .map(|f| rt.port_for(pod0_edge, remote_host, f))
+            .collect();
+        assert_eq!(used.len(), 2, "both edge uplinks carry traffic");
+    }
 }

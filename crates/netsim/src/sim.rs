@@ -5,8 +5,13 @@ use std::collections::{BTreeMap, HashMap};
 use simcore::stats::ThroughputMeter;
 use simcore::{EventQueue, Rate, SimRng, Time};
 
+#[cfg(feature = "audit")]
+use crate::audit::{Audit, SwitchArrive, ViolationKind};
+use crate::audit::AuditConfig;
 use crate::config::{AckPriority, SimConfig, SwitchConfig};
 use crate::monitor::{Monitor, MonitorKind};
+#[cfg(feature = "audit")]
+use crate::node::queue_index;
 use crate::node::{Admission, EgressPort, Host, Switch};
 use crate::packet::{
     AckInfo, FlowId, IntHop, NodeId, Packet, PktKind, CONTROL_BYTES, HEADER_BYTES,
@@ -184,6 +189,10 @@ pub struct Sim {
     lossy: bool,
     app: Option<Box<dyn App>>,
     completed_buf: Vec<FlowId>,
+    /// Invariant-audit state; `None` keeps the hot path to one branch per
+    /// hook. Boxed so the disabled case costs a single word.
+    #[cfg(feature = "audit")]
+    audit: Option<Box<Audit>>,
 }
 
 impl Sim {
@@ -248,7 +257,44 @@ impl Sim {
             lossy,
             app: None,
             completed_buf: Vec::new(),
+            #[cfg(feature = "audit")]
+            audit: if crate::audit::env_enabled() {
+                Some(Box::new(Audit::new(AuditConfig {
+                    panic_on_violation: crate::audit::env_panic(),
+                    deep_every: crate::audit::env_deep_every(),
+                    ..AuditConfig::default()
+                })))
+            } else {
+                None
+            },
         }
+    }
+
+    /// Enable the invariant-audit layer with default settings. No-op when
+    /// the `audit` feature is compiled out.
+    pub fn enable_audit(&mut self) {
+        self.enable_audit_with(AuditConfig::default());
+    }
+
+    /// Enable the invariant-audit layer with explicit settings. No-op when
+    /// the `audit` feature is compiled out.
+    pub fn enable_audit_with(&mut self, cfg: AuditConfig) {
+        #[cfg(feature = "audit")]
+        {
+            self.audit = Some(Box::new(Audit::new(cfg)));
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = cfg;
+    }
+
+    /// True when the audit layer is compiled in and enabled for this run.
+    pub fn audit_enabled(&self) -> bool {
+        #[cfg(feature = "audit")]
+        {
+            self.audit.is_some()
+        }
+        #[cfg(not(feature = "audit"))]
+        false
     }
 
     /// Install a closed-loop application driver.
@@ -403,6 +449,19 @@ impl Sim {
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.counters.events += 1;
+            #[cfg(feature = "audit")]
+            if let Some(a) = self.audit.as_deref_mut() {
+                let (kind, id): (&'static str, u32) = match &ev {
+                    Event::Arrive { node, .. } => ("arrive", *node),
+                    Event::PortFree { node, .. } => ("port_free", *node),
+                    Event::FlowStart { flow } => ("flow_start", *flow),
+                    Event::FlowTimer { flow, .. } => ("flow_timer", *flow),
+                    Event::HostPoke { node } => ("host_poke", *node),
+                    Event::Sample { monitor } => ("sample", *monitor),
+                    Event::End => ("end", 0),
+                };
+                a.on_event(now, kind, id);
+            }
             match ev {
                 Event::End => break,
                 Event::FlowStart { flow } => self.on_flow_start(flow, now),
@@ -425,6 +484,8 @@ impl Sim {
                 }
                 self.app = Some(app);
             }
+            #[cfg(feature = "audit")]
+            self.audit_boundary(now);
         }
         let end_time = self.queue.now();
         for sw in self.nodes.iter().filter_map(|n| match n {
@@ -433,6 +494,10 @@ impl Sim {
         }) {
             self.counters.max_buffer_used = self.counters.max_buffer_used.max(sw.max_buffered);
         }
+        #[cfg(feature = "audit")]
+        let audit = self.audit.take().map(|a| a.into_report());
+        #[cfg(not(feature = "audit"))]
+        let audit = None;
         SimResult {
             records: self
                 .flows
@@ -451,7 +516,53 @@ impl Sim {
                 .map(|m| (m.label, m.series))
                 .collect(),
             end_time,
+            audit,
         }
+    }
+
+    /// Verify cross-cutting invariants at the end of one event: flows the
+    /// event touched, the Xoff-must-fire condition for an admission in this
+    /// event, and (per [`AuditConfig::deep_every`]) a full recount of switch
+    /// buffers, conservation, counters, and event-queue state.
+    #[cfg(feature = "audit")]
+    fn audit_boundary(&mut self, now: Time) {
+        let Some(mut a) = self.audit.take() else {
+            return;
+        };
+        while let Some(fid) = a.pop_touched() {
+            let f = &self.flows[fid as usize];
+            if let Err(msg) = f.transport.check_invariants() {
+                a.flow_violation(ViolationKind::TransportSanity, now, fid, msg);
+            }
+            if f.recv.delivered > f.spec.size {
+                let (got, size) = (f.recv.delivered, f.spec.size);
+                a.flow_violation(
+                    ViolationKind::PacketConservation,
+                    now,
+                    fid,
+                    format!("receiver delivered {got} B > flow size {size} B"),
+                );
+            }
+        }
+        if let Some(focus) = a.take_focus() {
+            if let Node::Switch(s) = &self.nodes[focus.node as usize] {
+                a.check_xoff(now, &focus, s);
+            }
+        }
+        if a.should_deep_scan() {
+            let mut buffered_data = 0u64;
+            for (id, node) in self.nodes.iter().enumerate() {
+                if let Node::Switch(s) = node {
+                    buffered_data += a.check_switch(now, id as NodeId, s);
+                }
+            }
+            a.check_conservation(now, buffered_data);
+            a.check_counters(now, &self.counters);
+            if let Err(msg) = self.queue.check_invariants() {
+                a.queue_violation(now, msg);
+            }
+        }
+        self.audit = Some(a);
     }
 
     fn ctx<'a>(
@@ -481,6 +592,10 @@ impl Sim {
     }
 
     fn on_flow_start(&mut self, flow: FlowId, now: Time) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.touch_flow(flow);
+        }
         let f = &mut self.flows[flow as usize];
         let src = f.spec.src;
         let prio = f.spec.phys_prio;
@@ -502,6 +617,11 @@ impl Sim {
         if !f.active {
             return;
         }
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.touch_flow(flow);
+        }
+        let f = &mut self.flows[flow as usize];
         {
             let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, flow);
             f.transport.on_timer(token, &mut ctx);
@@ -579,6 +699,10 @@ impl Sim {
             } else {
                 self.counters.pfc_resumes += 1;
             }
+            #[cfg(feature = "audit")]
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.on_pfc_frame(now, node, in_port, prio, pause);
+            }
             let pkt = Packet::pfc(node, peer, prio, pause);
             self.queue.schedule(
                 now + prop,
@@ -613,15 +737,53 @@ impl Sim {
         let Node::Switch(s) = &mut self.nodes[node as usize] else {
             unreachable!()
         };
-        if pkt.kind.is_data() {
+        let is_data = pkt.kind.is_data();
+        #[cfg(feature = "audit")]
+        let mut ecn_info = None;
+        if is_data {
             let q = pkt.prio as usize;
-            if s.ecn_mark(egress, q, pkt.dscp, &mut self.ecn_rng) {
+            #[cfg(feature = "audit")]
+            let q_pre = s.ports[egress as usize].queued_bytes_q[q];
+            let marked = s.ecn_mark(egress, q, pkt.dscp, &mut self.ecn_rng);
+            if marked {
                 pkt.ecn_ce = true;
                 self.counters.ecn_marks += 1;
             }
+            #[cfg(feature = "audit")]
+            {
+                ecn_info = Some((q_pre, pkt.dscp, marked));
+            }
         }
+        #[cfg(feature = "audit")]
+        let info = SwitchArrive {
+            node,
+            in_port,
+            egress,
+            queue: queue_index(&pkt, s.ports[egress as usize].queues.len()) as u8,
+            wire: pkt.size as u64,
+            is_data,
+            dropped: false,
+            ecn: ecn_info,
+        };
         let mut pauses = Vec::new();
-        match s.admit(egress, in_port, pkt, &mut pauses) {
+        let admission = s.admit(egress, in_port, pkt, &mut pauses);
+        // The `s` borrow ends here so the audit can re-inspect the switch.
+        #[cfg(feature = "audit")]
+        if self.audit.is_some() {
+            let Node::Switch(sw) = &self.nodes[node as usize] else {
+                unreachable!()
+            };
+            let a = self.audit.as_deref_mut().expect("checked");
+            a.note_switch_arrive(
+                now,
+                &SwitchArrive {
+                    dropped: admission == Admission::Dropped,
+                    ..info
+                },
+                sw,
+            );
+        }
+        match admission {
             Admission::Dropped => {
                 self.counters.drops += 1;
             }
@@ -646,6 +808,10 @@ impl Sim {
             PktKind::Data => {
                 debug_assert_eq!(pkt.dst, node, "data packet misrouted");
                 self.counters.data_delivered += 1;
+                #[cfg(feature = "audit")]
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_data_delivered(now, pkt.flow, pkt.size as u64);
+                }
                 self.receiver_data(node, pkt, now);
             }
             PktKind::Probe => {
@@ -714,10 +880,14 @@ impl Sim {
     /// Sender-side handling of an ACK or probe echo.
     fn sender_ack(&mut self, node: NodeId, pkt: Packet, now: Time) {
         let fid = pkt.flow;
-        let f = &mut self.flows[fid as usize];
-        if !f.active {
+        if !self.flows[fid as usize].active {
             return;
         }
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.touch_flow(fid);
+        }
+        let f = &mut self.flows[fid as usize];
         let (info, kind) = match pkt.kind {
             PktKind::Ack(info) => (info, AckKind::Data),
             PktKind::ProbeAck(info) => (info, AckKind::Probe),
@@ -819,6 +989,10 @@ impl Sim {
                                 now,
                             );
                             pkt.dscp = f.spec.virt_prio;
+                            #[cfg(feature = "audit")]
+                            if let Some(a) = self.audit.as_deref_mut() {
+                                a.on_data_injected(fid, pkt.size as u64);
+                            }
                             h.rr[q] = (idx + 1) % len;
                             selected = Some(pkt);
                             break;
@@ -890,30 +1064,36 @@ impl Sim {
 
     fn on_sample(&mut self, monitor: u32, now: Time) {
         let m = &mut self.monitors[monitor as usize];
-        let value = match m.kind {
-            MonitorKind::QueueBytes { node, port } => match &self.nodes[node as usize] {
-                Node::Switch(s) => s.ports[port as usize].queued_bytes as f64,
-                Node::Host(h) => h.port.queued_bytes as f64,
-            },
-            MonitorKind::QueueBytesPrio { node, port, prio } => match &self.nodes[node as usize] {
-                Node::Switch(s) => s.ports[port as usize].queued_bytes_q[prio as usize] as f64,
-                Node::Host(h) => h.port.queued_bytes_q[prio as usize] as f64,
-            },
+        match m.kind {
+            MonitorKind::QueueBytes { node, port } => {
+                let bytes = match &self.nodes[node as usize] {
+                    Node::Switch(s) => s.ports[port as usize].queued_bytes,
+                    Node::Host(h) => h.port.queued_bytes,
+                };
+                m.record_gauge(now, bytes as f64);
+            }
+            MonitorKind::QueueBytesPrio { node, port, prio } => {
+                let bytes = match &self.nodes[node as usize] {
+                    Node::Switch(s) => s.ports[port as usize].queued_bytes_q[prio as usize],
+                    Node::Host(h) => h.port.queued_bytes_q[prio as usize],
+                };
+                m.record_gauge(now, bytes as f64);
+            }
             MonitorKind::PortThroughput { node, port } => {
                 let tx = match &self.nodes[node as usize] {
                     Node::Switch(s) => s.ports[port as usize].tx_bytes,
                     Node::Host(h) => h.port.tx_bytes,
                 };
-                let delta = tx - m.last_tx;
-                m.last_tx = tx;
-                delta as f64 * 8.0 / m.period.as_secs_f64() / 1e9
+                m.record_tx(now, tx);
             }
-            MonitorKind::SwitchBuffer { node } => match &self.nodes[node as usize] {
-                Node::Switch(s) => s.total_buffered as f64,
-                Node::Host(_) => 0.0,
-            },
-        };
-        m.series.push(now, value);
+            MonitorKind::SwitchBuffer { node } => {
+                let bytes = match &self.nodes[node as usize] {
+                    Node::Switch(s) => s.total_buffered as f64,
+                    Node::Host(_) => 0.0,
+                };
+                m.record_gauge(now, bytes);
+            }
+        }
         if now + m.period < self.cfg.end_time {
             let period = m.period;
             self.queue.schedule(now + period, Event::Sample { monitor });

@@ -274,4 +274,105 @@ mod tests {
     fn odd_fat_tree_rejected() {
         Topology::fat_tree(3, Rate::from_gbps(100), Time::from_us(1));
     }
+
+    #[test]
+    fn fat_tree_k8_counts() {
+        // k=8: k^3/4 = 128 hosts, 32 edge, 32 agg, 16 core; each tier
+        // contributes k^3/8 = 128 links.
+        let t = Topology::fat_tree(8, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.hosts.len(), 128);
+        assert_eq!(t.num_nodes(), 128 + 32 + 32 + 16);
+        assert_eq!(t.links.len(), 3 * 128);
+    }
+
+    #[test]
+    fn fat_tree_degrees_are_uniform_k() {
+        // Every switch in a k-ary fat-tree has exactly k ports: edges serve
+        // k/2 hosts + k/2 aggs, aggs serve k/2 edges + k/2 cores, cores
+        // serve one agg per pod (k pods). Hosts have a single NIC.
+        for k in [4usize, 6] {
+            let t = Topology::fat_tree(k, Rate::from_gbps(100), Time::from_us(1));
+            let adj = t.adjacency();
+            for (n, kind) in t.kinds.iter().enumerate() {
+                match kind {
+                    NodeKind::Host => assert_eq!(adj[n].len(), 1, "host {n} (k={k})"),
+                    NodeKind::Switch => assert_eq!(adj[n].len(), k, "switch {n} (k={k})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_links_connect_adjacent_tiers_only() {
+        let k = 4;
+        let t = Topology::fat_tree(k, Rate::from_gbps(100), Time::from_us(1));
+        let tier = |n: NodeId| -> u8 {
+            let n = n as usize;
+            if n < 16 {
+                0 // host
+            } else if n < 16 + 16 {
+                // Per pod: 2 edges then 2 aggs.
+                if (n - 16) % k < k / 2 {
+                    1 // edge
+                } else {
+                    2 // agg
+                }
+            } else {
+                3 // core
+            }
+        };
+        for &(a, b, _) in &t.links {
+            let (ta, tb) = (tier(a), tier(b));
+            assert_eq!(
+                ta.abs_diff(tb),
+                1,
+                "link {a}({ta})-{b}({tb}) must join adjacent tiers"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_spine_degrees() {
+        let t = Topology::leaf_spine(
+            4,
+            2,
+            6,
+            Rate::from_gbps(100),
+            Rate::from_gbps(150),
+            Time::from_us(1),
+        );
+        let adj = t.adjacency();
+        for &h in &t.hosts {
+            assert_eq!(adj[h as usize].len(), 1);
+        }
+        // Leaves: 6 hosts + 2 spines; spines: 4 leaves.
+        for leaf in 24..28 {
+            assert_eq!(adj[leaf].len(), 8);
+        }
+        for spine in 28..30 {
+            assert_eq!(adj[spine].len(), 4);
+        }
+    }
+
+    #[test]
+    fn all_link_rates_and_props_are_recorded() {
+        let t = Topology::leaf_spine(
+            2,
+            2,
+            2,
+            Rate::from_gbps(100),
+            Rate::from_gbps(400),
+            Time::from_us(3),
+        );
+        for &(a, b, spec) in &t.links {
+            let host_side = (a as usize) < 4 || (b as usize) < 4;
+            let want = if host_side {
+                Rate::from_gbps(100)
+            } else {
+                Rate::from_gbps(400)
+            };
+            assert_eq!(spec.rate, want, "link {a}-{b}");
+            assert_eq!(spec.prop, Time::from_us(3));
+        }
+    }
 }

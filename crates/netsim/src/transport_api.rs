@@ -109,6 +109,19 @@ pub struct TransportCtx<'a> {
 }
 
 impl<'a> TransportCtx<'a> {
+    /// Construct a bare context for driving a transport outside the
+    /// simulator. Intended for transport unit tests; no tracing is wired up.
+    #[doc(hidden)]
+    pub fn for_test(queue: &'a mut EventQueue<Event>, now: Time, flow: FlowId) -> Self {
+        TransportCtx {
+            now,
+            flow,
+            queue,
+            delay_trace: None,
+            cwnd_trace: None,
+        }
+    }
+
     /// Schedule a timer that will fire [`Transport::on_timer`] with `token`
     /// at absolute time `at`.
     pub fn schedule_timer(&mut self, at: Time, token: u64) -> ScheduledId {
@@ -170,6 +183,14 @@ pub trait Transport {
     /// Number of data packets this transport retransmitted (lossy mode).
     fn retransmits(&self) -> u64 {
         0
+    }
+
+    /// Audit hook: verify the transport's internal invariants (congestion
+    /// window clamps, sequence-state sanity). Called by the simulator's
+    /// invariant-audit layer after every event that touched this flow.
+    /// Returns a description of the first violated invariant.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
     }
 }
 

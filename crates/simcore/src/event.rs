@@ -239,6 +239,48 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Verify the queue's internal bookkeeping. Used by the audit layer;
+    /// O(heap + slots), so callers should rate-limit it.
+    ///
+    /// Checks: no live entry is scheduled before `now`, the count of dead
+    /// heap entries matches `cancelled_in_heap` (so `len()` is exact), and
+    /// every live slot has exactly one heap entry referring to it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut dead = 0usize;
+        let mut live_refs = vec![0u32; self.slots.len()];
+        for entry in self.heap.iter() {
+            let slot_live = entry.slot == NO_SLOT || self.slots[entry.slot as usize].live;
+            if slot_live {
+                if entry.at < self.now {
+                    return Err(format!(
+                        "live event at {} is before now {}",
+                        entry.at, self.now
+                    ));
+                }
+            } else {
+                dead += 1;
+            }
+            if entry.slot != NO_SLOT {
+                live_refs[entry.slot as usize] += 1;
+            }
+        }
+        if dead != self.cancelled_in_heap {
+            return Err(format!(
+                "cancelled_in_heap {} but {dead} dead entries in heap",
+                self.cancelled_in_heap
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.live && live_refs[i] != 1 {
+                return Err(format!(
+                    "live slot {i} referenced by {} heap entries (expected 1)",
+                    live_refs[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(entry) = self.heap.peek() {
@@ -440,6 +482,32 @@ mod tests {
         assert_eq!(survivors, (0..1000).step_by(10).collect::<Vec<_>>());
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_through_schedule_cancel_pop_cycles() {
+        let mut q = EventQueue::new();
+        q.check_invariants().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..200u64 {
+            if i % 2 == 0 {
+                ids.push(q.schedule_cancellable(Time::from_us(i + 1), i));
+            } else {
+                q.schedule(Time::from_us(i + 1), i);
+            }
+            q.check_invariants().unwrap();
+        }
+        for (k, id) in ids.iter().enumerate() {
+            if k % 3 == 0 {
+                q.cancel(*id);
+                q.check_invariants().unwrap();
+            }
+        }
+        while q.pop().is_some() {
+            q.check_invariants().unwrap();
+        }
+        assert!(q.is_empty());
+        q.check_invariants().unwrap();
     }
 
     #[test]

@@ -16,11 +16,13 @@
 
 pub mod event;
 pub mod rate;
+pub mod ringlog;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledId};
 pub use rate::Rate;
+pub use ringlog::RingLog;
 pub use rng::SimRng;
 pub use time::{Time, TimeDelta};

@@ -1,0 +1,109 @@
+//! A fixed-capacity ring log.
+//!
+//! [`RingLog`] keeps the most recent `capacity` items pushed into it,
+//! overwriting the oldest once full. The audit layer uses it to retain the
+//! tail of the event stream so that a violation (or panic) can be reported
+//! with the events that led up to it, without unbounded memory growth.
+
+/// Fixed-capacity log retaining the most recent items.
+#[derive(Clone, Debug)]
+pub struct RingLog<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the next write (== oldest element once the log wrapped).
+    head: usize,
+    /// Total items ever pushed (not capped).
+    total: u64,
+}
+
+impl<T> RingLog<T> {
+    /// New empty log holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingLog capacity must be nonzero");
+        RingLog {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Append an item, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Number of retained items (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total items ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (older, newer) = self.buf.split_at(self.head);
+        newer.iter().chain(older.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut log = RingLog::new(8);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_pushed(), 5);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut log = RingLog::new(4);
+        for i in 0..10 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total_pushed(), 10);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wrap_boundary_is_exact() {
+        let mut log = RingLog::new(3);
+        for i in 0..3 {
+            log.push(i);
+        }
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        log.push(3);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = RingLog::<u32>::new(0);
+    }
+}

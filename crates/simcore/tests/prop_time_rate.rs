@@ -1,0 +1,128 @@
+//! Property tests for `Time` / `Rate` arithmetic: rounding, overflow
+//! avoidance, and bytes ↔ serialization-time round-trips.
+
+use proptest::prelude::*;
+use simcore::time::{PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
+use simcore::{Rate, Time};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn time_add_sub_roundtrip(a in 0u64..PS_PER_SEC, b in 0u64..PS_PER_SEC) {
+        let (ta, tb) = (Time::from_ps(a), Time::from_ps(b));
+        let sum = ta + tb;
+        prop_assert_eq!(sum.as_ps(), a + b);
+        prop_assert_eq!(sum - tb, ta);
+        prop_assert_eq!(sum - ta, tb);
+        prop_assert_eq!(sum.saturating_sub(tb), ta);
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows(a in 0u64..PS_PER_SEC, b in 0u64..PS_PER_SEC) {
+        let d = Time::from_ps(a).saturating_sub(Time::from_ps(b));
+        if a >= b {
+            prop_assert_eq!(d.as_ps(), a - b);
+        } else {
+            prop_assert_eq!(d, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn delta_clamp_matches_ordering(a in 0u64..PS_PER_SEC, b in 0u64..PS_PER_SEC) {
+        let (ta, tb) = (Time::from_ps(a), Time::from_ps(b));
+        let d = ta.delta(tb);
+        prop_assert_eq!(d.is_negative(), a < b);
+        prop_assert_eq!(d.clamp_non_negative(), ta.saturating_sub(tb));
+        prop_assert_eq!(d.as_ps(), a as i64 - b as i64);
+    }
+
+    #[test]
+    fn unit_constructors_are_consistent(us in 0u64..10_000_000) {
+        prop_assert_eq!(Time::from_us(us).as_ps(), us * PS_PER_US);
+        prop_assert_eq!(Time::from_us(us), Time::from_ns(us * 1000));
+        if us % 1000 == 0 {
+            prop_assert_eq!(Time::from_us(us), Time::from_ms(us / 1000));
+        }
+        // as_ns truncates toward zero.
+        prop_assert_eq!(Time::from_us(us).as_ns(), us * PS_PER_US / PS_PER_NS);
+    }
+
+    #[test]
+    fn from_us_f64_rounds_to_nearest_ps(us_tenths in 0u64..100_000_000) {
+        // Exactly representable tenths-of-microsecond inputs round exactly.
+        let t = Time::from_us_f64(us_tenths as f64 / 10.0);
+        prop_assert_eq!(t.as_ps(), us_tenths * PS_PER_US / 10);
+    }
+
+    #[test]
+    fn mul_f64_integer_factors_are_exact(ps in 0u64..PS_PER_MS, k in 0u64..1000) {
+        prop_assert_eq!(
+            Time::from_ps(ps).mul_f64(k as f64).as_ps(),
+            ps * k
+        );
+    }
+
+    // serialize_time uses u128 intermediates: even a whole-buffer burst at
+    // the slowest rate must not overflow or lose precision.
+    #[test]
+    fn serialize_time_no_overflow(bytes in 1u64..1_000_000_000, gbps in 1u64..400) {
+        let r = Rate::from_gbps(gbps);
+        let t = r.serialize_time(bytes);
+        let expect = (bytes as u128 * 8 * PS_PER_SEC as u128) / r.as_bps() as u128;
+        prop_assert_eq!(t.as_ps() as u128, expect);
+    }
+
+    // When the Gbps value divides 8000 (= ps per byte at 1 Gbps), a byte
+    // count serializes to an exact integer number of picoseconds, so the
+    // round-trip bytes -> serialize_time -> bytes_in is the identity. This
+    // covers every rate the paper uses (10 / 25 / 40 / 100 / 400 Gbps).
+    #[test]
+    fn bytes_time_roundtrip_exact_at_divisor_rates(bytes in 1u64..100_000_000, i in 0usize..12) {
+        const DIVISOR_GBPS: [u64; 12] = [1, 2, 4, 5, 8, 10, 20, 25, 40, 100, 200, 400];
+        let r = Rate::from_gbps(DIVISOR_GBPS[i]);
+        prop_assert_eq!(r.bytes_in(r.serialize_time(bytes)), bytes);
+    }
+
+    // At arbitrary bps rates the serialization time truncates, so the
+    // round-trip may lose at most one byte — never more, never gains.
+    #[test]
+    fn bytes_time_roundtrip_within_one_byte(bytes in 1u64..100_000_000, bps in 1_000u64..400_000_000_000) {
+        let r = Rate::from_bps(bps);
+        let back = r.bytes_in(r.serialize_time(bytes));
+        prop_assert!(back <= bytes, "round-trip gained bytes: {back} > {bytes}");
+        prop_assert!(back + 1 >= bytes, "round-trip lost >1 byte: {back} vs {bytes}");
+    }
+
+    #[test]
+    fn bytes_in_is_monotone_in_time(ps_a in 0u64..PS_PER_MS, ps_b in 0u64..PS_PER_MS, gbps in 1u64..400) {
+        let r = Rate::from_gbps(gbps);
+        let (lo, hi) = (ps_a.min(ps_b), ps_a.max(ps_b));
+        prop_assert!(r.bytes_in(Time::from_ps(lo)) <= r.bytes_in(Time::from_ps(hi)));
+    }
+
+    #[test]
+    fn bdp_matches_bytes_in(us in 1u64..1000, gbps in 1u64..400) {
+        let r = Rate::from_gbps(gbps);
+        let rtt = Time::from_us(us);
+        prop_assert_eq!(r.bdp_bytes(rtt), r.bytes_in(rtt));
+        // BDP in bytes = gbps * us * 1000 / 8, exact at these granularities.
+        prop_assert_eq!(r.bdp_bytes(rtt), gbps * us * 1000 / 8);
+    }
+
+    #[test]
+    fn rate_mul_f64_integer_factors(mbps in 1u64..1_000_000, k in 0u64..1000) {
+        let r = Rate::from_mbps(mbps);
+        prop_assert_eq!(r.mul_f64(k as f64).as_bps(), r.as_bps() * k);
+    }
+}
+
+#[test]
+fn serialize_time_spans_paper_rates_exactly() {
+    // The paper's rates: 10 / 100 / 400 Gbps, 1 KB MTU + 48 B header.
+    for (gbps, wire, ns) in [(10u64, 1048u64, 838u64), (100, 1048, 83), (400, 1048, 20)] {
+        let t = Rate::from_gbps(gbps).serialize_time(wire);
+        assert_eq!(t.as_ps(), wire * 8 * 1000 / gbps);
+        assert!(t.as_ns() >= ns && t.as_ns() <= ns + 1, "{gbps}G: {t}");
+    }
+}

@@ -197,6 +197,29 @@ impl Transport for DctcpTransport {
     fn retransmits(&self) -> u64 {
         self.base.retransmits
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.base.check_invariants()?;
+        if !self.cwnd.is_finite() {
+            return Err(format!("dctcp cwnd {} is not finite", self.cwnd));
+        }
+        if self.cwnd < self.cfg.min_cwnd || self.cwnd > self.cfg.max_cwnd {
+            return Err(format!(
+                "dctcp cwnd {} outside [{}, {}]",
+                self.cwnd, self.cfg.min_cwnd, self.cfg.max_cwnd
+            ));
+        }
+        if !self.alpha.is_finite() || !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("dctcp alpha {} outside [0, 1]", self.alpha));
+        }
+        if self.marked_bytes_win > self.acked_bytes_win {
+            return Err(format!(
+                "dctcp marked bytes {} exceed acked bytes {} in window",
+                self.marked_bytes_win, self.acked_bytes_win
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,29 @@ impl Transport for HpccTransport {
     fn retransmits(&self) -> u64 {
         self.base.retransmits
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.base.check_invariants()?;
+        if !self.cwnd.is_finite() {
+            return Err(format!("hpcc cwnd {} is not finite", self.cwnd));
+        }
+        if self.cwnd < self.cfg.min_cwnd || self.cwnd > self.cfg.init_cwnd {
+            return Err(format!(
+                "hpcc cwnd {} outside [{}, {}]",
+                self.cwnd, self.cfg.min_cwnd, self.cfg.init_cwnd
+            ));
+        }
+        if !self.u.is_finite() || self.u < 0.0 {
+            return Err(format!("hpcc utilization estimate {} invalid", self.u));
+        }
+        if self.inc_stage > self.cfg.max_stage {
+            return Err(format!(
+                "hpcc inc_stage {} exceeds max_stage {}",
+                self.inc_stage, self.cfg.max_stage
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

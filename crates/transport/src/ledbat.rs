@@ -111,6 +111,22 @@ impl DelayCc for LedbatCc {
     fn target_delay(&self) -> Time {
         self.cfg.base_rtt + self.cfg.target_queuing
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.cwnd.is_finite() {
+            return Err(format!("ledbat cwnd {} is not finite", self.cwnd));
+        }
+        if self.cwnd < self.cfg.min_cwnd || self.cwnd > self.cfg.max_cwnd {
+            return Err(format!(
+                "ledbat cwnd {} outside [{}, {}]",
+                self.cwnd, self.cfg.min_cwnd, self.cfg.max_cwnd
+            ));
+        }
+        if !self.ai.is_finite() || self.ai < 0.0 {
+            return Err(format!("ledbat ai step {} invalid", self.ai));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

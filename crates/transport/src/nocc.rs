@@ -85,4 +85,119 @@ impl Transport for BlastTransport {
     fn retransmits(&self) -> u64 {
         self.base.retransmits
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.base.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::sim::Event;
+    use simcore::{EventQueue, Rate};
+
+    fn params(size: u64) -> FlowParams {
+        FlowParams {
+            flow: 0,
+            size,
+            line_rate: Rate::from_gbps(100),
+            base_rtt: Time::from_us(12),
+            base_rtt_probe: Time::from_us(11),
+            mtu: 1000,
+            virt_prio: 0,
+            seed: 1,
+        }
+    }
+
+    fn ack(seq: u64, bytes: u32) -> AckEvent {
+        AckEvent {
+            kind: AckKind::Data,
+            delay: Time::from_us(14),
+            cum_bytes: seq + bytes as u64,
+            acked_seq: seq,
+            acked_bytes: bytes,
+            ecn_echo: false,
+            nack: None,
+            int: None,
+        }
+    }
+
+    #[test]
+    fn window_never_gates_new_data() {
+        // The blast sender must be able to put the entire flow in flight
+        // without a single ACK: only "everything sent" blocks it.
+        let mut t = BlastTransport::new(params(10_000));
+        assert!(t.cwnd_bytes() >= 1e12);
+        for i in 0..10u64 {
+            let d = t.try_send(Time::ZERO);
+            assert!(
+                matches!(d, TrySend::Data { seq, bytes: 1000 } if seq == i * 1000),
+                "send {i}: {d:?}"
+            );
+            let mut q = EventQueue::<Event>::new();
+            let mut ctx = TransportCtx::for_test(&mut q, Time::ZERO, 0);
+            t.on_sent(d, &mut ctx);
+        }
+        assert_eq!(t.try_send(Time::ZERO), TrySend::Blocked);
+        assert_eq!(t.base.inflight, 10_000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn probe_acks_are_ignored() {
+        let mut t = BlastTransport::new(params(5_000));
+        let mut q = EventQueue::<Event>::new();
+        let mut ctx = TransportCtx::for_test(&mut q, Time::from_us(1), 0);
+        let mut a = ack(0, 1000);
+        a.kind = AckKind::Probe;
+        let before = t.base.acked;
+        t.on_ack(&a, &mut ctx);
+        assert_eq!(t.base.acked, before);
+    }
+
+    #[test]
+    fn finishes_and_cancels_rto() {
+        let mut t = BlastTransport::new(params(3_000));
+        let mut q = EventQueue::<Event>::new();
+        {
+            let mut ctx = TransportCtx::for_test(&mut q, Time::ZERO, 0);
+            t.on_start(&mut ctx);
+        }
+        assert_eq!(q.len(), 1, "on_start arms the RTO");
+        for i in 0..3u64 {
+            let d = t.try_send(Time::ZERO);
+            let mut ctx = TransportCtx::for_test(&mut q, Time::ZERO, 0);
+            t.on_sent(d, &mut ctx);
+            let _ = i;
+        }
+        for i in 0..3u64 {
+            let mut ctx = TransportCtx::for_test(&mut q, Time::from_us(14 + i), 0);
+            t.on_ack(&ack(i * 1000, 1000), &mut ctx);
+        }
+        assert!(t.is_finished());
+        assert_eq!(q.len(), 0, "final ACK cancels the RTO");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rto_requeues_outstanding_and_retransmits() {
+        let mut t = BlastTransport::new(params(2_000));
+        let mut q = EventQueue::<Event>::new();
+        for _ in 0..2 {
+            let d = t.try_send(Time::ZERO);
+            let mut ctx = TransportCtx::for_test(&mut q, Time::ZERO, 0);
+            t.on_sent(d, &mut ctx);
+        }
+        // No ACKs by the time the (backed-off) RTO fires.
+        let late = Time::from_ms(10);
+        let mut ctx = TransportCtx::for_test(&mut q, late, 0);
+        t.on_timer(RTO_TOKEN, &mut ctx);
+        let d = t.try_send(late);
+        assert!(matches!(d, TrySend::Data { seq: 0, bytes: 1000 }), "{d:?}");
+        let mut ctx = TransportCtx::for_test(&mut q, late, 0);
+        t.on_sent(d, &mut ctx);
+        assert_eq!(t.retransmits(), 1);
+        t.check_invariants().unwrap();
+    }
 }

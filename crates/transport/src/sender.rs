@@ -198,6 +198,37 @@ impl SenderBase {
             (self.srtt.mul_f64(4.0) + self.params.base_rtt.mul_f64(8.0)).max(Time::from_us(100));
         base.mul_f64((1u64 << self.rto_backoff.min(8)) as f64)
     }
+
+    /// Audit hook: sequence- and timer-state sanity shared by every
+    /// transport built on [`SenderBase`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.acked > self.params.size {
+            return Err(format!(
+                "acked {} B > flow size {} B",
+                self.acked, self.params.size
+            ));
+        }
+        if self.snd_nxt > self.params.size {
+            return Err(format!(
+                "snd_nxt {} > flow size {}",
+                self.snd_nxt, self.params.size
+            ));
+        }
+        if self.rto_backoff > 8 {
+            return Err(format!("rto_backoff {} > 8", self.rto_backoff));
+        }
+        if self.srtt == Time::ZERO {
+            return Err("srtt collapsed to zero".to_string());
+        }
+        let pending = self.rtx_pending.len();
+        if self.rtx_queue.len() != pending {
+            return Err(format!(
+                "rtx queue len {} != pending set len {pending}",
+                self.rtx_queue.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

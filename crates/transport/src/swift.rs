@@ -164,6 +164,22 @@ impl DelayCc for SwiftCc {
     fn target_delay(&self) -> Time {
         self.cfg.target
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.cwnd.is_finite() {
+            return Err(format!("swift cwnd {} is not finite", self.cwnd));
+        }
+        if self.cwnd < self.cfg.min_cwnd || self.cwnd > self.cfg.max_cwnd {
+            return Err(format!(
+                "swift cwnd {} outside [{}, {}]",
+                self.cwnd, self.cfg.min_cwnd, self.cfg.max_cwnd
+            ));
+        }
+        if !self.ai.is_finite() || self.ai < 0.0 {
+            return Err(format!("swift ai step {} invalid", self.ai));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

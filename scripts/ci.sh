@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full CI gauntlet, in escalating order of strictness:
+#
+#   1. tier-1: release build + full test suite (includes the property
+#      fleets and the golden-trace diffs);
+#   2. audit compile-out: netsim must build with the audit layer compiled
+#      out entirely (--no-default-features);
+#   3. audited e2e: the whole experiments test suite rerun with the
+#      invariant audit enabled on every Sim, panicking on any violation;
+#   4. bench drift: scripts/bench.sh prints events/sec deltas against the
+#      committed BENCH_simbench.json (informational — inspect by hand).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== [1/4] tier-1: release build + tests ==="
+cargo build --release
+cargo test -q
+
+echo
+echo "=== [2/4] audit compiles out (netsim --no-default-features) ==="
+cargo build --release -p netsim --no-default-features
+
+echo
+echo "=== [3/4] audit-enabled e2e suite (violations are fatal) ==="
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
+  cargo test -q --release -p experiments
+
+echo
+echo "=== [4/4] benchmark drift vs committed BENCH_simbench.json ==="
+scripts/bench.sh
+
+echo
+echo "ci.sh: all gates passed"

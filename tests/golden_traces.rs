@@ -1,0 +1,73 @@
+//! Golden-trace pinning: each scenario in [`experiments::golden`] must
+//! reproduce its checked-in summary byte-for-byte, and must reproduce it
+//! again with the invariant audit enabled (proving the audit is purely
+//! observational) with zero violations.
+//!
+//! On an intentional behavior change, regenerate the files with
+//! `GOLDEN_BLESS=1 cargo test -p experiments --test golden_traces` and
+//! review the diff like any other code change.
+
+use experiments::golden::{cases, summarize};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1")
+}
+
+#[test]
+fn golden_traces_match_the_pinned_summaries() {
+    let dir = golden_dir();
+    let mut mismatches = Vec::new();
+    for case in cases() {
+        let got = summarize(&(case.run)(false));
+        let path = dir.join(format!("{}.txt", case.name));
+        if blessing() {
+            std::fs::create_dir_all(&dir).expect("create tests/golden");
+            std::fs::write(&path, &got).expect("write golden file");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with GOLDEN_BLESS=1 to create it",
+                path.display()
+            )
+        });
+        if got != want {
+            mismatches.push(format!(
+                "== {} drifted from {} ==\n-- pinned --\n{want}\n-- got --\n{got}",
+                case.name,
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "behavioral drift against golden traces \
+         (GOLDEN_BLESS=1 regenerates after review):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_traces_are_identical_and_clean_under_audit() {
+    for case in cases() {
+        let plain = summarize(&(case.run)(false));
+        let res = (case.run)(true);
+        let audited = summarize(&res);
+        assert_eq!(
+            plain, audited,
+            "{}: enabling the audit changed the simulation",
+            case.name
+        );
+        let report = res.audit.as_ref().expect("audit enabled");
+        assert_eq!(
+            report.total_violations, 0,
+            "{}: audit violations {:?}",
+            case.name, report.violations
+        );
+    }
+}
