@@ -4,11 +4,15 @@
 //! scenario, and writes `BENCH_simbench.json` at the repo root so the perf
 //! trajectory is tracked PR-over-PR. Scenarios:
 //!
-//! - `event_queue`: raw [`EventQueue`] schedule/pop churn, with a cancelled
-//!   timer per slot — the simulator's innermost loop in isolation;
+//! - `event_queue[_quad|_calendar]`: raw [`EventQueue`] schedule/pop churn,
+//!   with a cancelled timer per slot — the simulator's innermost loop in
+//!   isolation, once per scheduler backend;
+//! - `event_dense[_quad|_calendar]`: the hold-model dense-timer bench —
+//!   65536 pending timers, 1M pops, each pop rescheduling uniformly within
+//!   a 100 µs horizon — the regime calendar queues are built for;
 //! - `incast_swift`: a 64-flow Swift incast on the single-switch topology;
-//! - `incast_prioplus`: the same incast under PrioPlus+Swift (probes, virt
-//!   priorities);
+//! - `incast_prioplus[_quad|_calendar]`: the same incast under
+//!   PrioPlus+Swift (probes, virt priorities), per backend;
 //! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
 //! - `sweep_flowsched`: N quick flow-scheduling configs serial (`jobs=1`)
 //!   vs parallel (`--jobs`/`PRIOPLUS_JOBS`/cores) — wall-clock speedup of
@@ -25,7 +29,7 @@ use experiments::report::json_string;
 use experiments::sweep::default_jobs;
 use experiments::Scheme;
 use netsim::NoiseModel;
-use simcore::{EventQueue, Time};
+use simcore::{EventQueue, SchedKind, Time};
 use transport::{CcSpec, PrioPlusPolicy};
 
 const REPS: usize = 3;
@@ -59,7 +63,7 @@ fn scenario(name: &'static str, f: impl Fn() -> u64) -> Scenario {
         events_per_sec: events as f64 / secs,
     };
     println!(
-        "{:<18} {:>10.1} ms  {:>12} events  {:>14.0} events/s",
+        "{:<26} {:>10.1} ms  {:>12} events  {:>14.0} events/s",
         s.name, s.wall_ms, s.events, s.events_per_sec
     );
     s
@@ -68,9 +72,9 @@ fn scenario(name: &'static str, f: impl Fn() -> u64) -> Scenario {
 /// Raw event-queue churn: a sliding window of scheduled events with one
 /// cancellable timer per step that is always cancelled and replaced —
 /// mirroring the transports' per-ACK RTO reschedule pattern.
-fn bench_event_queue() -> u64 {
+fn bench_event_queue(kind: SchedKind) -> u64 {
     const OPS: u64 = 2_000_000;
-    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut q: EventQueue<u64> = EventQueue::with_sched(kind);
     let mut rto = None;
     // Keep ~64 events pending so pops always have heap work to do.
     for i in 0..64u64 {
@@ -89,7 +93,35 @@ fn bench_event_queue() -> u64 {
     popped
 }
 
-fn bench_incast(prioplus: bool) -> u64 {
+/// Hold-model dense-timer bench (Brown's classic calendar-queue workload):
+/// a steady population of 65536 pending timers, each pop immediately
+/// replaced by a fresh timer uniform in a 100 µs horizon. Heaps pay
+/// O(log 65536) per op here; the calendar queue amortizes to O(1).
+fn bench_event_dense(kind: SchedKind) -> u64 {
+    const PENDING: u64 = 65_536;
+    const OPS: u64 = 1_000_000;
+    const HORIZON_PS: u64 = Time::from_us(100).as_ps();
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut q: EventQueue<u64> = EventQueue::with_sched(kind);
+    for i in 0..PENDING {
+        q.schedule(Time::from_ps(next() % HORIZON_PS + 1), i);
+    }
+    let mut popped = 0u64;
+    while popped < OPS {
+        let (now, v) = q.pop().expect("population is steady");
+        popped += 1;
+        q.schedule(now + Time::from_ps(next() % HORIZON_PS + 1), v);
+    }
+    popped
+}
+
+fn bench_incast(prioplus: bool, kind: SchedKind) -> u64 {
     let n = 64;
     let mut m = Micro::build(&MicroEnv {
         senders: n,
@@ -97,6 +129,7 @@ fn bench_incast(prioplus: bool) -> u64 {
         trace: false,
         seed: 7,
         noise: NoiseModel::testbed(),
+        sched: kind,
         ..Default::default()
     });
     let cc = if prioplus {
@@ -127,9 +160,24 @@ fn flowsched_cfg(seed: u64) -> FlowSchedConfig {
 fn main() {
     println!("simbench: fixed seeded scenarios, best of {REPS} runs\n");
     let scenarios = vec![
-        scenario("event_queue", bench_event_queue),
-        scenario("incast_swift", || bench_incast(false)),
-        scenario("incast_prioplus", || bench_incast(true)),
+        scenario("event_queue", || bench_event_queue(SchedKind::Binary)),
+        scenario("event_queue_quad", || bench_event_queue(SchedKind::Quad)),
+        scenario("event_queue_calendar", || {
+            bench_event_queue(SchedKind::Calendar)
+        }),
+        scenario("event_dense", || bench_event_dense(SchedKind::Binary)),
+        scenario("event_dense_quad", || bench_event_dense(SchedKind::Quad)),
+        scenario("event_dense_calendar", || {
+            bench_event_dense(SchedKind::Calendar)
+        }),
+        scenario("incast_swift", || bench_incast(false, SchedKind::Binary)),
+        scenario("incast_prioplus", || bench_incast(true, SchedKind::Binary)),
+        scenario("incast_prioplus_quad", || {
+            bench_incast(true, SchedKind::Quad)
+        }),
+        scenario("incast_prioplus_calendar", || {
+            bench_incast(true, SchedKind::Calendar)
+        }),
         scenario("flowsched_k4", || {
             let r = run_many(&[flowsched_cfg(11)], 1);
             r[0].flows.len() as u64

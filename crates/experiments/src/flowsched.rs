@@ -2,7 +2,7 @@
 //! on a fat-tree, flows classified by size into priority groups (smaller →
 //! higher priority), compared across queueing/CC schemes.
 
-use netsim::{AckPriority, FlowSpec, NoiseModel, Sim, SimConfig, SwitchConfig, Topology};
+use netsim::{AckPriority, FlowSpec, NoiseModel, SchedKind, Sim, SimConfig, SwitchConfig, Topology};
 use simcore::{Rate, Time};
 use transport::{CcSpec, PrioPlusPolicy};
 use workloads::{PoissonArrivals, SizeClassifier, SizeDist};
@@ -34,6 +34,8 @@ pub struct FlowSchedConfig {
     pub noise: NoiseModel,
     /// Per-flow D2TCP deadline span (lowest..highest priority factor).
     pub d2tcp_factors: (f64, f64),
+    /// Event-scheduler backend (results are identical across backends).
+    pub sched: SchedKind,
 }
 
 impl FlowSchedConfig {
@@ -50,6 +52,7 @@ impl FlowSchedConfig {
             buffer_mb_per_tbps: 4.4,
             noise: NoiseModel::testbed(),
             d2tcp_factors: (12.0, 1.5),
+            sched: SchedKind::from_env(),
         }
     }
 }
@@ -250,6 +253,7 @@ pub fn run(cfg: &FlowSchedConfig) -> FlowSchedResult {
         } else {
             AckPriority::Control
         },
+        sched: cfg.sched,
         ..Default::default()
     };
     // Every switch in a k-ary fat-tree has k ports.

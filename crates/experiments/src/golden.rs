@@ -9,7 +9,7 @@
 //! `GOLDEN_BLESS=1 cargo test -p experiments --test golden_traces`.
 
 use crate::micro::{testbed_env, Micro, MicroEnv};
-use netsim::{NoiseModel, SimResult, SwitchConfig};
+use netsim::{NoiseModel, SchedKind, SimResult, SwitchConfig};
 use simcore::Time;
 use transport::{CcSpec, PrioPlusPolicy};
 
@@ -23,13 +23,41 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// One pinned scenario: a name (the golden file stem) and a runner. The
-/// flag enables the invariant audit for the run.
+/// Per-run switches for a pinned scenario. Neither may change the summary:
+/// the audit is observational and scheduler backends are order-identical —
+/// exactly what the golden suite pins.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GoldenOpts {
+    /// Enable the invariant audit.
+    pub audit: bool,
+    /// Event-scheduler backend.
+    pub sched: SchedKind,
+}
+
+impl GoldenOpts {
+    /// Audit-only toggle on the default backend.
+    pub fn audited(audit: bool) -> Self {
+        GoldenOpts {
+            audit,
+            ..Default::default()
+        }
+    }
+
+    /// Backend selection without the audit.
+    pub fn on(sched: SchedKind) -> Self {
+        GoldenOpts {
+            sched,
+            ..Default::default()
+        }
+    }
+}
+
+/// One pinned scenario: a name (the golden file stem) and a runner.
 pub struct Golden {
     /// Golden file stem under `tests/golden/`.
     pub name: &'static str,
     /// Build and run the scenario.
-    pub run: fn(audit: bool) -> SimResult,
+    pub run: fn(opts: GoldenOpts) -> SimResult,
 }
 
 /// All pinned scenarios.
@@ -52,16 +80,17 @@ pub fn cases() -> Vec<Golden> {
 
 /// Fig 10a in miniature: 4 virtual priorities x 2 flows with staggered
 /// starts over one PrioPlus+Swift bottleneck, testbed noise.
-fn staircase(audit: bool) -> SimResult {
+fn staircase(opts: GoldenOpts) -> SimResult {
     let mut m = Micro::build(&MicroEnv {
         senders: 8,
         end: Time::from_ms(10),
         trace: false,
         noise: NoiseModel::testbed(),
         seed: 3,
+        sched: opts.sched,
         ..Default::default()
     });
-    if audit {
+    if opts.audit {
         m.sim.enable_audit();
     }
     let cc = CcSpec::PrioPlusSwift {
@@ -79,16 +108,17 @@ fn staircase(audit: bool) -> SimResult {
 
 /// Fig 13 in miniature: the testbed environment with 10 µs of uniform
 /// non-congestive delay at the bottleneck; PrioPlus widened to tolerate it.
-fn nc_delay(audit: bool) -> SimResult {
+fn nc_delay(opts: GoldenOpts) -> SimResult {
     let mut env = testbed_env();
     env.end = Time::from_ms(8);
     env.trace = false;
     env.seed = 5;
+    env.sched = opts.sched;
     env.switch.nc_delay = Some(NoiseModel::Uniform {
         range_ps: Time::from_us(10).as_ps(),
     });
     let mut m = Micro::build(&env);
-    if audit {
+    if opts.audit {
         m.sim.enable_audit();
     }
     let policy = PrioPlusPolicy {
@@ -114,7 +144,7 @@ fn nc_delay(audit: bool) -> SimResult {
 
 /// Lossy-mode incast: a small shared buffer forces Dynamic-Threshold drops
 /// and Swift retransmissions, pinning the DT/drop/RTO paths.
-fn lossy_incast(audit: bool) -> SimResult {
+fn lossy_incast(opts: GoldenOpts) -> SimResult {
     let mut m = Micro::build(&MicroEnv {
         senders: 8,
         end: Time::from_ms(10),
@@ -125,9 +155,10 @@ fn lossy_incast(audit: bool) -> SimResult {
             buffer_bytes: 200_000,
             ..Default::default()
         },
+        sched: opts.sched,
         ..Default::default()
     });
-    if audit {
+    if opts.audit {
         m.sim.enable_audit();
     }
     let cc = CcSpec::Swift {

@@ -28,6 +28,7 @@ pub mod mltrain;
 pub mod report;
 pub mod sweep;
 
+pub use netsim::SchedKind;
 pub use report::Table;
 pub use sweep::Sweep;
 

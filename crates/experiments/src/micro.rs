@@ -5,7 +5,7 @@
 //! give the paper's ≈ 12 µs data-packet RTT.
 
 use netsim::monitor::MonitorKind;
-use netsim::{FlowSpec, NoiseModel, Sim, SimConfig, SwitchConfig, Topology};
+use netsim::{FlowSpec, NoiseModel, SchedKind, Sim, SimConfig, SwitchConfig, Topology};
 use simcore::{Rate, Time};
 use transport::CcSpec;
 
@@ -30,6 +30,8 @@ pub struct MicroEnv {
     pub trace: bool,
     /// Switch overrides.
     pub switch: SwitchConfig,
+    /// Event-scheduler backend (results are identical across backends).
+    pub sched: SchedKind,
 }
 
 impl Default for MicroEnv {
@@ -44,6 +46,7 @@ impl Default for MicroEnv {
             noise: NoiseModel::None,
             trace: true,
             switch: SwitchConfig::default(),
+            sched: SchedKind::from_env(),
         }
     }
 }
@@ -72,6 +75,7 @@ impl Micro {
             seed: env.seed,
             meas_noise: env.noise,
             trace_flows: env.trace,
+            sched: env.sched,
             ..Default::default()
         };
         let sim = Sim::new(&topo, cfg, env.switch.clone());

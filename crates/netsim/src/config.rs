@@ -1,6 +1,6 @@
 //! Simulation-wide and per-switch configuration.
 
-use simcore::{Rate, Time};
+use simcore::{Rate, SchedKind, Time};
 
 use crate::noise::NoiseModel;
 
@@ -132,6 +132,11 @@ pub struct SimConfig {
     pub trace_flows: bool,
     /// Throughput meter bucket for traced flows.
     pub trace_bucket: Time,
+    /// Event-scheduler backend. Pure performance knob: every backend pops
+    /// in the identical `(time, seq)` order, so results are bit-identical
+    /// across choices (pinned by the golden-trace suite). Defaults to the
+    /// `PRIOPLUS_SCHED` environment variable (binary heap when unset).
+    pub sched: SchedKind,
 }
 
 impl Default for SimConfig {
@@ -145,6 +150,7 @@ impl Default for SimConfig {
             seed: 1,
             trace_flows: false,
             trace_bucket: Time::from_us(20),
+            sched: SchedKind::from_env(),
         }
     }
 }

@@ -47,6 +47,7 @@ pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
 pub use noise::NoiseModel;
 pub use packet::{FlowId, NodeId, Packet, PktKind};
 pub use record::{FlowRecord, SimCounters, SimResult};
+pub use simcore::SchedKind;
 pub use sim::{FlowSpec, Sim};
 pub use topology::Topology;
 pub use transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};

@@ -239,6 +239,7 @@ impl Sim {
         }
 
         let seed = cfg.seed;
+        let sched = cfg.sched;
         let lossy = !switch_cfg.pfc_enabled;
         Sim {
             cfg,
@@ -247,7 +248,7 @@ impl Sim {
             port_specs,
             routes,
             flows: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_sched(sched),
             counters: SimCounters::default(),
             monitors: Vec::new(),
             traces: HashMap::new(),

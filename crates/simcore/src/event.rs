@@ -1,23 +1,29 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper around a binary heap keyed on `(time, sequence)`: events
-//! scheduled for the same instant pop in insertion order, which makes whole
-//! simulations reproducible bit-for-bit across runs regardless of heap
-//! internals.
+//! A policy layer over a pluggable [`Scheduler`] backend keyed on
+//! `(time, sequence)`: events scheduled for the same instant pop in
+//! insertion order, which makes whole simulations reproducible bit-for-bit
+//! across runs — and across backends, since every backend implements the
+//! same stable `(time, seq)` min-order (see [`crate::sched`]). The backend
+//! is chosen at construction ([`EventQueue::with_sched`]); the default is
+//! the binary heap.
 //!
 //! Cancellation uses generation-stamped slots instead of a tombstone set:
 //! [`schedule_cancellable`](EventQueue::schedule_cancellable) hands out a
 //! [`ScheduledId`] naming a slot plus the generation it was issued under, and
-//! the heap entry carries the slot index. The pop path checks cancellation
+//! the backend entry carries the slot index. The pop path checks cancellation
 //! with one array index — no hashing, no allocation — and plain
 //! [`schedule`](EventQueue::schedule) (the vast majority of traffic) carries
 //! a sentinel slot and skips the bookkeeping entirely. A stale id (already
 //! fired or already cancelled) fails the generation check and is a no-op, so
 //! `len()` can never under-count and no tombstone can leak.
+//!
+//! Cancelled entries are retired *lazily*: they stay in the backend until
+//! they reach the head, where [`pop`](EventQueue::pop) and
+//! [`peek_time`](EventQueue::peek_time) discard them (see
+//! [`drop_cancelled_heads`](EventQueue::drop_cancelled_heads)).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::sched::{AnySched, Entry, SchedKind, Scheduler};
 use crate::time::Time;
 
 /// Handle to a cancellable scheduled event.
@@ -31,55 +37,26 @@ pub struct ScheduledId {
     gen: u32,
 }
 
-/// Slot index carried by heap entries that were scheduled without a
+/// Slot index carried by backend entries that were scheduled without a
 /// cancellation handle.
 const NO_SLOT: u32 = u32::MAX;
 
 /// Per-slot cancellation state. `gen` advances every time the slot is
 /// retired (fire or cancel), invalidating outstanding ids; `live` is false
-/// while a cancelled entry is still sitting in the heap.
+/// while a cancelled entry is still sitting in the backend.
 #[derive(Clone, Copy, Debug)]
 struct Slot {
     gen: u32,
     live: bool,
 }
 
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    slot: u32,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap; we want earliest (then lowest
-        // sequence number) first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A deterministic min-priority event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    sched: AnySched<E>,
     next_seq: u64,
     slots: Vec<Slot>,
     free_slots: Vec<u32>,
-    /// Entries still in the heap whose slot was cancelled.
+    /// Entries still in the backend whose slot was cancelled.
     cancelled_in_heap: usize,
     now: Time,
     popped: u64,
@@ -92,10 +69,17 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue at time zero.
+    /// Create an empty queue at time zero on the default (binary-heap)
+    /// backend.
     pub fn new() -> Self {
+        Self::with_sched(SchedKind::Binary)
+    }
+
+    /// Create an empty queue at time zero on the given scheduler backend.
+    /// Backend choice never changes pop order — only performance.
+    pub fn with_sched(kind: SchedKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            sched: AnySched::new(kind),
             next_seq: 0,
             slots: Vec::new(),
             free_slots: Vec::new(),
@@ -103,6 +87,11 @@ impl<E> EventQueue<E> {
             now: Time::ZERO,
             popped: 0,
         }
+    }
+
+    /// Which scheduler backend this queue runs on.
+    pub fn sched_kind(&self) -> SchedKind {
+        self.sched.kind()
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -120,7 +109,7 @@ impl<E> EventQueue<E> {
     /// Number of pending (non-cancelled) events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled_in_heap
+        self.sched.len() - self.cancelled_in_heap
     }
 
     /// True when no live events remain.
@@ -137,7 +126,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        self.sched.push(Entry {
             at,
             seq,
             slot,
@@ -157,7 +146,9 @@ impl<E> EventQueue<E> {
         self.push_entry(at, NO_SLOT, event);
     }
 
-    /// Schedule `event` `delay` after the current time.
+    /// Schedule `event` `delay` after the current time. A zero delay is
+    /// legal: the event fires at `now()`, after everything already scheduled
+    /// for that instant (sequence order).
     #[inline]
     pub fn schedule_in(&mut self, delay: Time, event: E) {
         self.schedule(self.now + delay, event);
@@ -195,16 +186,16 @@ impl<E> EventQueue<E> {
         if let Some(slot) = self.slots.get_mut(id.slot as usize) {
             if slot.gen == id.gen && slot.live {
                 slot.live = false;
-                // Invalidate the id immediately; the heap entry is retired
-                // lazily on pop/peek, which recycles the slot.
+                // Invalidate the id immediately; the backend entry is
+                // retired lazily on pop/peek, which recycles the slot.
                 slot.gen = slot.gen.wrapping_add(1);
                 self.cancelled_in_heap += 1;
             }
         }
     }
 
-    /// Retire the slot of an entry leaving the heap. Returns true when the
-    /// entry was live (should be delivered).
+    /// Retire the slot of an entry leaving the backend. Returns true when
+    /// the entry was live (should be delivered).
     #[inline]
     fn retire(&mut self, slot: u32) -> bool {
         if slot == NO_SLOT {
@@ -225,34 +216,64 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// The explicit lazy-skip step: discard cancelled entries sitting at the
+    /// backend head, recycling their slots. After this, the head (if any) is
+    /// live, so `peek_time` and `pop` necessarily agree on it. Amortized
+    /// O(1): each cancelled entry is discarded exactly once.
+    fn drop_cancelled_heads(&mut self) {
+        while let Some(entry) = self.sched.peek_min() {
+            let slot = entry.slot;
+            if slot == NO_SLOT || self.slots[slot as usize].live {
+                return;
+            }
+            self.sched.pop_min();
+            self.retire(slot);
+        }
+    }
+
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if !self.retire(entry.slot) {
-                continue;
-            }
-            debug_assert!(entry.at >= self.now);
-            self.now = entry.at;
-            self.popped += 1;
-            return Some((entry.at, entry.event));
-        }
-        None
+        self.drop_cancelled_heads();
+        let entry = self.sched.pop_min()?;
+        debug_assert!(
+            entry.slot == NO_SLOT || self.slots[entry.slot as usize].live,
+            "head still cancelled after drop_cancelled_heads"
+        );
+        self.retire(entry.slot);
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next live event without popping it.
+    ///
+    /// Takes `&mut self` only for the lazy-skip: cancelled entries at the
+    /// head are discarded (via [`Self::drop_cancelled_heads`]) so the peek
+    /// stays amortized O(1). The set of live events is unchanged.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.drop_cancelled_heads();
+        self.sched.peek_min().map(|e| e.at)
     }
 
     /// Verify the queue's internal bookkeeping. Used by the audit layer;
-    /// O(heap + slots), so callers should rate-limit it.
+    /// O(entries + slots), so callers should rate-limit it.
     ///
     /// Checks: no live entry is scheduled before `now`, the count of dead
-    /// heap entries matches `cancelled_in_heap` (so `len()` is exact), and
-    /// every live slot has exactly one heap entry referring to it.
+    /// backend entries matches `cancelled_in_heap` (so `len()` is exact),
+    /// every live slot has exactly one backend entry referring to it, and
+    /// the backend's own structural invariants hold
+    /// ([`Scheduler::check_backend`]).
     pub fn check_invariants(&self) -> Result<(), String> {
+        self.sched.check_backend()?;
         let mut dead = 0usize;
         let mut live_refs = vec![0u32; self.slots.len()];
-        for entry in self.heap.iter() {
+        let mut err = None;
+        self.sched.for_each(&mut |entry| {
             let slot_live = entry.slot == NO_SLOT || self.slots[entry.slot as usize].live;
             if slot_live {
-                if entry.at < self.now {
-                    return Err(format!(
+                if entry.at < self.now && err.is_none() {
+                    err = Some(format!(
                         "live event at {} is before now {}",
                         entry.at, self.now
                     ));
@@ -263,36 +284,25 @@ impl<E> EventQueue<E> {
             if entry.slot != NO_SLOT {
                 live_refs[entry.slot as usize] += 1;
             }
+        });
+        if let Some(e) = err {
+            return Err(e);
         }
         if dead != self.cancelled_in_heap {
             return Err(format!(
-                "cancelled_in_heap {} but {dead} dead entries in heap",
+                "cancelled_in_heap {} but {dead} dead entries in backend",
                 self.cancelled_in_heap
             ));
         }
         for (i, slot) in self.slots.iter().enumerate() {
             if slot.live && live_refs[i] != 1 {
                 return Err(format!(
-                    "live slot {i} referenced by {} heap entries (expected 1)",
+                    "live slot {i} referenced by {} backend entries (expected 1)",
                     live_refs[i]
                 ));
             }
         }
         Ok(())
-    }
-
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<Time> {
-        while let Some(entry) = self.heap.peek() {
-            let (at, slot) = (entry.at, entry.slot);
-            if slot == NO_SLOT || self.slots[slot as usize].live {
-                return Some(at);
-            }
-            // Cancelled: drop it now so peek stays amortized O(1).
-            self.heap.pop();
-            self.retire(slot);
-        }
-        None
     }
 }
 
@@ -300,55 +310,69 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Run a test body against a fresh queue on every backend, so every
+    /// scenario below pins identical behavior across all three.
+    fn on_all_backends<E>(f: impl Fn(&mut EventQueue<E>, SchedKind)) {
+        for kind in SchedKind::ALL {
+            let mut q = EventQueue::with_sched(kind);
+            assert_eq!(q.sched_kind(), kind);
+            f(&mut q, kind);
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_us(3), "c");
-        q.schedule(Time::from_us(1), "a");
-        q.schedule(Time::from_us(2), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        on_all_backends(|q, kind| {
+            q.schedule(Time::from_us(3), "c");
+            q.schedule(Time::from_us(1), "a");
+            q.schedule(Time::from_us(2), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{kind:?}");
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = Time::from_us(5);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
+        });
     }
 
     #[test]
     fn mixed_cancellable_ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = Time::from_us(5);
-        for i in 0..100 {
-            if i % 3 == 0 {
-                let _ = q.schedule_cancellable(t, i);
-            } else {
-                q.schedule(t, i);
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(5);
+            for i in 0..100 {
+                if i % 3 == 0 {
+                    let _ = q.schedule_cancellable(t, i);
+                } else {
+                    q.schedule(t, i);
+                }
             }
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
+        });
     }
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_us(10), ());
-        q.schedule(Time::from_us(10), ());
-        q.schedule(Time::from_us(20), ());
-        let mut last = Time::ZERO;
-        while let Some((t, ())) = q.pop() {
-            assert!(t >= last);
-            last = t;
-            assert_eq!(q.now(), t);
-        }
-        assert_eq!(last, Time::from_us(20));
+        on_all_backends(|q, _| {
+            q.schedule(Time::from_us(10), ());
+            q.schedule(Time::from_us(10), ());
+            q.schedule(Time::from_us(20), ());
+            let mut last = Time::ZERO;
+            while let Some((t, ())) = q.pop() {
+                assert!(t >= last);
+                last = t;
+                assert_eq!(q.now(), t);
+            }
+            assert_eq!(last, Time::from_us(20));
+        });
     }
 
     #[test]
@@ -361,24 +385,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_schedule_in_fires_at_now_after_existing_ties() {
+        on_all_backends(|q, kind| {
+            q.schedule(Time::from_us(10), 0);
+            q.pop();
+            // Zero delay: due at now() exactly, but after events already
+            // scheduled for this instant (sequence order).
+            q.schedule(q.now(), 1);
+            q.schedule_in(Time::ZERO, 2);
+            q.schedule_in(Time::from_us(1), 3);
+            assert_eq!(q.peek_time(), Some(Time::from_us(10)), "{kind:?}");
+            assert_eq!(q.pop(), Some((Time::from_us(10), 1)), "{kind:?}");
+            assert_eq!(q.pop(), Some((Time::from_us(10), 2)), "{kind:?}");
+            assert_eq!(q.pop(), Some((Time::from_us(11), 3)), "{kind:?}");
+            assert_eq!(q.now(), Time::from_us(11));
+        });
+    }
+
+    #[test]
     fn cancellation_skips_events() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), "a");
-        q.schedule(Time::from_us(2), "b");
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert!(q.pop().is_none());
+        on_all_backends(|q, kind| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            q.schedule(Time::from_us(2), "b");
+            q.cancel(a);
+            assert_eq!(q.len(), 1, "{kind:?}");
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"), "{kind:?}");
+            assert!(q.pop().is_none(), "{kind:?}");
+        });
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), "a");
-        assert!(q.pop().is_some());
-        q.cancel(a);
-        q.schedule(Time::from_us(2), "b");
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        on_all_backends(|q, _| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            assert!(q.pop().is_some());
+            q.cancel(a);
+            q.schedule(Time::from_us(2), "b");
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        });
     }
 
     /// Regression: the old tombstone-set design let `cancel()` on a fired id
@@ -386,145 +430,220 @@ mod tests {
     /// underflow-panic once the heap drained below the tombstone count.
     #[test]
     fn cancel_after_fire_keeps_len_exact() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), "a");
-        q.pop();
-        assert_eq!(q.len(), 0);
-        q.cancel(a); // stale id: must not disturb the live count
-        assert_eq!(q.len(), 0);
-        assert!(q.is_empty());
-        q.schedule(Time::from_us(2), "b");
-        assert_eq!(q.len(), 1); // would panic on underflow before the fix
-        q.cancel(a); // still a no-op, even with events pending
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert_eq!(q.len(), 0);
+        on_all_backends(|q, _| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            q.pop();
+            assert_eq!(q.len(), 0);
+            q.cancel(a); // stale id: must not disturb the live count
+            assert_eq!(q.len(), 0);
+            assert!(q.is_empty());
+            q.schedule(Time::from_us(2), "b");
+            assert_eq!(q.len(), 1); // would panic on underflow before the fix
+            q.cancel(a); // still a no-op, even with events pending
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+            assert_eq!(q.len(), 0);
+        });
+    }
+
+    /// Cancel with a stale id whose slot has been recycled by a *new*
+    /// cancellable event after the original was popped: the generation check
+    /// must protect the new occupant.
+    #[test]
+    fn cancel_on_popped_id_after_slot_reuse_is_noop() {
+        on_all_backends(|q, kind| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+            // Slot freed by the pop; this reuses it under a newer gen.
+            let b = q.schedule_cancellable(Time::from_us(2), "b");
+            q.cancel(a); // stale: must not kill "b"
+            assert_eq!(q.len(), 1, "{kind:?}");
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"), "{kind:?}");
+            q.cancel(b); // also stale now (fired)
+            assert!(q.is_empty());
+            q.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn double_cancel_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), "a");
-        q.schedule(Time::from_us(2), "b");
-        q.cancel(a);
-        q.cancel(a);
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert!(q.pop().is_none());
-        assert_eq!(q.len(), 0);
+        on_all_backends(|q, _| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            q.schedule(Time::from_us(2), "b");
+            q.cancel(a);
+            q.cancel(a);
+            q.cancel(a);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+            assert!(q.pop().is_none());
+            assert_eq!(q.len(), 0);
+        });
     }
 
     #[test]
     fn schedule_in_is_relative_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_us(10), 0);
-        q.pop();
-        q.schedule_in(Time::from_us(5), 1);
-        assert_eq!(q.pop().map(|(t, _)| t), Some(Time::from_us(15)));
+        on_all_backends(|q, _| {
+            q.schedule(Time::from_us(10), 0);
+            q.pop();
+            q.schedule_in(Time::from_us(5), 1);
+            assert_eq!(q.pop().map(|(t, _)| t), Some(Time::from_us(15)));
+        });
     }
 
     #[test]
     fn peek_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), "a");
-        q.schedule(Time::from_us(2), "b");
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(Time::from_us(2)));
+        on_all_backends(|q, kind| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            q.schedule(Time::from_us(2), "b");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(Time::from_us(2)), "{kind:?}");
+        });
     }
 
+    /// Regression for the lazy-skip contract: when the head entry is
+    /// cancelled *between* a peek and the next peek/pop, both must agree on
+    /// the new head — the stale peeked time must never be delivered.
     #[test]
-    fn cancel_then_reschedule_same_timestamp() {
-        let mut q = EventQueue::new();
-        let t = Time::from_us(7);
-        let a = q.schedule_cancellable(t, "old");
-        q.cancel(a);
-        // Reschedule at the same instant; the cancelled entry's slot may be
-        // recycled for the replacement, so the stale id must stay dead.
-        let b = q.schedule_cancellable(t, "new");
-        q.cancel(a); // stale: must not kill "new"
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some("new"));
-        assert!(q.pop().is_none());
-        let _ = b;
+    fn peek_and_pop_agree_when_head_cancelled_between_calls() {
+        on_all_backends(|q, kind| {
+            let a = q.schedule_cancellable(Time::from_us(1), "a");
+            q.schedule(Time::from_us(2), "b");
+            assert_eq!(q.peek_time(), Some(Time::from_us(1)), "{kind:?}");
+            q.cancel(a); // head dies after it was peeked
+            let peeked = q.peek_time();
+            assert_eq!(peeked, Some(Time::from_us(2)), "{kind:?}");
+            let (t, e) = q.pop().unwrap();
+            assert_eq!(Some(t), peeked, "{kind:?}: peek/pop disagree");
+            assert_eq!(e, "b");
+            // And with pop first (no intervening peek): same skip.
+            let c = q.schedule_cancellable(Time::from_us(3), "c");
+            q.schedule(Time::from_us(4), "d");
+            q.cancel(c);
+            assert_eq!(q.pop(), Some((Time::from_us(4), "d")), "{kind:?}");
+            q.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn cancel_interleaved_with_peek() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_cancellable(Time::from_us(1), 1);
-        let b = q.schedule_cancellable(Time::from_us(2), 2);
-        q.schedule(Time::from_us(3), 3);
-        assert_eq!(q.peek_time(), Some(Time::from_us(1)));
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(Time::from_us(2)));
-        q.cancel(b);
-        assert_eq!(q.peek_time(), Some(Time::from_us(3)));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((Time::from_us(3), 3)));
-        assert_eq!(q.peek_time(), None);
+        on_all_backends(|q, kind| {
+            let a = q.schedule_cancellable(Time::from_us(1), 1);
+            let b = q.schedule_cancellable(Time::from_us(2), 2);
+            q.schedule(Time::from_us(3), 3);
+            assert_eq!(q.peek_time(), Some(Time::from_us(1)), "{kind:?}");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(Time::from_us(2)), "{kind:?}");
+            q.cancel(b);
+            assert_eq!(q.peek_time(), Some(Time::from_us(3)), "{kind:?}");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((Time::from_us(3), 3)));
+            assert_eq!(q.peek_time(), None);
+        });
     }
 
     #[test]
     fn mass_cancel_then_drain() {
-        let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..1000)
-            .map(|i| q.schedule_cancellable(Time::from_us(i), i))
-            .collect();
-        // Keep every 10th event; cancel the rest in scattered order.
-        for (i, id) in ids.iter().enumerate() {
-            if i % 10 != 0 {
-                q.cancel(*id);
+        on_all_backends(|q, kind| {
+            let ids: Vec<_> = (0..1000)
+                .map(|i| q.schedule_cancellable(Time::from_us(i), i))
+                .collect();
+            // Keep every 10th event; cancel the rest in scattered order.
+            for (i, id) in ids.iter().enumerate() {
+                if i % 10 != 0 {
+                    q.cancel(*id);
+                }
             }
-        }
-        assert_eq!(q.len(), 100);
-        let survivors: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(survivors, (0..1000).step_by(10).collect::<Vec<_>>());
-        assert_eq!(q.len(), 0);
-        assert!(q.is_empty());
+            assert_eq!(q.len(), 100, "{kind:?}");
+            let survivors: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(survivors, (0..1000).step_by(10).collect::<Vec<_>>());
+            assert_eq!(q.len(), 0);
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn invariants_hold_through_schedule_cancel_pop_cycles() {
-        let mut q = EventQueue::new();
-        q.check_invariants().unwrap();
-        let mut ids = Vec::new();
-        for i in 0..200u64 {
-            if i % 2 == 0 {
-                ids.push(q.schedule_cancellable(Time::from_us(i + 1), i));
-            } else {
-                q.schedule(Time::from_us(i + 1), i);
-            }
+        on_all_backends(|q, _| {
             q.check_invariants().unwrap();
-        }
-        for (k, id) in ids.iter().enumerate() {
-            if k % 3 == 0 {
-                q.cancel(*id);
+            let mut ids = Vec::new();
+            for i in 0..200u64 {
+                if i % 2 == 0 {
+                    ids.push(q.schedule_cancellable(Time::from_us(i + 1), i));
+                } else {
+                    q.schedule(Time::from_us(i + 1), i);
+                }
                 q.check_invariants().unwrap();
             }
-        }
-        while q.pop().is_some() {
+            for (k, id) in ids.iter().enumerate() {
+                if k % 3 == 0 {
+                    q.cancel(*id);
+                    q.check_invariants().unwrap();
+                }
+            }
+            while q.pop().is_some() {
+                q.check_invariants().unwrap();
+            }
+            assert!(q.is_empty());
             q.check_invariants().unwrap();
-        }
-        assert!(q.is_empty());
-        q.check_invariants().unwrap();
+        });
     }
 
     #[test]
     fn slot_reuse_does_not_resurrect_old_ids() {
-        let mut q = EventQueue::new();
-        // Run many schedule/fire/cancel-stale cycles through the same slot.
-        let mut stale = Vec::new();
-        for round in 0..50u64 {
-            let id = q.schedule_cancellable(Time::from_us(round + 1), round);
-            // Every stale id from prior rounds must be inert against the
-            // recycled slot now hosting the current event.
-            for old in &stale {
-                q.cancel(*old);
+        on_all_backends(|q, _| {
+            // Run many schedule/fire/cancel-stale cycles through the same
+            // slot.
+            let mut stale = Vec::new();
+            for round in 0..50u64 {
+                let id = q.schedule_cancellable(Time::from_us(round + 1), round);
+                // Every stale id from prior rounds must be inert against the
+                // recycled slot now hosting the current event.
+                for old in &stale {
+                    q.cancel(*old);
+                }
+                assert_eq!(q.len(), 1);
+                assert_eq!(q.pop().map(|(_, e)| e), Some(round));
+                stale.push(id);
             }
-            assert_eq!(q.len(), 1);
-            assert_eq!(q.pop().map(|(_, e)| e), Some(round));
-            stale.push(id);
+            assert!(q.is_empty());
+        });
+    }
+
+    /// Calendar-specific end-to-end: growth/shrink resizes while pops cross
+    /// bucket-day and year boundaries must preserve global order and the
+    /// queue invariants.
+    #[test]
+    fn calendar_resize_across_day_boundaries_preserves_order() {
+        let mut q: EventQueue<u64> = EventQueue::with_sched(SchedKind::Calendar);
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        let mut ids = Vec::new();
+        for i in 0..600u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Spread across many microseconds so entries span several
+            // calendar days/years at the initial 1 µs width.
+            let at = q.now() + Time::from_ns(x % 50_000);
+            if i % 4 == 0 {
+                ids.push(q.schedule_cancellable(at, i));
+            } else {
+                q.schedule(at, i);
+            }
+            if i % 3 == 0 {
+                q.pop();
+            }
+            if i % 7 == 0 {
+                if let Some(id) = ids.pop() {
+                    q.cancel(id);
+                }
+            }
+            q.check_invariants().unwrap();
+        }
+        let mut last = q.now();
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            q.check_invariants().unwrap();
         }
         assert!(q.is_empty());
     }

@@ -6,6 +6,8 @@
 //! - [`time`]: picosecond-resolution simulated [`time::Time`] and durations;
 //! - [`rate`]: link rates ([`rate::Rate`]) and serialization-delay arithmetic;
 //! - [`event`]: a deterministic event queue with stable tie-breaking;
+//! - [`sched`]: pluggable scheduler backends for the event queue (binary
+//!   heap, 4-ary heap, calendar queue) with identical pop order;
 //! - [`rng`]: a small, seedable, splittable deterministic RNG;
 //! - [`stats`]: summary statistics (mean, percentiles, CDFs, time series).
 //!
@@ -18,10 +20,12 @@ pub mod event;
 pub mod rate;
 pub mod ringlog;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledId};
+pub use sched::{SchedKind, Scheduler};
 pub use rate::Rate;
 pub use ringlog::RingLog;
 pub use rng::SimRng;

@@ -1,0 +1,747 @@
+//! Pluggable event-scheduler backends.
+//!
+//! [`EventQueue`](crate::EventQueue) separates *policy* — generation-slot
+//! cancellation, the monotonic clock, sequence-number tie-breaking — from
+//! the ordered container that actually holds pending entries. The container
+//! side is the [`Scheduler`] trait, with three deterministic backends:
+//!
+//! - [`BinaryHeapSched`]: `std::collections::BinaryHeap` with reversed
+//!   ordering — the reference backend and the default;
+//! - [`QuadHeapSched`]: an implicit 4-ary min-heap. Same asymptotics as the
+//!   binary heap but half the tree depth, so sift-downs touch fewer cache
+//!   lines when many events are pending;
+//! - [`CalendarQueue`]: a bucketed calendar queue (Brown 1988) with
+//!   automatic resize. O(1) amortized when pending-event spacing is roughly
+//!   uniform — the dense-timer regime of large incasts, where millions of
+//!   RTO/pacing timers share a common horizon.
+//!
+//! # Contract
+//!
+//! Every backend must behave as a *stable min-queue over `(at, seq)`*:
+//!
+//! 1. `pop_min` returns the pending entry with the smallest `(at, seq)` key
+//!    (keys are unique: the queue assigns strictly increasing `seq`);
+//! 2. `peek_min` agrees with what `pop_min` would return next;
+//! 3. pushes must accept any `entry.at`, including ones earlier than the
+//!    last entry popped: the event queue enforces causality against its own
+//!    clock, but it also retires *cancelled* heads early, and those can
+//!    carry timestamps ahead of the clock.
+//!
+//! Rule 1 makes backend choice *unobservable*: any two backends driven with
+//! the same pushes produce bit-identical pop sequences, which is what lets
+//! `PRIOPLUS_SCHED` flip the backend without perturbing a single golden
+//! trace. The differential property test (`simcore/tests/prop_sched.rs`)
+//! checks all three against a naive sorted-`Vec` model, and the golden-trace
+//! suite pins end-to-end digests per backend.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// One pending event: absolute timestamp, tie-breaking sequence number, the
+/// cancellation slot carried opaquely for [`crate::EventQueue`] (its
+/// sentinel for "not cancellable" is `u32::MAX`), and the payload.
+#[derive(Debug)]
+pub struct Entry<E> {
+    /// Absolute due time.
+    pub at: Time,
+    /// Strictly increasing insertion sequence; ties on `at` pop in `seq`
+    /// order.
+    pub seq: u64,
+    /// Cancellation slot index (opaque to backends).
+    pub slot: u32,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> Entry<E> {
+    /// The total-order key backends sort by.
+    #[inline]
+    pub fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// A deterministic stable min-queue over `(at, seq)` — the pluggable half
+/// of [`crate::EventQueue`]. See the module docs for the exact contract.
+pub trait Scheduler<E> {
+    /// Insert an entry. `seq` values are unique and strictly increasing
+    /// across pushes; `at` may be earlier than the last popped entry (see
+    /// the module docs on cancelled-head retirement).
+    fn push(&mut self, entry: Entry<E>);
+
+    /// Remove and return the entry with the smallest `(at, seq)`.
+    fn pop_min(&mut self) -> Option<Entry<E>>;
+
+    /// The entry `pop_min` would return next, without removing it.
+    fn peek_min(&self) -> Option<&Entry<E>>;
+
+    /// Number of stored entries (live and cancelled alike — cancellation is
+    /// the queue's business, not the backend's).
+    fn len(&self) -> usize;
+
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every stored entry in unspecified order (audit support).
+    fn for_each(&self, f: &mut dyn FnMut(&Entry<E>));
+
+    /// Verify backend-internal structure (heap shape, bucket sort order,
+    /// counts). Used by the audit layer on top of the queue's own checks.
+    fn check_backend(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+/// Which scheduler backend an [`crate::EventQueue`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedKind {
+    /// `std` binary heap (the default).
+    Binary,
+    /// Implicit 4-ary min-heap.
+    Quad,
+    /// Bucketed calendar queue with automatic resize.
+    Calendar,
+}
+
+impl Default for SchedKind {
+    fn default() -> Self {
+        SchedKind::Binary
+    }
+}
+
+impl SchedKind {
+    /// All backends, in a fixed order (test matrices iterate this).
+    pub const ALL: [SchedKind; 3] = [SchedKind::Binary, SchedKind::Quad, SchedKind::Calendar];
+
+    /// Canonical lowercase name (also what `PRIOPLUS_SCHED` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Binary => "binary",
+            SchedKind::Quad => "quad",
+            SchedKind::Calendar => "calendar",
+        }
+    }
+
+    /// Parse a backend name; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<SchedKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "binary" | "heap" | "binaryheap" => Some(SchedKind::Binary),
+            "quad" | "4ary" | "heap4" | "quadheap" => Some(SchedKind::Quad),
+            "calendar" | "calq" | "calqueue" => Some(SchedKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// Backend selected by the `PRIOPLUS_SCHED` environment variable, or
+    /// [`SchedKind::Binary`] when unset. An unparsable value warns once on
+    /// stderr and falls back to the default rather than aborting a run.
+    pub fn from_env() -> SchedKind {
+        match std::env::var("PRIOPLUS_SCHED") {
+            Ok(v) => SchedKind::parse(&v).unwrap_or_else(|| {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PRIOPLUS_SCHED={v:?} not one of \
+                         binary|quad|calendar; using binary"
+                    );
+                });
+                SchedKind::Binary
+            }),
+            Err(_) => SchedKind::Binary,
+        }
+    }
+}
+
+/// Enum-dispatched backend: one concrete type the event queue can hold while
+/// the kind is chosen at runtime, with static dispatch inside each arm.
+#[derive(Debug)]
+pub enum AnySched<E> {
+    /// Binary-heap backend.
+    Binary(BinaryHeapSched<E>),
+    /// 4-ary-heap backend.
+    Quad(QuadHeapSched<E>),
+    /// Calendar-queue backend.
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> AnySched<E> {
+    /// Construct an empty backend of the given kind.
+    pub fn new(kind: SchedKind) -> Self {
+        match kind {
+            SchedKind::Binary => AnySched::Binary(BinaryHeapSched::new()),
+            SchedKind::Quad => AnySched::Quad(QuadHeapSched::new()),
+            SchedKind::Calendar => AnySched::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Which backend this is.
+    pub fn kind(&self) -> SchedKind {
+        match self {
+            AnySched::Binary(_) => SchedKind::Binary,
+            AnySched::Quad(_) => SchedKind::Quad,
+            AnySched::Calendar(_) => SchedKind::Calendar,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $b:ident => $body:expr) => {
+        match $self {
+            AnySched::Binary($b) => $body,
+            AnySched::Quad($b) => $body,
+            AnySched::Calendar($b) => $body,
+        }
+    };
+}
+
+impl<E> Scheduler<E> for AnySched<E> {
+    #[inline]
+    fn push(&mut self, entry: Entry<E>) {
+        dispatch!(self, b => b.push(entry))
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        dispatch!(self, b => b.pop_min())
+    }
+    #[inline]
+    fn peek_min(&self) -> Option<&Entry<E>> {
+        dispatch!(self, b => b.peek_min())
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        dispatch!(self, b => b.len())
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Entry<E>)) {
+        dispatch!(self, b => b.for_each(f))
+    }
+    fn check_backend(&self) -> Result<(), String> {
+        dispatch!(self, b => b.check_backend())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap backend
+// ---------------------------------------------------------------------------
+
+/// Reversed-order wrapper so the std max-heap pops the smallest key first.
+#[derive(Debug)]
+struct Rev<E>(Entry<E>);
+
+impl<E> PartialEq for Rev<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for Rev<E> {}
+impl<E> PartialOrd for Rev<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Rev<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// The reference backend: `std::collections::BinaryHeap` in min-order.
+#[derive(Debug)]
+pub struct BinaryHeapSched<E> {
+    heap: BinaryHeap<Rev<E>>,
+}
+
+impl<E> BinaryHeapSched<E> {
+    /// Empty backend.
+    pub fn new() -> Self {
+        BinaryHeapSched {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E> Default for BinaryHeapSched<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> for BinaryHeapSched<E> {
+    #[inline]
+    fn push(&mut self, entry: Entry<E>) {
+        self.heap.push(Rev(entry));
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        self.heap.pop().map(|r| r.0)
+    }
+    #[inline]
+    fn peek_min(&self) -> Option<&Entry<E>> {
+        self.heap.peek().map(|r| &r.0)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Entry<E>)) {
+        for r in self.heap.iter() {
+            f(&r.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary heap backend
+// ---------------------------------------------------------------------------
+
+/// Implicit 4-ary min-heap in a `Vec`. Child `c` of node `i` is
+/// `4*i + 1 + c`; parent of `i` is `(i - 1) / 4`. Depth is half a binary
+/// heap's, trading slightly more comparisons per level for fewer levels —
+/// the standard d-ary trade that favors sift-down-heavy workloads like an
+/// event loop's pop-push cycle.
+#[derive(Debug)]
+pub struct QuadHeapSched<E> {
+    v: Vec<Entry<E>>,
+}
+
+const ARITY: usize = 4;
+
+impl<E> QuadHeapSched<E> {
+    /// Empty backend.
+    pub fn new() -> Self {
+        QuadHeapSched { v: Vec::new() }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.v[i].key() < self.v[parent].key() {
+                self.v.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.v.len();
+        loop {
+            let first = ARITY * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            for c in first + 1..(first + ARITY).min(len) {
+                if self.v[c].key() < self.v[min].key() {
+                    min = c;
+                }
+            }
+            if self.v[min].key() < self.v[i].key() {
+                self.v.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for QuadHeapSched<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> for QuadHeapSched<E> {
+    fn push(&mut self, entry: Entry<E>) {
+        self.v.push(entry);
+        self.sift_up(self.v.len() - 1);
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        let last = self.v.pop()?;
+        if self.v.is_empty() {
+            return Some(last);
+        }
+        let min = std::mem::replace(&mut self.v[0], last);
+        self.sift_down(0);
+        Some(min)
+    }
+
+    #[inline]
+    fn peek_min(&self) -> Option<&Entry<E>> {
+        self.v.first()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Entry<E>)) {
+        for e in &self.v {
+            f(e);
+        }
+    }
+
+    fn check_backend(&self) -> Result<(), String> {
+        for i in 1..self.v.len() {
+            let parent = (i - 1) / ARITY;
+            if self.v[i].key() < self.v[parent].key() {
+                return Err(format!(
+                    "quad-heap property violated at index {i} (parent {parent})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue backend
+// ---------------------------------------------------------------------------
+
+/// Bucketed calendar queue (Brown 1988). Time is divided into fixed-width
+/// "days"; day `d` hashes to bucket `d % nbuckets`, so each bucket holds
+/// every `nbuckets`-th day ("one day per year"). A pop scans at most one
+/// year of buckets starting from the current day and falls back to a direct
+/// min search when the year is empty — O(1) amortized when event spacing is
+/// near-uniform relative to the bucket width.
+///
+/// Buckets are kept sorted descending by `(at, seq)` (so the per-bucket
+/// minimum is `last()`, poppable in O(1)), which preserves the stable-order
+/// contract exactly: same-timestamp events always land in the same bucket
+/// and pop in `seq` order.
+///
+/// The queue resizes when the entry count drifts outside `[nbuckets/4,
+/// 2*nbuckets]`, re-deriving the bucket width from the current min→max event
+/// span (≈3× the mean gap). Resize rebuilds in O(n).
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// Each bucket sorted descending by `(at, seq)`; `last()` is its min.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Power of two.
+    nbuckets: usize,
+    /// Bucket ("day") width in picoseconds, >= 1.
+    width: u64,
+    /// Timestamp (ps) of the last popped entry: the lower bound for every
+    /// stored entry, and where the pop scan starts.
+    last_ps: u64,
+    count: usize,
+}
+
+/// Smallest bucket count; also the initial size.
+const MIN_BUCKETS: usize = 4;
+/// Initial day width: 1 µs in ps (immediately re-derived on first resize).
+const INITIAL_WIDTH_PS: u64 = 1_000_000;
+
+impl<E> CalendarQueue<E> {
+    /// Empty backend.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            nbuckets: MIN_BUCKETS,
+            width: INITIAL_WIDTH_PS,
+            last_ps: 0,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, at_ps: u64) -> usize {
+        ((at_ps / self.width) as usize) & (self.nbuckets - 1)
+    }
+
+    fn insert_sorted(bucket: &mut Vec<Entry<E>>, entry: Entry<E>) {
+        // Descending by key: binary-search under the reversed comparator.
+        // Keys are unique, so the search always lands on Err(pos).
+        let pos = bucket
+            .binary_search_by(|p| entry.key().cmp(&p.key()))
+            .unwrap_err();
+        bucket.insert(pos, entry);
+    }
+
+    /// Bucket index holding the entry `pop_min` must return, or `None` when
+    /// empty. Scans one "year" starting at the current day, then falls back
+    /// to a direct min search across all bucket heads.
+    fn locate_min(&self) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let day = self.last_ps / self.width;
+        let mask = self.nbuckets as u64 - 1;
+        for s in 0..self.nbuckets as u64 {
+            let i = ((day + s) & mask) as usize;
+            if let Some(e) = self.buckets[i].last() {
+                // Is this bucket's min due within the bucket's current day?
+                let day_end = (day + s + 1).saturating_mul(self.width);
+                if e.at.as_ps() < day_end {
+                    return Some(i);
+                }
+            }
+        }
+        // Sparse regime: nothing due this year. Direct search.
+        let mut best: Option<(Time, u64, usize)> = None;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if let Some(e) = b.last() {
+                let k = (e.at, e.seq, i);
+                if best.map_or(true, |(a, s, _)| (e.at, e.seq) < (a, s)) {
+                    best = Some(k);
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Rebuild with a bucket count proportional to the entry count and a
+    /// day width of about 3× the mean inter-event gap.
+    fn resize(&mut self) {
+        let target = self
+            .count
+            .max(1)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, 1 << 22);
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.count);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for e in &all {
+            let ps = e.at.as_ps();
+            lo = lo.min(ps);
+            hi = hi.max(ps);
+        }
+        if all.len() >= 2 && hi > lo {
+            self.width = (3 * ((hi - lo) / all.len() as u64)).max(1);
+        }
+        self.nbuckets = target;
+        self.buckets = (0..target).map(|_| Vec::new()).collect();
+        for e in all {
+            let i = self.bucket_of(e.at.as_ps());
+            Self::insert_sorted(&mut self.buckets[i], e);
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> for CalendarQueue<E> {
+    fn push(&mut self, entry: Entry<E>) {
+        // The queue may retire a *cancelled* head whose timestamp is ahead
+        // of the simulation clock, then push an earlier (still causal)
+        // event; rewind the scan start so `last_ps` stays a lower bound for
+        // every pending entry.
+        self.last_ps = self.last_ps.min(entry.at.as_ps());
+        let i = self.bucket_of(entry.at.as_ps());
+        Self::insert_sorted(&mut self.buckets[i], entry);
+        self.count += 1;
+        if self.count > 2 * self.nbuckets {
+            self.resize();
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        let i = self.locate_min()?;
+        let e = self.buckets[i].pop().expect("locate_min found this bucket");
+        self.count -= 1;
+        self.last_ps = e.at.as_ps();
+        if self.nbuckets > MIN_BUCKETS && 4 * self.count < self.nbuckets {
+            self.resize();
+        }
+        Some(e)
+    }
+
+    fn peek_min(&self) -> Option<&Entry<E>> {
+        self.locate_min()
+            .map(|i| self.buckets[i].last().expect("locate_min found this bucket"))
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Entry<E>)) {
+        for b in &self.buckets {
+            for e in b {
+                f(e);
+            }
+        }
+    }
+
+    fn check_backend(&self) -> Result<(), String> {
+        if !self.nbuckets.is_power_of_two() || self.buckets.len() != self.nbuckets {
+            return Err(format!(
+                "calendar shape: {} buckets, nbuckets {}",
+                self.buckets.len(),
+                self.nbuckets
+            ));
+        }
+        if self.width == 0 {
+            return Err("calendar width is zero".into());
+        }
+        let mut n = 0usize;
+        for (i, b) in self.buckets.iter().enumerate() {
+            n += b.len();
+            for e in b {
+                if self.bucket_of(e.at.as_ps()) != i {
+                    return Err(format!(
+                        "entry at {} (seq {}) misfiled in bucket {i}",
+                        e.at, e.seq
+                    ));
+                }
+                if e.at.as_ps() < self.last_ps {
+                    return Err(format!(
+                        "entry at {} before last popped {} ps",
+                        e.at, self.last_ps
+                    ));
+                }
+            }
+            for w in b.windows(2) {
+                if w[0].key() <= w[1].key() {
+                    return Err(format!("bucket {i} not sorted descending"));
+                }
+            }
+        }
+        if n != self.count {
+            return Err(format!("calendar count {} but {n} entries", self.count));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at_ps: u64, seq: u64) -> Entry<u64> {
+        Entry {
+            at: Time::from_ps(at_ps),
+            seq,
+            slot: u32::MAX,
+            event: seq,
+        }
+    }
+
+    /// Drain any backend and assert the pop order is sorted by (at, seq).
+    fn drains_sorted(s: &mut dyn Scheduler<u64>) {
+        let mut prev: Option<(Time, u64)> = None;
+        while let Some(e) = s.pop_min() {
+            if let Some(p) = prev {
+                assert!(e.key() > p, "pop order regressed: {:?} after {:?}", e.key(), p);
+            }
+            prev = Some(e.key());
+        }
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn all_backends_sort_scattered_times() {
+        for kind in SchedKind::ALL {
+            let mut s = AnySched::new(kind);
+            let mut x = 0x2545F4914F6CDD1Du64;
+            for seq in 0..5000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.push(entry(x % 1_000_000_000, seq));
+            }
+            s.check_backend().unwrap();
+            drains_sorted(&mut s);
+        }
+    }
+
+    #[test]
+    fn all_backends_break_ties_by_seq() {
+        for kind in SchedKind::ALL {
+            let mut s = AnySched::new(kind);
+            for seq in 0..100u64 {
+                s.push(entry(42_000, seq));
+            }
+            for want in 0..100u64 {
+                assert_eq!(s.peek_min().unwrap().seq, want, "{kind:?}");
+                assert_eq!(s.pop_min().unwrap().seq, want, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quad_heap_property_holds_under_churn() {
+        let mut s = QuadHeapSched::new();
+        for seq in 0..500u64 {
+            s.push(entry((seq * 7919) % 10_000, seq));
+            if seq % 3 == 0 {
+                s.pop_min();
+            }
+            s.check_backend().unwrap();
+        }
+    }
+
+    #[test]
+    fn calendar_grows_and_shrinks() {
+        let mut s = CalendarQueue::new();
+        for seq in 0..1000u64 {
+            s.push(entry(seq * 300, seq));
+        }
+        assert!(s.nbuckets >= 512, "grew to {}", s.nbuckets);
+        s.check_backend().unwrap();
+        for _ in 0..995 {
+            s.pop_min().unwrap();
+        }
+        assert!(s.nbuckets <= 16, "shrank to {}", s.nbuckets);
+        s.check_backend().unwrap();
+        drains_sorted(&mut s);
+    }
+
+    #[test]
+    fn calendar_sparse_far_future_event_found_by_direct_search() {
+        let mut s = CalendarQueue::new();
+        // One event many "years" past the current day: the one-year scan
+        // finds nothing and the direct search must locate it.
+        s.push(entry(INITIAL_WIDTH_PS * MIN_BUCKETS as u64 * 1000 + 17, 0));
+        assert_eq!(s.peek_min().unwrap().seq, 0);
+        assert_eq!(s.pop_min().unwrap().seq, 0);
+        assert!(s.pop_min().is_none());
+    }
+
+    #[test]
+    fn calendar_interleaves_push_pop_across_day_boundaries() {
+        let mut s = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut prev: Option<(Time, u64)> = None;
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            // A burst spanning several days, then drain half.
+            for _ in 0..20 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.push(entry(now + x % (INITIAL_WIDTH_PS * 3), seq));
+                seq += 1;
+            }
+            for _ in 0..10 {
+                let e = s.pop_min().unwrap();
+                if let Some(p) = prev {
+                    assert!(e.key() > p);
+                }
+                prev = Some(e.key());
+                now = e.at.as_ps();
+            }
+            s.check_backend().unwrap();
+        }
+        drains_sorted(&mut s);
+    }
+}

@@ -7,28 +7,38 @@
 #      out entirely (--no-default-features);
 #   3. audited e2e: the whole experiments test suite rerun with the
 #      invariant audit enabled on every Sim, panicking on any violation;
-#   4. bench drift: scripts/bench.sh prints events/sec deltas against the
-#      committed BENCH_simbench.json (informational — inspect by hand).
+#   4. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=calendar
+#      and =quad, so every default-backend code path (unit, e2e, golden)
+#      also runs — and stays bit-identical — on the alternative event
+#      schedulers;
+#   5. bench drift: scripts/bench.sh prints events/sec deltas against the
+#      committed BENCH_simbench.json (informational — inspect by hand;
+#      per-backend rows cover event-queue drift for all three backends).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] tier-1: release build + tests ==="
+echo "=== [1/5] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 
 echo
-echo "=== [2/4] audit compiles out (netsim --no-default-features) ==="
+echo "=== [2/5] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 
 echo
-echo "=== [3/4] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [3/5] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 
 echo
-echo "=== [4/4] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [4/5] scheduler-backend matrix (calendar, quad) ==="
+PRIOPLUS_SCHED=calendar cargo test -q
+PRIOPLUS_SCHED=quad cargo test -q
+
+echo
+echo "=== [5/5] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 
 echo

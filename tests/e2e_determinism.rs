@@ -2,7 +2,7 @@
 //! byte-identical to serial execution, regardless of worker count.
 
 use experiments::flowsched::{run, run_many, FlowSchedConfig, FlowSchedResult};
-use experiments::Scheme;
+use experiments::{SchedKind, Scheme};
 use simcore::Time;
 
 /// A quick-but-nontrivial scenario: enough flows to exercise PFC, ECN,
@@ -66,6 +66,47 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         assert_identical(s, &inline[i], &format!("jobs=1 cfg {i}"));
         assert_identical(s, &threaded[i], &format!("jobs=4 cfg {i}"));
     }
+}
+
+/// Run every CC scheme under one alternative scheduler backend and demand
+/// bit-identical results to the binary-heap reference. Combined with the
+/// sweep tests above, this proves `PRIOPLUS_SCHED` is purely a performance
+/// knob across the whole transport matrix (Swift, LEDBAT, DCTCP/D2TCP,
+/// HPCC, blast, and the PrioPlus variants), not just the golden scenarios.
+fn assert_backend_matches_binary(alt: SchedKind) {
+    let schemes = [
+        Scheme::PrioPlusSwift,
+        Scheme::PhysicalSwift,
+        Scheme::BaselineSwift,
+        Scheme::PrioPlusSwiftAckData,
+        Scheme::PrioPlusLedbat,
+        Scheme::PhysicalStarNoCc,
+        Scheme::PhysicalStarHpcc,
+        Scheme::PhysicalStarSwift,
+        Scheme::D2tcp,
+    ];
+    for scheme in schemes {
+        let mut cfg = quick_cfg(scheme, 11);
+        cfg.sched = SchedKind::Binary;
+        let reference = run(&cfg);
+        cfg.sched = alt;
+        let got = run(&cfg);
+        assert_identical(
+            &reference,
+            &got,
+            &format!("{scheme:?} under {}", alt.name()),
+        );
+    }
+}
+
+#[test]
+fn cc_matrix_is_bit_identical_under_quad_heap() {
+    assert_backend_matches_binary(SchedKind::Quad);
+}
+
+#[test]
+fn cc_matrix_is_bit_identical_under_calendar_queue() {
+    assert_backend_matches_binary(SchedKind::Calendar);
 }
 
 #[test]

@@ -7,7 +7,8 @@
 //! `GOLDEN_BLESS=1 cargo test -p experiments --test golden_traces` and
 //! review the diff like any other code change.
 
-use experiments::golden::{cases, summarize};
+use experiments::golden::{cases, summarize, GoldenOpts};
+use experiments::SchedKind;
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -23,7 +24,7 @@ fn golden_traces_match_the_pinned_summaries() {
     let dir = golden_dir();
     let mut mismatches = Vec::new();
     for case in cases() {
-        let got = summarize(&(case.run)(false));
+        let got = summarize(&(case.run)(GoldenOpts::default()));
         let path = dir.join(format!("{}.txt", case.name));
         if blessing() {
             std::fs::create_dir_all(&dir).expect("create tests/golden");
@@ -55,8 +56,8 @@ fn golden_traces_match_the_pinned_summaries() {
 #[test]
 fn golden_traces_are_identical_and_clean_under_audit() {
     for case in cases() {
-        let plain = summarize(&(case.run)(false));
-        let res = (case.run)(true);
+        let plain = summarize(&(case.run)(GoldenOpts::default()));
+        let res = (case.run)(GoldenOpts::audited(true));
         let audited = summarize(&res);
         assert_eq!(
             plain, audited,
@@ -69,5 +70,26 @@ fn golden_traces_are_identical_and_clean_under_audit() {
             "{}: audit violations {:?}",
             case.name, report.violations
         );
+    }
+}
+
+/// Scheduler backends are pure performance knobs: every golden case must
+/// summarize byte-for-byte identically under the binary heap, the 4-ary
+/// heap, and the calendar queue. This pins the backends against the *full*
+/// simulator (PFC, ECN, traces, monitors), not just the microbenchmark
+/// surface the differential property test covers.
+#[test]
+fn golden_traces_are_bit_identical_across_scheduler_backends() {
+    for case in cases() {
+        let baseline = summarize(&(case.run)(GoldenOpts::on(SchedKind::Binary)));
+        for kind in [SchedKind::Quad, SchedKind::Calendar] {
+            let got = summarize(&(case.run)(GoldenOpts::on(kind)));
+            assert_eq!(
+                baseline, got,
+                "{}: scheduler backend {} changed the simulation",
+                case.name,
+                kind.name()
+            );
+        }
     }
 }
