@@ -73,7 +73,7 @@ fn replay(delays: Vec<u32>, probe_start: bool, seed: u64) -> Result<(), TestCase
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     #[test]
     fn invariants_hold_for_arbitrary_delay_sequences(

@@ -57,7 +57,7 @@ fn main() {
     let mut t = Time::ZERO;
     let mut count = 0;
     while t < Time::from_ms(18) {
-        t = t + Time::from_ps(rng.exponential(Time::from_us(420).as_ps() as f64) as u64);
+        t += Time::from_ps_f64(rng.exponential(Time::from_us(420).as_ps() as f64));
         let prio = 1 + (rng.below(7) as u8);
         let size = 100_000 + rng.below(4_000_000);
         let sender = 5 + (count % 8);

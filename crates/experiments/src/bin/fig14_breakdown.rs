@@ -37,6 +37,7 @@ fn run(scheme: Scheme, scale: Scale) -> Vec<Out> {
         ..Default::default()
     };
     let sw_cfg = SwitchConfig {
+        // simlint::allow(lossy-time-cast, buffer sizing heuristic in bytes; value is far below u64::MAX and truncation is intended)
         buffer_bytes: (4.4e6 * k as f64 * rate.as_gbps_f64() / 1000.0) as u64,
         pfc_lossless_prios: 0, // Physical* (ideal) comparison baseline
         int_enabled: false,

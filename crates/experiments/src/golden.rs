@@ -184,6 +184,7 @@ pub fn summarize(res: &SimResult) -> String {
             r.size,
             r.phys_prio,
             r.virt_prio,
+            // simlint::allow(lossy-time-cast, ps counts fit i64 for any sim horizon; -1 is the censored-flow sentinel)
             r.finish.map(|t| t.as_ps() as i64).unwrap_or(-1),
             r.delivered,
             r.retransmits,

@@ -18,6 +18,8 @@
 //! Every runner accepts a [`Scale`] so the default invocation finishes in
 //! seconds while `--full` reproduces the paper-scale parameters.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod coflowsched;

@@ -31,7 +31,7 @@
 //! whole layer compiles out with `--no-default-features` and costs one
 //! `Option` check per event when compiled in but disabled.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::{RingLog, Time};
 
@@ -240,7 +240,7 @@ pub struct Audit {
     delivered_wire: u64,
     dropped_pkts: u64,
     dropped_wire: u64,
-    pfc: HashMap<(NodeId, u16, u8), PfcMirror>,
+    pfc: BTreeMap<(NodeId, u16, u8), PfcMirror>,
     focus: Option<Focus>,
     touched: Vec<FlowId>,
 }
@@ -263,7 +263,7 @@ impl Audit {
             delivered_wire: 0,
             dropped_pkts: 0,
             dropped_wire: 0,
-            pfc: HashMap::new(),
+            pfc: BTreeMap::new(),
             focus: None,
             touched: Vec::new(),
         }
@@ -285,6 +285,9 @@ impl Audit {
         }
     }
 
+    // One violation record carries every dimension a rule can report on;
+    // splitting the argument list into a struct would just rename it.
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &mut self,
         kind: ViolationKind,

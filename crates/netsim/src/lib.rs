@@ -28,6 +28,8 @@
 //!   default (configurable to share the data priority, "PrioPlus*" mode);
 //!   probe echo; additive delay-measurement noise.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod audit;

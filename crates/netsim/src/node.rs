@@ -365,7 +365,7 @@ mod tests {
         p.enqueue(data(0, 200));
         p.set_paused(1, true);
         assert_eq!(p.dequeue().unwrap().prio, 0);
-        assert!(p.has_sendable() == false || p.is_paused(1));
+        assert!(!p.has_sendable() || p.is_paused(1));
         p.set_paused(1, false);
         assert_eq!(p.dequeue().unwrap().prio, 1);
     }

@@ -1,6 +1,6 @@
 //! Results of a simulation run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::stats::{ThroughputMeter, TimeSeries};
 use simcore::{Rate, Time};
@@ -105,8 +105,9 @@ pub struct SimResult {
     pub records: Vec<FlowRecord>,
     /// Aggregate counters.
     pub counters: SimCounters,
-    /// Per-flow traces (tracing mode).
-    pub traces: HashMap<FlowId, FlowTrace>,
+    /// Per-flow traces (tracing mode). Ordered so that iterating traces is
+    /// deterministic (simlint rule `nondeterministic-map`).
+    pub traces: BTreeMap<FlowId, FlowTrace>,
     /// Monitor output series, in registration order.
     pub monitors: Vec<(String, TimeSeries)>,
     /// Time the simulation stopped.

@@ -54,10 +54,10 @@ impl RoutingTable {
                                     dist[node] = cand;
                                     next[node][dst].clear();
                                     next[node][dst].push(port);
-                                } else if dist[node] == cand {
-                                    if !next[node][dst].contains(&port) {
-                                        next[node][dst].push(port);
-                                    }
+                                } else if dist[node] == cand
+                                    && !next[node][dst].contains(&port)
+                                {
+                                    next[node][dst].push(port);
                                 }
                             }
                         }
@@ -139,7 +139,7 @@ mod tests {
         let (adj, is_host) = diamond();
         let rt = RoutingTable::build(&adj, &is_host, 42);
         assert_eq!(rt.candidates(0, 3).len(), 2);
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for f in 0..64u32 {
             let p = rt.port_for(0, 3, f);
             assert_eq!(p, rt.port_for(0, 3, f), "per-flow stability");
@@ -256,7 +256,7 @@ mod tests {
             "k/2 cores up from an agg"
         );
         // Flows spread over both uplinks at the edge.
-        let used: std::collections::HashSet<u16> = (0..64u32)
+        let used: std::collections::BTreeSet<u16> = (0..64u32)
             .map(|f| rt.port_for(pod0_edge, remote_host, f))
             .collect();
         assert_eq!(used.len(), 2, "both edge uplinks carry traffic");

@@ -1,6 +1,6 @@
 //! The simulator: event loop, flow management, switch/host event handlers.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use simcore::stats::ThroughputMeter;
 use simcore::{EventQueue, Rate, SimRng, Time};
@@ -182,7 +182,7 @@ pub struct Sim {
     queue: EventQueue<Event>,
     counters: SimCounters,
     monitors: Vec<Monitor>,
-    traces: HashMap<FlowId, FlowTrace>,
+    traces: BTreeMap<FlowId, FlowTrace>,
     noise_rng: SimRng,
     ecn_rng: SimRng,
     nc_rng: SimRng,
@@ -224,6 +224,7 @@ impl Sim {
                 NodeKind::Host => {
                     assert_eq!(ports.len(), 1, "host {id} must have exactly one NIC link");
                     nodes.push(Node::Host(Host::new(
+                        // simlint::allow(hot-path-unwrap, the assert_eq above guarantees exactly one port)
                         ports.into_iter().next().unwrap(),
                         cfg.num_prios,
                     )));
@@ -251,7 +252,7 @@ impl Sim {
             queue: EventQueue::with_sched(sched),
             counters: SimCounters::default(),
             monitors: Vec::new(),
-            traces: HashMap::new(),
+            traces: BTreeMap::new(),
             noise_rng: SimRng::new(seed).split(1),
             ecn_rng: SimRng::new(seed).split(2),
             nc_rng: SimRng::new(seed).split(3),
@@ -478,6 +479,7 @@ impl Sim {
                 Event::Sample { monitor } => self.on_sample(monitor, now),
             }
             if !self.completed_buf.is_empty() && self.app.is_some() {
+                // simlint::allow(hot-path-unwrap, guarded by the is_some() check one line up)
                 let mut app = self.app.take().expect("checked");
                 let done = std::mem::take(&mut self.completed_buf);
                 for f in done {
@@ -568,7 +570,7 @@ impl Sim {
 
     fn ctx<'a>(
         queue: &'a mut EventQueue<Event>,
-        traces: &'a mut HashMap<FlowId, FlowTrace>,
+        traces: &'a mut BTreeMap<FlowId, FlowTrace>,
         now: Time,
         flow: FlowId,
     ) -> TransportCtx<'a> {
@@ -653,6 +655,7 @@ impl Sim {
         if p.busy || !p.has_sendable() {
             return;
         }
+        // simlint::allow(hot-path-unwrap, guarded by the has_sendable() early return above)
         let mut pkt = p.dequeue().expect("has_sendable");
         let mut resumes = Vec::new();
         s.on_dequeue(&pkt, &mut resumes);
@@ -774,6 +777,7 @@ impl Sim {
             let Node::Switch(sw) = &self.nodes[node as usize] else {
                 unreachable!()
             };
+            // simlint::allow(hot-path-unwrap, guarded by the audit.is_some() branch condition)
             let a = self.audit.as_deref_mut().expect("checked");
             a.note_switch_arrive(
                 now,
@@ -942,122 +946,116 @@ impl Sim {
     /// (queued control first, then strict-priority pull across flows) and
     /// start transmitting it.
     fn host_poke(&mut self, node: NodeId, now: Time) {
-        let Node::Host(_) = &self.nodes[node as usize] else {
+        let Node::Host(h) = &mut self.nodes[node as usize] else {
             panic!("host_poke on switch {node}")
         };
-        loop {
-            let Node::Host(h) = &mut self.nodes[node as usize] else {
-                unreachable!()
-            };
-            if h.port.busy {
-                return;
+        if h.port.busy {
+            return;
+        }
+        let mut min_retry = Time::MAX;
+        let mut selected: Option<Packet> = None;
+        let nq = h.port.queues.len();
+        'prio: for q in (0..nq).rev() {
+            // Queued packets (ACKs, probe echoes) first within priority.
+            // The control queue (index nq-1) is never PFC-paused.
+            let paused = q < nq - 1 && h.port.is_paused(q);
+            if !h.port.queues[q].is_empty() && !paused {
+                // simlint::allow(hot-path-unwrap, guarded by the is_empty() check one line up)
+                let pkt = h.port.queues[q].pop_front().unwrap();
+                h.port.queued_bytes_q[q] -= pkt.size as u64;
+                h.port.queued_bytes -= pkt.size as u64;
+                selected = Some(pkt);
+                break 'prio;
             }
-            let mut min_retry = Time::MAX;
-            let mut selected: Option<Packet> = None;
-            let nq = h.port.queues.len();
-            'prio: for q in (0..nq).rev() {
-                // Queued packets (ACKs, probe echoes) first within priority.
-                // The control queue (index nq-1) is never PFC-paused.
-                let paused = q < nq - 1 && h.port.is_paused(q);
-                if !h.port.queues[q].is_empty() && !paused {
-                    let pkt = h.port.queues[q].pop_front().unwrap();
-                    h.port.queued_bytes_q[q] -= pkt.size as u64;
-                    h.port.queued_bytes -= pkt.size as u64;
-                    selected = Some(pkt);
-                    break 'prio;
-                }
-                if q >= h.active.len() || paused {
-                    continue;
-                }
-                // Pull from transports at this data priority, round-robin.
-                let len = h.active[q].len();
-                let mut finished: Vec<FlowId> = Vec::new();
-                for k in 0..len {
-                    let idx = (h.rr[q] + k) % len;
-                    let fid = h.active[q][idx];
-                    let f = &mut self.flows[fid as usize];
-                    match f.transport.try_send(now) {
-                        TrySend::Data { seq, bytes } => {
-                            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
-                            f.transport.on_sent(TrySend::Data { seq, bytes }, &mut ctx);
-                            let mut pkt = Packet::data(
-                                fid,
-                                node,
-                                f.spec.dst,
-                                f.spec.phys_prio,
-                                bytes,
-                                seq,
-                                now,
-                            );
-                            pkt.dscp = f.spec.virt_prio;
-                            #[cfg(feature = "audit")]
-                            if let Some(a) = self.audit.as_deref_mut() {
-                                a.on_data_injected(fid, pkt.size as u64);
-                            }
-                            h.rr[q] = (idx + 1) % len;
-                            selected = Some(pkt);
-                            break;
+            if q >= h.active.len() || paused {
+                continue;
+            }
+            // Pull from transports at this data priority, round-robin.
+            let len = h.active[q].len();
+            let mut finished: Vec<FlowId> = Vec::new();
+            for k in 0..len {
+                let idx = (h.rr[q] + k) % len;
+                let fid = h.active[q][idx];
+                let f = &mut self.flows[fid as usize];
+                match f.transport.try_send(now) {
+                    TrySend::Data { seq, bytes } => {
+                        let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
+                        f.transport.on_sent(TrySend::Data { seq, bytes }, &mut ctx);
+                        let mut pkt = Packet::data(
+                            fid,
+                            node,
+                            f.spec.dst,
+                            f.spec.phys_prio,
+                            bytes,
+                            seq,
+                            now,
+                        );
+                        pkt.dscp = f.spec.virt_prio;
+                        #[cfg(feature = "audit")]
+                        if let Some(a) = self.audit.as_deref_mut() {
+                            a.on_data_injected(fid, pkt.size as u64);
                         }
-                        TrySend::Probe => {
-                            let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
-                            f.transport.on_sent(TrySend::Probe, &mut ctx);
-                            self.counters.probes += 1;
-                            let pkt = Packet::probe(fid, node, f.spec.dst, f.spec.phys_prio, now);
-                            h.rr[q] = (idx + 1) % len;
-                            selected = Some(pkt);
-                            break;
-                        }
-                        TrySend::NotBefore(t) => {
-                            min_retry = min_retry.min(t);
-                        }
-                        TrySend::Blocked => {}
-                        TrySend::Finished => finished.push(fid),
+                        h.rr[q] = (idx + 1) % len;
+                        selected = Some(pkt);
+                        break;
                     }
-                }
-                for fid in finished {
-                    let f = &mut self.flows[fid as usize];
-                    f.active = false;
-                    h.deactivate(q as u8, fid);
-                }
-                if selected.is_some() {
-                    break 'prio;
+                    TrySend::Probe => {
+                        let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
+                        f.transport.on_sent(TrySend::Probe, &mut ctx);
+                        self.counters.probes += 1;
+                        let pkt = Packet::probe(fid, node, f.spec.dst, f.spec.phys_prio, now);
+                        h.rr[q] = (idx + 1) % len;
+                        selected = Some(pkt);
+                        break;
+                    }
+                    TrySend::NotBefore(t) => {
+                        min_retry = min_retry.min(t);
+                    }
+                    TrySend::Blocked => {}
+                    TrySend::Finished => finished.push(fid),
                 }
             }
-            match selected {
-                Some(pkt) => {
-                    let (peer, peer_port, rate, prop) = self.port_specs[node as usize][0];
+            for fid in finished {
+                let f = &mut self.flows[fid as usize];
+                f.active = false;
+                h.deactivate(q as u8, fid);
+            }
+            if selected.is_some() {
+                break 'prio;
+            }
+        }
+        match selected {
+            Some(pkt) => {
+                let (peer, peer_port, rate, prop) = self.port_specs[node as usize][0];
+                let h = match &mut self.nodes[node as usize] {
+                    Node::Host(h) => h,
+                    _ => unreachable!(),
+                };
+                h.port.busy = true;
+                h.port.tx_bytes += pkt.size as u64;
+                let ser = rate.serialize_time(pkt.size as u64);
+                self.queue
+                    .schedule(now + ser, Event::PortFree { node, port: 0 });
+                self.queue.schedule(
+                    now + ser + prop,
+                    Event::Arrive {
+                        node: peer,
+                        in_port: peer_port,
+                        pkt,
+                    },
+                );
+            }
+            None => {
+                if min_retry != Time::MAX {
+                    let at = min_retry.max(now + Time::from_ps(1));
                     let h = match &mut self.nodes[node as usize] {
                         Node::Host(h) => h,
                         _ => unreachable!(),
                     };
-                    h.port.busy = true;
-                    h.port.tx_bytes += pkt.size as u64;
-                    let ser = rate.serialize_time(pkt.size as u64);
-                    self.queue
-                        .schedule(now + ser, Event::PortFree { node, port: 0 });
-                    self.queue.schedule(
-                        now + ser + prop,
-                        Event::Arrive {
-                            node: peer,
-                            in_port: peer_port,
-                            pkt,
-                        },
-                    );
-                    return;
-                }
-                None => {
-                    if min_retry != Time::MAX {
-                        let at = min_retry.max(now + Time::from_ps(1));
-                        let h = match &mut self.nodes[node as usize] {
-                            Node::Host(h) => h,
-                            _ => unreachable!(),
-                        };
-                        if at < h.next_poke {
-                            h.next_poke = at;
-                            self.queue.schedule(at, Event::HostPoke { node });
-                        }
+                    if at < h.next_poke {
+                        h.next_poke = at;
+                        self.queue.schedule(at, Event::HostPoke { node });
                     }
-                    return;
                 }
             }
         }

@@ -139,11 +139,11 @@ impl Topology {
         let mut edges = vec![vec![0; half]; k];
         let mut aggs = vec![vec![0; half]; k];
         for p in 0..k {
-            for i in 0..half {
-                edges[p][i] = t.add_switch();
+            for e in edges[p].iter_mut() {
+                *e = t.add_switch();
             }
-            for i in 0..half {
-                aggs[p][i] = t.add_switch();
+            for a in aggs[p].iter_mut() {
+                *a = t.add_switch();
             }
         }
         let mut cores = vec![0; half * half];
@@ -152,11 +152,11 @@ impl Topology {
         }
         for p in 0..k {
             for e in 0..half {
-                for h in 0..half {
-                    t.connect(hosts[p][e][h], edges[p][e], rate, prop);
+                for &host in &hosts[p][e] {
+                    t.connect(host, edges[p][e], rate, prop);
                 }
-                for a in 0..half {
-                    t.connect(edges[p][e], aggs[p][a], rate, prop);
+                for &agg in &aggs[p] {
+                    t.connect(edges[p][e], agg, rate, prop);
                 }
             }
             for (a, agg) in aggs[p].iter().enumerate() {
@@ -346,11 +346,11 @@ mod tests {
             assert_eq!(adj[h as usize].len(), 1);
         }
         // Leaves: 6 hosts + 2 spines; spines: 4 leaves.
-        for leaf in 24..28 {
-            assert_eq!(adj[leaf].len(), 8);
+        for leaf in &adj[24..28] {
+            assert_eq!(leaf.len(), 8);
         }
-        for spine in 28..30 {
-            assert_eq!(adj[spine].len(), 4);
+        for spine in &adj[28..30] {
+            assert_eq!(spine.len(), 4);
         }
     }
 

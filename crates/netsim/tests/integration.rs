@@ -265,7 +265,7 @@ fn fat_tree_cross_pod_has_multiple_ecmp_paths() {
     // builder order); toward a cross-pod destination it must hold two
     // equal-cost uplinks, and different flows should spread across them.
     let edge = 16u32;
-    let mut ports = std::collections::HashSet::new();
+    let mut ports = std::collections::BTreeSet::new();
     for f in 0..64u32 {
         ports.insert(sim.route_port(edge, h[15], f));
     }
@@ -274,7 +274,7 @@ fn fat_tree_cross_pod_has_multiple_ecmp_paths() {
         "cross-pod ECMP should use >=2 uplinks, used {ports:?}"
     );
     // Toward a same-rack destination there is exactly one (downlink) port.
-    let mut down = std::collections::HashSet::new();
+    let mut down = std::collections::BTreeSet::new();
     for f in 0..16u32 {
         down.insert(sim.route_port(edge, h[1], f));
     }

@@ -143,7 +143,7 @@ fn step(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// A correct lossless switch keeps every byte counter equal to a full
     /// recount, never double-pauses or spuriously resumes, and never leaves
@@ -174,9 +174,9 @@ proptest! {
                 }
             }
             // The switch's own pause state must match the emitted frames.
-            for ip in 0..NPORTS {
-                for q in 0..NQ {
-                    prop_assert_eq!(shadow[ip][q], s.ingress_paused[ip][q]);
+            for (ip, row) in shadow.iter().enumerate() {
+                for (q, &paused) in row.iter().enumerate() {
+                    prop_assert_eq!(paused, s.ingress_paused[ip][q]);
                 }
             }
         }
@@ -252,11 +252,9 @@ proptest! {
         s.cfg.ecn_kmin = 5_000;
         s.cfg.ecn_kmax = 20_000;
         let mut rng = SimRng::new(rng_seed);
-        let mut seq = 0u64;
-        for &payload in &fills {
+        for (seq, &payload) in fills.iter().enumerate() {
             let mut pauses = Vec::new();
-            s.admit(0, 1, data_pkt(0, payload, seq), &mut pauses);
-            seq += 1;
+            s.admit(0, 1, data_pkt(0, payload, seq as u64), &mut pauses);
             let q = s.ports[0].queued_bytes_q[0];
             let marked = s.ecn_mark(0, 0, 0, &mut rng);
             if q <= s.cfg.ecn_kmin {

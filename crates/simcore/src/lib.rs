@@ -14,6 +14,8 @@
 //! Everything here is deliberately free of I/O and free of global state so
 //! that a simulation run is a pure function of its configuration and seed.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod event;

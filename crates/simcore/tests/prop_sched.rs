@@ -118,7 +118,7 @@ fn run_differential(ops: &[u64]) -> Result<(), TestCaseError> {
         let val = step as u64;
         match w & 7 {
             // Plain schedule (weighted heaviest, like real traffic).
-            0 | 1 | 2 => {
+            0..=2 => {
                 let at = shadow.now + delay_ps(w);
                 for q in queues.iter_mut() {
                     q.schedule(Time::from_ps(at), val);
@@ -203,7 +203,7 @@ fn run_differential(ops: &[u64]) -> Result<(), TestCaseError> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 96 })]
 
     #[test]
     fn backends_agree_with_shadow_model(ops in proptest::collection::vec(0u64..u64::MAX, 0..400)) {
@@ -218,11 +218,9 @@ proptest! {
 fn directed_tie_and_jump_stream() {
     let mut ops = Vec::new();
     for i in 0..64u64 {
-        ops.push((i << 5) | (0 << 3)); // zero-delay schedules: 64-way tie
+        ops.push(i << 5); // op 0 in the low bits: 64-way zero-delay tie
     }
-    for _ in 0..32 {
-        ops.push(4); // pops through the tie run
-    }
+    ops.extend(std::iter::repeat(4).take(32)); // pops through the tie run
     for i in 0..64u64 {
         ops.push((i << 5) | (3 << 3) | 3); // cancellable, multi-ms spread
     }

@@ -6,7 +6,7 @@ use simcore::time::{PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
 use simcore::{Rate, Time};
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     #[test]
     fn time_add_sub_roundtrip(a in 0u64..PS_PER_SEC, b in 0u64..PS_PER_SEC) {

@@ -1,0 +1,256 @@
+//! `simlint` — workspace static analysis for determinism invariants.
+//!
+//! Every figure this repro produces depends on bit-identical deterministic
+//! replay. The runtime audit (`netsim::audit`) and the differential
+//! scheduler tests catch violations *dynamically*; simlint refuses them at
+//! build time. It walks every first-party Rust source in the workspace
+//! with a small hand-rolled lexer (no `syn` — the workspace builds
+//! offline) and applies the six rules documented in [`rules`].
+//!
+//! Used three ways:
+//!
+//! * `cargo run -p simlint` — the CI gate (`scripts/ci.sh` leg 1);
+//! * `tests/lint_clean.rs` — runs [`lint_workspace`] inside `cargo test`
+//!   so a regression fails the test suite, not just the CI script;
+//! * `cargo run -p simlint -- --fix-allowlist` — writes a baseline file so
+//!   the pass can land green on a dirty tree and ratchet down.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, Rule};
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Lint one source file. `path` is the workspace-relative path (forward
+/// slashes) and selects which rules apply; `src` is the file contents.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    rules::check(path, &lexer::lex(src))
+}
+
+/// A ratchet baseline: findings recorded by `--fix-allowlist` that are
+/// tolerated (reported but non-fatal) until fixed and re-ratcheted.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, u32)>, // (rule, path, line)
+}
+
+impl Baseline {
+    /// Parse the `rule\tpath\tline` format written by [`Baseline::format`].
+    /// Blank lines and `#` comments are skipped.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            if let (Some(rule), Some(path), Some(ln)) = (parts.next(), parts.next(), parts.next())
+            {
+                if let Ok(ln) = ln.parse::<u32>() {
+                    entries.insert((rule.to_string(), path.to_string(), ln));
+                }
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Whether a finding is covered by the baseline.
+    pub fn covers(&self, path: &str, f: &Finding) -> bool {
+        self.entries
+            .contains(&(f.rule.name().to_string(), path.to_string(), f.line))
+    }
+
+    /// Number of baseline entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize findings into baseline format (sorted, stable).
+    pub fn format(findings: &[(String, Finding)]) -> String {
+        let mut lines: BTreeSet<String> = BTreeSet::new();
+        for (path, f) in findings {
+            lines.insert(format!("{}\t{}\t{}", f.rule.name(), path, f.line));
+        }
+        let mut out = String::from(
+            "# simlint baseline: tolerated findings (rule<TAB>path<TAB>line).\n\
+             # Regenerate with `cargo run -p simlint -- --fix-allowlist`; the goal\n\
+             # is to ratchet this file down to empty.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One diagnosed file plus everything found in it.
+#[derive(Debug)]
+pub struct Report {
+    /// `(workspace-relative path, finding)` for every finding, allowed or
+    /// not, in deterministic path order.
+    pub findings: Vec<(String, Finding)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings neither allow-annotated nor baselined: these fail the run.
+    pub fn unallowed<'a>(&'a self, baseline: &'a Baseline) -> impl Iterator<Item = &'a (String, Finding)> {
+        self.findings
+            .iter()
+            .filter(move |(p, f)| f.allowed.is_none() && !baseline.covers(p, f))
+    }
+
+    /// Count of findings silenced by in-source allow annotations.
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|(_, f)| f.allowed.is_some()).count()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (path, finding) in &self.findings {
+            writeln!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                path,
+                finding.line,
+                finding.col,
+                finding.rule.name(),
+                finding.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Directories under the workspace root that are scanned for `.rs` files.
+const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
+
+/// Path fragments that are never scanned: third-party code, build output,
+/// and simlint's own rule-violation fixtures.
+fn skip(path: &Path) -> bool {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s.contains("/target/")
+        || s.contains("vendor/")
+        || s.contains("crates/simlint/tests/fixtures")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    // Sort directory entries so diagnostics and baselines are stable across
+    // filesystems (read_dir order is arbitrary).
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if skip(&path) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Find the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Lint every first-party source file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        for f in lint_source(&rel, &src) {
+            findings.push((rel.clone(), f));
+        }
+    }
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trip() {
+        let f = Finding {
+            rule: Rule::NondeterministicMap,
+            line: 12,
+            col: 5,
+            message: "m".into(),
+            allowed: None,
+        };
+        let findings = vec![("crates/netsim/src/sim.rs".to_string(), f.clone())];
+        let text = Baseline::format(&findings);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 1);
+        assert!(b.covers("crates/netsim/src/sim.rs", &f));
+        let other = Finding { line: 13, ..f };
+        assert!(!b.covers("crates/netsim/src/sim.rs", &other));
+    }
+
+    #[test]
+    fn baseline_ignores_comments_and_junk() {
+        let b = Baseline::parse("# comment\n\nnot-a-valid-line\nwall-clock\tsrc/x.rs\tnope\n");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn lint_source_end_to_end() {
+        let src = "use std::collections::HashMap;\n";
+        let fs = lint_source("crates/netsim/src/x.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::NondeterministicMap);
+        // Same source outside a simulation-state crate: clean.
+        assert!(lint_source("crates/experiments/src/x.rs", src).is_empty());
+    }
+}

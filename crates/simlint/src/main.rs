@@ -1,0 +1,182 @@
+//! CLI for the simlint static-analysis pass.
+//!
+//! ```text
+//! cargo run -p simlint                       # lint the workspace, exit 1 on findings
+//! cargo run -p simlint -- --fix-allowlist    # write simlint.baseline and exit 0
+//! cargo run -p simlint -- --root DIR         # lint a different workspace
+//! ```
+//!
+//! Exit codes: 0 clean (or everything baselined/allowed), 1 unallowed
+//! findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{find_workspace_root, lint_workspace, Baseline};
+
+const BASELINE_FILE: &str = "simlint.baseline";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    fix_allowlist: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: simlint [--root DIR] [--baseline FILE] [--fix-allowlist] [--quiet]\n\
+     \n\
+     Walks the workspace and enforces the determinism/time-unit/RNG rule set\n\
+     (see crates/simlint/src/rules.rs). Exit 1 on any finding that is neither\n\
+     annotated with // simlint::allow(rule, reason) nor listed in the baseline.\n\
+     --fix-allowlist rewrites the baseline to tolerate the current findings."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        fix_allowlist: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a file path")?,
+                ))
+            }
+            "--fix-allowlist" => args.fix_allowlist = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("simlint: {e}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match args.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: could not locate a workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if args.fix_allowlist {
+        let unallowed: Vec<_> = report
+            .unallowed(&Baseline::default())
+            .cloned()
+            .collect();
+        if unallowed.is_empty() {
+            // A clean tree ratchets the baseline away entirely.
+            if baseline_path.exists() {
+                if let Err(e) = std::fs::remove_file(&baseline_path) {
+                    eprintln!("simlint: removing {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+                println!("simlint: tree is clean; removed {}", baseline_path.display());
+            } else {
+                println!("simlint: tree is clean; no baseline needed");
+            }
+            return ExitCode::SUCCESS;
+        }
+        let text = Baseline::format(&unallowed);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("simlint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "simlint: wrote {} entries to {}; ratchet this file down to empty",
+            unallowed.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => Baseline::parse(&t),
+            Err(e) => {
+                eprintln!("simlint: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let mut fatal = 0usize;
+    let mut baselined = 0usize;
+    for (path, f) in report.findings.iter() {
+        if f.allowed.is_some() {
+            continue;
+        }
+        if baseline.covers(path, f) {
+            baselined += 1;
+            continue;
+        }
+        fatal += 1;
+        println!(
+            "{}:{}:{}: [{}] {}",
+            path,
+            f.line,
+            f.col,
+            f.rule.name(),
+            f.message
+        );
+    }
+    if !args.quiet {
+        eprintln!(
+            "simlint: {} files, {} finding(s): {} fatal, {} baselined, {} allowed by annotation",
+            report.files_scanned,
+            report.findings.len(),
+            fatal,
+            baselined,
+            report.allowed_count()
+        );
+    }
+    if fatal > 0 {
+        eprintln!(
+            "simlint: FAILED — fix the sites above, annotate them with \
+             // simlint::allow(rule, reason), or ratchet with --fix-allowlist"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

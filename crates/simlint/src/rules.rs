@@ -1,0 +1,508 @@
+//! The simlint rule set.
+//!
+//! Six rules, each guarding an invariant that the runtime audit (PR 2) and
+//! the differential scheduler tests (PR 3) can only check *dynamically*:
+//!
+//! | rule                   | guards against                                      |
+//! |------------------------|-----------------------------------------------------|
+//! | `nondeterministic-map` | `HashMap`/`HashSet` iteration order in sim state    |
+//! | `wall-clock`           | `Instant`/`SystemTime`/`thread::sleep` in sim code  |
+//! | `unseeded-rng`         | `rand::thread_rng()`/`random()` bypassing the seed  |
+//! | `lossy-time-cast`      | bare `as u64`/`as i64` on `Time`/`Rate` values      |
+//! | `hot-path-unwrap`      | `unwrap()`/`expect()` in scheduler/sim hot paths    |
+//! | `allow-without-reason` | `#[allow(...)]` with no justifying comment          |
+//!
+//! Any finding can be silenced in place with an annotation comment:
+//!
+//! ```text
+//! // simlint::allow(rule-name, why this site is safe)
+//! ```
+//!
+//! on the same line as the finding or the line immediately above it. The
+//! reason is mandatory; `simlint::allow(rule)` without one is itself
+//! reported under `allow-without-reason`.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One of the six lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no `HashMap`/`HashSet` in simulation-state crates.
+    NondeterministicMap,
+    /// R2: no `Instant`/`SystemTime`/`thread::sleep` outside bench code.
+    WallClock,
+    /// R3: no `rand::thread_rng()`/`random()`; randomness flows through the
+    /// seeded `simcore` RNG.
+    UnseededRng,
+    /// R4: no bare `as u64`/`as i64` casts on `Time`/`Rate` expressions.
+    LossyTimeCast,
+    /// R5: no `unwrap()`/`expect()` in non-test hot-path code.
+    HotPathUnwrap,
+    /// R6: no `#[allow(...)]` without a reason comment.
+    AllowWithoutReason,
+}
+
+impl Rule {
+    /// Every rule, in diagnostic order.
+    pub const ALL: [Rule; 6] = [
+        Rule::NondeterministicMap,
+        Rule::WallClock,
+        Rule::UnseededRng,
+        Rule::LossyTimeCast,
+        Rule::HotPathUnwrap,
+        Rule::AllowWithoutReason,
+    ];
+
+    /// The kebab-case name used in diagnostics and `simlint::allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondeterministicMap => "nondeterministic-map",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::LossyTimeCast => "lossy-time-cast",
+            Rule::HotPathUnwrap => "hot-path-unwrap",
+            Rule::AllowWithoutReason => "allow-without-reason",
+        }
+    }
+
+    /// Parse a rule name as written in an allow annotation.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// Whether this rule applies to the file at workspace-relative `path`
+    /// (forward slashes).
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            // Simulation-state crates: anything whose in-memory collections
+            // feed the event loop or the recorded results.
+            Rule::NondeterministicMap => [
+                "crates/simcore/",
+                "crates/netsim/",
+                "crates/transport/",
+                "crates/workloads/",
+            ]
+            .iter()
+            .any(|p| path.starts_with(p)),
+            // Benchmarks legitimately measure wall-clock time.
+            Rule::WallClock => !path.starts_with("crates/bench/"),
+            Rule::UnseededRng => true,
+            Rule::LossyTimeCast => true,
+            // The two hot paths named by the rule.
+            Rule::HotPathUnwrap => {
+                path == "crates/simcore/src/sched.rs" || path == "crates/netsim/src/sim.rs"
+            }
+            Rule::AllowWithoutReason => true,
+        }
+    }
+}
+
+/// A single diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `Some(reason)` when a `simlint::allow` annotation covers this site.
+    pub allowed: Option<String>,
+}
+
+/// A parsed `simlint::allow(rule, reason)` annotation.
+struct Allow {
+    line: u32,
+    rule: Rule,
+    reason: String,
+}
+
+/// Scan comments for allow annotations. Malformed annotations (unknown rule
+/// or missing reason) are returned as findings instead of silently ignored.
+fn parse_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        // Annotations are only valid in plain `//` comments: doc comments
+        // (`///`, `//!` — text starting with `/` or `!` after the marker)
+        // merely *describe* the grammar and must not activate it.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("simlint::allow(") {
+            rest = &rest[pos + "simlint::allow(".len()..];
+            let close = match rest.find(')') {
+                Some(i) => i,
+                None => {
+                    bad.push(Finding {
+                        rule: Rule::AllowWithoutReason,
+                        line: c.line,
+                        col: 1,
+                        message: "unterminated simlint::allow annotation".into(),
+                        allowed: None,
+                    });
+                    break;
+                }
+            };
+            let body = &rest[..close];
+            rest = &rest[close + 1..];
+            let (name, reason) = match body.split_once(',') {
+                Some((n, r)) => (n.trim(), r.trim()),
+                None => (body.trim(), ""),
+            };
+            let rule = Rule::parse(name);
+            match (rule, reason.is_empty()) {
+                (Some(rule), false) => allows.push(Allow {
+                    line: c.line,
+                    rule,
+                    reason: reason.to_string(),
+                }),
+                (Some(_), true) => bad.push(Finding {
+                    rule: Rule::AllowWithoutReason,
+                    line: c.line,
+                    col: 1,
+                    message: format!(
+                        "simlint::allow({name}) is missing a reason; \
+                         write simlint::allow({name}, why-this-is-safe)"
+                    ),
+                    allowed: None,
+                }),
+                (None, _) => bad.push(Finding {
+                    rule: Rule::AllowWithoutReason,
+                    line: c.line,
+                    col: 1,
+                    message: format!("simlint::allow names unknown rule {name:?}"),
+                    allowed: None,
+                }),
+            }
+        }
+    }
+    (allows, bad)
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]` modules and `#[test]` functions.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let t = |i: usize| -> &str { &toks[i].text };
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cfg_test = i + 4 < toks.len()
+            && t(i) == "#"
+            && t(i + 1) == "["
+            && t(i + 2) == "cfg"
+            && t(i + 3) == "("
+            && t(i + 4) == "test";
+        let is_test_attr =
+            i + 3 < toks.len() && t(i) == "#" && t(i + 1) == "[" && t(i + 2) == "test" && t(i + 3) == "]";
+        if is_cfg_test || is_test_attr {
+            // The region is the brace-block of the item the attribute
+            // decorates: skip to the first `{` after the attribute, then
+            // find its matching `}`.
+            let mut j = i + 3;
+            while j < toks.len() && t(j) != "{" {
+                j += 1;
+            }
+            if j < toks.len() {
+                let start = toks[i].line;
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < toks.len() && depth > 0 {
+                    match t(k) {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = if k > 0 && k <= toks.len() {
+                    toks[k - 1].line
+                } else {
+                    u32::MAX
+                };
+                regions.push((start, end));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Unit accessors on `Time`/`Rate` whose result must not be cast with a
+/// bare `as u64`/`as i64` (truncating float getters and sign-crossing
+/// integer getters alike).
+const UNIT_ACCESSORS: [&str; 7] = [
+    "as_ps",
+    "as_ns",
+    "as_bps",
+    "as_us_f64",
+    "as_ms_f64",
+    "as_secs_f64",
+    "as_gbps_f64",
+];
+
+/// Walk the postfix-expression chain ending at token index `end`
+/// (exclusive: `end` is the index of the `as` keyword) and collect the
+/// identifiers it mentions. Handles `recv.method(args).method2(args)` and
+/// `Type::assoc(args)` chains; stops at any other operator.
+fn cast_operand_idents(toks: &[Tok], end: usize) -> Vec<String> {
+    let mut ids = Vec::new();
+    if end == 0 {
+        return ids;
+    }
+    let mut j = end - 1;
+    loop {
+        match toks[j].text.as_str() {
+            ")" | "]" => {
+                let open = if toks[j].text == ")" { "(" } else { "[" };
+                let close = toks[j].text.clone();
+                let mut depth = 1i32;
+                while depth > 0 && j > 0 {
+                    j -= 1;
+                    if toks[j].text == close {
+                        depth += 1;
+                    } else if toks[j].text == open {
+                        depth -= 1;
+                    } else if toks[j].kind == TokKind::Ident {
+                        ids.push(toks[j].text.clone());
+                    }
+                }
+                if depth > 0 || j == 0 {
+                    break;
+                }
+                j -= 1;
+                // A call: the ident before `(` is part of the chain and is
+                // handled by the next loop turn.
+            }
+            _ if toks[j].kind == TokKind::Ident || toks[j].kind == TokKind::Num => {
+                if toks[j].kind == TokKind::Ident {
+                    ids.push(toks[j].text.clone());
+                }
+                if j == 0 {
+                    break;
+                }
+                // Continue only across `.` or `::` connectors.
+                if toks[j - 1].text == "." {
+                    if j < 2 {
+                        break;
+                    }
+                    j -= 2;
+                    continue;
+                }
+                if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text == ":" {
+                    if j < 3 {
+                        break;
+                    }
+                    j -= 3;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+        // After skipping a bracket group, continue the chain walk.
+        if toks[j].kind != TokKind::Ident && toks[j].kind != TokKind::Num {
+            match toks[j].text.as_str() {
+                ")" | "]" => continue,
+                _ => break,
+            }
+        }
+    }
+    ids
+}
+
+/// Run every applicable rule over one lexed file. `path` is
+/// workspace-relative with forward slashes; it selects which rules apply.
+pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let (allows, mut findings) = parse_allows(lexed);
+    // allow-without-reason findings from malformed annotations only matter
+    // where R6 applies (everywhere, in practice).
+    findings.retain(|_| Rule::AllowWithoutReason.applies_to(path));
+
+    let toks = &lexed.toks;
+    let whole_file_is_test = path.starts_with("tests/") || path.contains("/tests/");
+    let regions = if whole_file_is_test {
+        vec![(0, u32::MAX)]
+    } else {
+        test_regions(toks)
+    };
+
+    let t = |i: usize| -> &str { &toks[i].text };
+    for i in 0..toks.len() {
+        let tok = &toks[i];
+        if tok.kind != TokKind::Ident {
+            // R6: `#[allow(...)]` / `#![allow(...)]` attributes.
+            if tok.text == "#" && Rule::AllowWithoutReason.applies_to(path) {
+                let j = if i + 1 < toks.len() && t(i + 1) == "!" { i + 2 } else { i + 1 };
+                if j + 1 < toks.len() && t(j) == "[" && t(j + 1) == "allow" {
+                    let has_reason = lexed
+                        .comments
+                        .iter()
+                        .any(|c| c.line == tok.line || c.line + 1 == tok.line);
+                    if !has_reason {
+                        findings.push(Finding {
+                            rule: Rule::AllowWithoutReason,
+                            line: tok.line,
+                            col: tok.col,
+                            message: "#[allow(...)] without a reason comment on the same \
+                                      or preceding line"
+                                .into(),
+                            allowed: None,
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        match tok.text.as_str() {
+            // R1
+            "HashMap" | "HashSet" if Rule::NondeterministicMap.applies_to(path) => {
+                findings.push(Finding {
+                    rule: Rule::NondeterministicMap,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{} iteration order is nondeterministic and breaks replay; \
+                         use BTreeMap/BTreeSet or sorted iteration",
+                        tok.text
+                    ),
+                    allowed: None,
+                });
+            }
+            // R2
+            "Instant" | "SystemTime" if Rule::WallClock.applies_to(path) => {
+                findings.push(Finding {
+                    rule: Rule::WallClock,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{} reads the wall clock; simulation code must use simcore::Time",
+                        tok.text
+                    ),
+                    allowed: None,
+                });
+            }
+            "sleep"
+                if Rule::WallClock.applies_to(path)
+                    && i >= 3
+                    && t(i - 1) == ":"
+                    && t(i - 2) == ":"
+                    && t(i - 3) == "thread" =>
+            {
+                findings.push(Finding {
+                    rule: Rule::WallClock,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "thread::sleep blocks on wall-clock time; schedule a \
+                              simulated event instead"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            // R3
+            "thread_rng" if Rule::UnseededRng.applies_to(path) => {
+                findings.push(Finding {
+                    rule: Rule::UnseededRng,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "thread_rng() is unseeded; all randomness must flow through \
+                              simcore's seeded RNG"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            // A free-function call `random(...)` (not a method or an fn
+            // definition), or any `rand::random` path (covers turbofish).
+            "random"
+                if Rule::UnseededRng.applies_to(path)
+                    && ((i + 1 < toks.len()
+                        && t(i + 1) == "("
+                        && (i == 0 || (t(i - 1) != "." && t(i - 1) != "fn")))
+                        || (i >= 3
+                            && t(i - 1) == ":"
+                            && t(i - 2) == ":"
+                            && t(i - 3) == "rand")) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::UnseededRng,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "random() is unseeded; all randomness must flow through \
+                              simcore's seeded RNG"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            // R4
+            "as" if Rule::LossyTimeCast.applies_to(path)
+                && i + 1 < toks.len()
+                && (t(i + 1) == "u64" || t(i + 1) == "i64") =>
+            {
+                let ids = cast_operand_idents(toks, i);
+                let mentions_type = ids
+                    .iter()
+                    .any(|id| id == "Time" || id == "Rate" || id == "TimeDelta");
+                let unit_getter = ids
+                    .first()
+                    .map(|id| UNIT_ACCESSORS.contains(&id.as_str()))
+                    .unwrap_or(false);
+                if mentions_type || unit_getter {
+                    findings.push(Finding {
+                        rule: Rule::LossyTimeCast,
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "bare `as {}` on a Time/Rate-derived value can silently \
+                             truncate or wrap; use a checked conversion",
+                            t(i + 1)
+                        ),
+                        allowed: None,
+                    });
+                }
+            }
+            // R5
+            "unwrap" | "expect"
+                if Rule::HotPathUnwrap.applies_to(path)
+                    && i + 1 < toks.len()
+                    && t(i + 1) == "("
+                    && i >= 1
+                    && t(i - 1) == "."
+                    && !in_test_region(&regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::HotPathUnwrap,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{}() in a hot path can abort a run mid-simulation; handle the \
+                         None/Err case or annotate why it is unreachable",
+                        tok.text
+                    ),
+                    allowed: None,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Apply allow annotations: an allow on line L covers findings for its
+    // rule on L (trailing comment) and L+1 (comment on its own line above).
+    for f in &mut findings {
+        if let Some(a) = allows
+            .iter()
+            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        {
+            f.allowed = Some(a.reason.clone());
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}

@@ -1,0 +1,14 @@
+//! R1 allowed example: every hash-collection site carries an annotation.
+
+// simlint::allow(nondeterministic-map, imports only; every use site is annotated below)
+use std::collections::{HashMap, HashSet};
+
+pub struct FlowTable {
+    // simlint::allow(nondeterministic-map, probed by key only and never iterated)
+    pub flows: HashMap<u32, u64>,
+    pub live: HashSet<u32>, // simlint::allow(nondeterministic-map, membership checks only)
+}
+
+pub fn probe(t: &FlowTable, id: u32) -> bool {
+    t.live.contains(&id)
+}

@@ -1,0 +1,13 @@
+//! R1 bad example: hash collections in a simulation-state crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct FlowTable {
+    pub flows: HashMap<u32, u64>,
+    pub live: HashSet<u32>,
+}
+
+pub fn drain(t: &FlowTable) -> u64 {
+    // Iterating a HashMap: the archetypal replay-breaking pattern.
+    t.flows.values().sum()
+}

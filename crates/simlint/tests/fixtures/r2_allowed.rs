@@ -1,0 +1,10 @@
+//! R2 allowed example: wall-clock reads annotated with a justification.
+
+// simlint::allow(wall-clock, progress logging only; never feeds simulated state)
+use std::time::Instant;
+
+pub fn log_progress(done: usize) {
+    // simlint::allow(wall-clock, operator-facing status line, not sim state)
+    let t0 = Instant::now();
+    eprintln!("{done} done at {:?}", t0);
+}

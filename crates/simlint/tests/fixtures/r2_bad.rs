@@ -1,0 +1,10 @@
+//! R2 bad example: wall-clock time in simulation code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn profile() -> u128 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = SystemTime::now();
+    t0.elapsed().as_millis()
+}

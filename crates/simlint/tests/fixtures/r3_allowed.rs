@@ -1,0 +1,7 @@
+//! R3 allowed example: unseeded randomness annotated with a justification.
+
+pub fn session_nonce() -> u64 {
+    // simlint::allow(unseeded-rng, nonce for a log file name; never enters sim state)
+    let n: u64 = rand::random();
+    n
+}

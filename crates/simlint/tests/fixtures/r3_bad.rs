@@ -1,0 +1,17 @@
+//! R3 bad example: randomness that bypasses the seeded simcore RNG.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let a: f64 = rand::random();
+    let b: f64 = rand::random::<f64>();
+    let c = random();
+    a + b + c + noise(&mut rng)
+}
+
+fn noise<T>(_rng: &mut T) -> f64 {
+    0.0
+}
+
+fn random() -> f64 {
+    0.5
+}

@@ -1,0 +1,14 @@
+//! R4 allowed example: each lossy cast is annotated, and the benign cast
+//! shapes (no Time/Rate in the operand) are not flagged at all.
+
+use simcore::Time;
+
+pub fn mixed(t: Time, prio: u8, gap: f64) -> (i64, Time, Time) {
+    // simlint::allow(lossy-time-cast, ps fits i64 for any sim horizon; sentinel encoding)
+    let signed = t.as_ps() as i64;
+    // Benign: the cast operand is `prio`, not a Time value.
+    let shifted = Time::from_us(4 * (prio as u64 + 1));
+    // Benign: `gap` is already a plain f64 sample.
+    let gap_t = Time::from_ps(gap as u64);
+    (signed, shifted, gap_t)
+}

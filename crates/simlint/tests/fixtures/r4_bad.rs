@@ -1,0 +1,10 @@
+//! R4 bad example: bare `as` casts on Time/Rate-derived values.
+
+use simcore::{Rate, Time};
+
+pub fn truncating(t: Time, r: Rate) -> (u64, i64, u64) {
+    let whole_us = (t.as_us_f64() * 2.0) as u64;
+    let signed_ps = Time::from_ms(5).as_ps() as i64;
+    let gbps = r.as_gbps_f64() as u64;
+    (whole_us, signed_ps, gbps)
+}

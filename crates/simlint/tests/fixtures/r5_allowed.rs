@@ -1,0 +1,12 @@
+//! R5 allowed example: hot-path unwraps annotated with why they hold.
+
+pub fn pop_checked(v: &mut Vec<u32>) -> u32 {
+    assert!(!v.is_empty());
+    // simlint::allow(hot-path-unwrap, guarded by the assert one line up)
+    v.pop().unwrap()
+}
+
+pub fn take_checked(o: Option<u32>) -> u32 {
+    // simlint::allow(hot-path-unwrap, all call sites construct Some; see module docs)
+    o.expect("constructed as Some")
+}

@@ -1,0 +1,20 @@
+//! R5 bad example: unwrap/expect in hot-path (non-test) code.
+
+pub fn pop_front(v: &mut Vec<u32>) -> u32 {
+    v.pop().unwrap()
+}
+
+pub fn take(o: Option<u32>) -> u32 {
+    o.expect("caller checked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let y: Result<u32, ()> = Ok(2);
+        assert_eq!(y.expect("test data"), 2);
+    }
+}

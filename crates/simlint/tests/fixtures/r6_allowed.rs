@@ -1,0 +1,8 @@
+//! R6 allowed example: every allow attribute carries a reason comment.
+
+// Kept for API parity with the vendored shim; exercised by downstream crates.
+#[allow(dead_code)]
+fn reserved() {}
+
+#[allow(clippy::too_many_arguments)] // violation records carry every reportable dimension
+fn wide(_a: u8, _b: u8, _c: u8, _d: u8, _e: u8, _f: u8, _g: u8, _h: u8) {}

@@ -1,0 +1,10 @@
+//! R6 bad example: lint-allow attributes with no stated reason.
+
+#[allow(dead_code)]
+fn unused() {}
+
+#![allow(clippy::too_many_arguments)]
+
+// An annotation missing its reason is itself an allow-without-reason.
+// simlint::allow(hot-path-unwrap)
+fn also_bad() {}

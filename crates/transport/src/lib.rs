@@ -18,6 +18,8 @@
 //! | [`HpccTransport`] | INT-based CC comparison (Fig 16, 18) |
 //! | [`BlastTransport`] | "Physical* w/o CC" blind line-rate sender |
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod dctcp;

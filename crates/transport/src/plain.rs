@@ -179,7 +179,7 @@ mod tests {
         let mut q = EventQueue::<Event>::new();
         let mut now = Time::ZERO;
         for _ in 0..100 {
-            now = now + Time::from_ms(1);
+            now += Time::from_ms(1);
             let d = t.try_send(now);
             if let TrySend::Data { seq: s, bytes } = d {
                 let mut ctx = TransportCtx::for_test(&mut q, now, 0);

@@ -58,7 +58,7 @@ impl RingJob {
             name: name.into(),
             workers,
             gradient_bytes: (102_000_000.0 * scale) as u64,
-            compute: Time::from_ps((Time::from_ms(6).as_ps() as f64 * scale) as u64),
+            compute: Time::from_ms(6).scale_f64(scale),
             prio,
         }
     }
@@ -70,7 +70,7 @@ impl RingJob {
             name: name.into(),
             workers,
             gradient_bytes: (552_000_000.0 * scale) as u64,
-            compute: Time::from_ps((Time::from_ms(4).as_ps() as f64 * scale) as u64),
+            compute: Time::from_ms(4).scale_f64(scale),
             prio,
         }
     }
@@ -105,8 +105,8 @@ mod tests {
         let pairs = j.ring_pairs();
         assert_eq!(pairs, vec![(5, 9), (9, 2), (2, 5)]);
         // Each worker appears exactly once as src and once as dst.
-        let srcs: std::collections::HashSet<_> = pairs.iter().map(|p| p.0).collect();
-        let dsts: std::collections::HashSet<_> = pairs.iter().map(|p| p.1).collect();
+        let srcs: std::collections::BTreeSet<_> = pairs.iter().map(|p| p.0).collect();
+        let dsts: std::collections::BTreeSet<_> = pairs.iter().map(|p| p.1).collect();
         assert_eq!(srcs.len(), 3);
         assert_eq!(dsts.len(), 3);
     }

@@ -128,7 +128,7 @@ impl CoflowGen {
         let mut t = Time::ZERO;
         loop {
             let gap = self.rng.exponential(mean_gap_ps);
-            t = t + Time::from_ps(gap as u64);
+            t += Time::from_ps(gap as u64);
             if t >= until {
                 break;
             }
@@ -157,7 +157,7 @@ impl CoflowGen {
         let mut t = Time::ZERO;
         loop {
             let gap = self.rng.exponential(mean_gap_ps);
-            t = t + Time::from_ps(gap as u64);
+            t += Time::from_ps(gap as u64);
             if t >= until {
                 break;
             }
@@ -165,7 +165,7 @@ impl CoflowGen {
             self.next_id += 1;
             let dst = self.rng.choose_index(self.hosts);
             let mut flows = Vec::with_capacity(fanin);
-            let mut used = std::collections::HashSet::new();
+            let mut used = std::collections::BTreeSet::new();
             used.insert(dst);
             while flows.len() < fanin.min(self.hosts - 1) {
                 let src = self.rng.choose_index(self.hosts);
@@ -243,7 +243,7 @@ mod tests {
         for r in &reqs {
             assert_eq!(r.width(), 20);
             let dst = r.flows[0].dst;
-            let mut senders = std::collections::HashSet::new();
+            let mut senders = std::collections::BTreeSet::new();
             for f in &r.flows {
                 assert_eq!(f.dst, dst);
                 assert_ne!(f.src, dst);
@@ -257,7 +257,7 @@ mod tests {
         let mut g = CoflowGen::new(16, 5);
         let a = g.generate_poisson(Rate::from_gbps(10), 0.2, Time::from_ms(10));
         let b = g.generate_file_requests(Rate::from_gbps(10), 0.2, 4, 50_000, Time::from_ms(10));
-        let mut ids = std::collections::HashSet::new();
+        let mut ids = std::collections::BTreeSet::new();
         for c in a.iter().chain(b.iter()) {
             assert!(ids.insert(c.id));
         }

@@ -13,6 +13,8 @@
 //! Everything is deterministic given a seed; generators emit plain structs
 //! the experiment harness turns into `netsim` flows.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod allreduce;

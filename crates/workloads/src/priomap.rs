@@ -79,7 +79,7 @@ mod tests {
     fn dist_classifier_covers_all_priorities() {
         let d = SizeDist::websearch();
         let c = SizeClassifier::from_dist(&d, 8);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut rng = simcore::SimRng::new(3);
         for _ in 0..10_000 {
             seen.insert(c.priority(d.sample(&mut rng)));

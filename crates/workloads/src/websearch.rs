@@ -167,7 +167,7 @@ impl PoissonArrivals {
         let mut out = Vec::new();
         while self.next < until {
             let gap = self.rng.exponential(self.mean_gap.as_ps() as f64);
-            self.next = self.next + Time::from_ps(gap as u64);
+            self.next += Time::from_ps(gap as u64);
             if self.next >= until {
                 break;
             }
@@ -229,7 +229,7 @@ mod tests {
         }
         // Empirically, each group gets ~1/8 of flows.
         let mut rng = SimRng::new(7);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         let n = 80_000;
         for _ in 0..n {
             let s = d.sample(&mut rng);

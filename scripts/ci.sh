@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Full CI gauntlet, in escalating order of strictness:
 #
-#   1. tier-1: release build + full test suite (includes the property
+#   1. simlint: the workspace static-analysis pass (determinism, wall-clock,
+#      RNG, time-cast, and hot-path-unwrap invariants) must report zero
+#      unallowed findings;
+#   2. clippy: `cargo clippy --workspace --all-targets -- -D warnings`
+#      (skipped with a warning if the toolchain has no clippy component);
+#   3. tier-1: release build + full test suite (includes the property
 #      fleets and the golden-trace diffs);
-#   2. audit compile-out: netsim must build with the audit layer compiled
+#   4. audit compile-out: netsim must build with the audit layer compiled
 #      out entirely (--no-default-features);
-#   3. audited e2e: the whole experiments test suite rerun with the
+#   5. audited e2e: the whole experiments test suite rerun with the
 #      invariant audit enabled on every Sim, panicking on any violation;
-#   4. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=calendar
+#   6. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=calendar
 #      and =quad, so every default-backend code path (unit, e2e, golden)
 #      also runs — and stays bit-identical — on the alternative event
 #      schedulers;
-#   5. bench drift: scripts/bench.sh prints events/sec deltas against the
+#   7. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
 #      per-backend rows cover event-queue drift for all three backends).
 #
@@ -19,26 +24,54 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/5] tier-1: release build + tests ==="
+# Refuse to run the matrix with a typo'd scheduler override in the
+# environment: the library would warn and silently fall back to the binary
+# heap, and every PRIOPLUS_SCHED leg below would quietly test the wrong
+# backend. Fail loudly here instead. Keep this list in sync with
+# `simcore::sched::from_env_value` (tested by `env_value_parse_contract`).
+if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
+  case "${PRIOPLUS_SCHED}" in
+    binary|heap|binaryheap|quad|4ary|heap4|quadheap|calendar|calq|calqueue) ;;
+    *)
+      echo "ci.sh: unknown PRIOPLUS_SCHED value '${PRIOPLUS_SCHED}'" >&2
+      echo "ci.sh: valid: binary|heap|binaryheap, quad|4ary|heap4|quadheap, calendar|calq|calqueue" >&2
+      exit 2
+      ;;
+  esac
+fi
+
+echo "=== [1/7] simlint: workspace static analysis ==="
+cargo run --release -q -p simlint
+
+echo
+echo "=== [2/7] clippy (-D warnings) ==="
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "ci.sh: WARNING: clippy not installed on this toolchain, skipping" >&2
+fi
+
+echo
+echo "=== [3/7] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 
 echo
-echo "=== [2/5] audit compiles out (netsim --no-default-features) ==="
+echo "=== [4/7] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 
 echo
-echo "=== [3/5] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [5/7] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 
 echo
-echo "=== [4/5] scheduler-backend matrix (calendar, quad) ==="
+echo "=== [6/7] scheduler-backend matrix (calendar, quad) ==="
 PRIOPLUS_SCHED=calendar cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
 
 echo
-echo "=== [5/5] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [7/7] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 
 echo

@@ -42,9 +42,7 @@ fn run_micro(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     /// Bytes are conserved and every finish time is causal (after start,
     /// not before serialization could possibly complete) under arbitrary

@@ -1,0 +1,81 @@
+//! The workspace must be simlint-clean.
+//!
+//! `scripts/ci.sh` runs `cargo run -p simlint` as a CI leg, but this test
+//! runs the same pass programmatically inside `cargo test`, so a
+//! determinism-hazard regression (a stray `HashMap` in a sim-state crate, a
+//! wall-clock `Instant`, an unseeded RNG call, ...) fails the ordinary test
+//! suite too — not just the CI script.
+
+use std::path::Path;
+
+use simlint::{lint_workspace, Baseline};
+
+fn workspace_root() -> &'static Path {
+    // crates/simlint/../.. = the workspace root, independent of the
+    // directory `cargo test` was invoked from.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/simlint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_has_no_unallowed_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = lint_workspace(root).expect("lint pass reads the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+
+    // The committed baseline (if any) is honored, exactly as the CI leg
+    // honors it: the goal is to ratchet it down to empty, not to bypass it.
+    let baseline_path = root.join("simlint.baseline");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+
+    let unallowed: Vec<String> = report
+        .unallowed(&baseline)
+        .map(|(path, f)| {
+            format!(
+                "{}:{}:{}: [{}] {}",
+                path,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message
+            )
+        })
+        .collect();
+    assert!(
+        unallowed.is_empty(),
+        "simlint found {} unallowed finding(s):\n{}\nfix the sites, annotate with \
+         // simlint::allow(rule, reason), or ratchet with `cargo run -p simlint -- --fix-allowlist`",
+        unallowed.len(),
+        unallowed.join("\n")
+    );
+}
+
+#[test]
+fn allow_annotations_in_tree_all_carry_reasons() {
+    // Defense in depth for the annotation grammar itself: every allow that
+    // suppresses a finding must have parsed with a non-empty reason.
+    let report = lint_workspace(workspace_root()).expect("lint pass reads the workspace");
+    for (path, f) in &report.findings {
+        if let Some(reason) = &f.allowed {
+            assert!(
+                !reason.trim().is_empty(),
+                "{path}:{}: allow annotation with empty reason",
+                f.line
+            );
+        }
+    }
+}

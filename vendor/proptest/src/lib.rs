@@ -300,7 +300,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 8 })]
 
         #[test]
         fn macro_wires_strategies(x in 0u64..100, flag in any::<bool>()) {
