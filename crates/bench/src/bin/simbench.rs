@@ -13,6 +13,11 @@
 //! - `incast_swift`: a 64-flow Swift incast on the single-switch topology;
 //! - `incast_prioplus[_quad|_calendar]`: the same incast under
 //!   PrioPlus+Swift (probes, virt priorities), per backend;
+//! - `arena_churn`: a 32-flow HPCC incast with INT enabled — maximum packet
+//!   and `IntPath`-box churn through the arena. Asserts the zero
+//!   steady-state-allocation contract (slab growth == peak live packets,
+//!   INT boxes bounded by the in-flight population) and reports the arena
+//!   counters in the JSON so drift checks see allocation regressions;
 //! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
 //! - `sweep_flowsched`: N quick flow-scheduling configs serial (`jobs=1`)
 //!   vs parallel (`--jobs`/`PRIOPLUS_JOBS`/cores) — wall-clock speedup of
@@ -39,6 +44,9 @@ struct Scenario {
     wall_ms: f64,
     events: u64,
     events_per_sec: f64,
+    /// Extra JSON fields (ready-rendered, leading comma) appended to this
+    /// scenario's line — allocation counters for `arena_churn`.
+    extra: String,
 }
 
 /// Best-of-`REPS` timing of `f`, which returns the number of events (or
@@ -61,6 +69,7 @@ fn scenario(name: &'static str, f: impl Fn() -> u64) -> Scenario {
         wall_ms: secs * 1e3,
         events,
         events_per_sec: events as f64 / secs,
+        extra: String::new(),
     };
     println!(
         "{:<26} {:>10.1} ms  {:>12} events  {:>14.0} events/s",
@@ -149,6 +158,60 @@ fn bench_incast(prioplus: bool, kind: SchedKind) -> u64 {
     res.counters.events
 }
 
+/// Maximum arena churn: an HPCC incast with INT enabled, so every data
+/// packet carries (and recycles) an `IntPath` box. Returns the events
+/// processed and writes the run's arena counters into `stats`
+/// `[allocs, slab_slots, peak_live, int_allocs, int_recycled]`, asserting
+/// the zero steady-state-allocation contract along the way.
+fn bench_arena_churn(stats: &std::cell::RefCell<[u64; 5]>) -> u64 {
+    let n = 32;
+    let mut env = MicroEnv {
+        senders: n,
+        end: Time::from_ms(8),
+        trace: false,
+        seed: 13,
+        noise: NoiseModel::testbed(),
+        sched: SchedKind::Binary,
+        ..Default::default()
+    };
+    env.switch.int_enabled = true;
+    let mut m = Micro::build(&env);
+    let cc = CcSpec::Hpcc;
+    for s in 1..=n {
+        m.add_flow(s, 1_000_000, Time::ZERO, 0, 4, &cc);
+    }
+    let res = m.sim.run();
+    let c = &res.counters;
+    // Zero steady-state heap allocation per packet: the slab only grows
+    // when the live population reaches a new peak, and `IntPath` boxes are
+    // bounded by the in-flight population, never by the packet count.
+    assert_eq!(
+        c.arena_slab_slots, c.arena_peak_live,
+        "arena slab grew without a new live peak"
+    );
+    assert!(
+        c.arena_allocs > 10 * c.arena_slab_slots.max(1),
+        "churn too low to demonstrate slot reuse \
+         (allocs {} vs slots {})",
+        c.arena_allocs,
+        c.arena_slab_slots
+    );
+    assert!(
+        c.arena_int_allocs <= c.arena_peak_live.max(1),
+        "IntPath boxes ({}) exceeded the in-flight population ({})",
+        c.arena_int_allocs,
+        c.arena_peak_live
+    );
+    *stats.borrow_mut() = [
+        c.arena_allocs,
+        c.arena_slab_slots,
+        c.arena_peak_live,
+        c.arena_int_allocs,
+        c.arena_int_recycled,
+    ];
+    c.events
+}
+
 fn flowsched_cfg(seed: u64) -> FlowSchedConfig {
     let mut cfg = FlowSchedConfig::new(Scheme::PrioPlusSwift, 4);
     cfg.k = 4;
@@ -159,7 +222,7 @@ fn flowsched_cfg(seed: u64) -> FlowSchedConfig {
 
 fn main() {
     println!("simbench: fixed seeded scenarios, best of {REPS} runs\n");
-    let scenarios = vec![
+    let mut scenarios = vec![
         scenario("event_queue", || bench_event_queue(SchedKind::Binary)),
         scenario("event_queue_quad", || bench_event_queue(SchedKind::Quad)),
         scenario("event_queue_calendar", || {
@@ -180,9 +243,22 @@ fn main() {
         }),
         scenario("flowsched_k4", || {
             let r = run_many(&[flowsched_cfg(11)], 1);
-            r[0].flows.len() as u64
+            r[0].events
         }),
     ];
+    let arena_stats = std::cell::RefCell::new([0u64; 5]);
+    let mut churn = scenario("arena_churn", || bench_arena_churn(&arena_stats));
+    let [allocs, slots, peak, int_allocs, int_recycled] = *arena_stats.borrow();
+    churn.extra = format!(
+        ", \"arena_allocs\": {allocs}, \"arena_slab_slots\": {slots}, \
+         \"arena_peak_live\": {peak}, \"arena_int_allocs\": {int_allocs}, \
+         \"arena_int_recycled\": {int_recycled}"
+    );
+    println!(
+        "  arena_churn counters: {allocs} allocs over {slots} slab slots \
+         (peak live {peak}), {int_allocs} INT boxes, {int_recycled} recycles"
+    );
+    scenarios.push(churn);
 
     // Sweep speedup: the same config list serial vs parallel.
     let jobs = default_jobs();
@@ -206,11 +282,12 @@ fn main() {
     for (i, s) in scenarios.iter().enumerate() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"name\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{comma}\n",
+            "    {{\"name\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}}}{comma}\n",
             json_string(s.name),
             s.wall_ms,
             s.events,
-            s.events_per_sec
+            s.events_per_sec,
+            s.extra
         ));
     }
     json.push_str("  ],\n");

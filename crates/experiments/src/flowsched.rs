@@ -81,6 +81,8 @@ pub struct FlowSchedResult {
     pub drops: u64,
     /// Fraction of flows finished.
     pub completion: f64,
+    /// Simulator events processed (event-queue pops), for perf reporting.
+    pub events: u64,
 }
 
 impl FlowSchedResult {
@@ -308,6 +310,7 @@ pub fn run(cfg: &FlowSchedConfig) -> FlowSchedResult {
         completion: result.completion_rate(),
         pfc_pauses: result.counters.pfc_pauses,
         drops: result.counters.drops,
+        events: result.counters.events,
         flows,
     }
 }

@@ -176,6 +176,26 @@ mod tests {
     }
 
     #[test]
+    fn serial_path_bypasses_thread_machinery() {
+        // Regression: `jobs <= 1` — and a single config regardless of the
+        // requested job count — must run inline on the calling thread, not
+        // pay thread/channel setup (measured 0.964x vs serial before the
+        // bypass). Thread identity is the observable proof.
+        let caller = std::thread::current().id();
+        for (configs, jobs) in [((0..16u64).collect::<Vec<_>>(), 1), (vec![42u64], 8)] {
+            let out = run_ordered(&configs, jobs, &|&c| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    caller,
+                    "effective jobs == 1 must not spawn workers"
+                );
+                c + 1
+            });
+            assert_eq!(out, configs.iter().map(|c| c + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn sweep_builder_runs() {
         let out = Sweep::new((0..10u32).collect()).jobs(3).run(|&c| c * c);
         assert_eq!(out, (0..10u32).map(|c| c * c).collect::<Vec<_>>());

@@ -23,7 +23,11 @@
 //! - **transport sanity** — per-CC invariants (cwnd clamps, sequence-state
 //!   consistency) via [`crate::transport_api::Transport::check_invariants`];
 //! - **event queue** — the scheduler's internal bookkeeping
-//!   ([`simcore::EventQueue::check_invariants`]).
+//!   ([`simcore::EventQueue::check_invariants`]);
+//! - **arena accounting** — every live packet-arena slot is referenced by
+//!   exactly one queue position or pending arrival, free slots by none, and
+//!   the arena's free-list/live bookkeeping is internally consistent
+//!   ([`crate::packet::PacketArena::check`]).
 //!
 //! Violations become structured [`Violation`] records pinpointing the event,
 //! node, port, queue, and flow, alongside a ring buffer of the most recent
@@ -36,7 +40,7 @@ use std::collections::BTreeMap;
 use simcore::{RingLog, Time};
 
 use crate::node::Switch;
-use crate::packet::{FlowId, NodeId};
+use crate::packet::{FlowId, NodeId, PacketArena};
 use crate::record::SimCounters;
 
 /// Configuration of the audit layer.
@@ -92,6 +96,11 @@ pub enum ViolationKind {
     /// The event queue's internal bookkeeping failed
     /// ([`simcore::EventQueue::check_invariants`]).
     EventQueue,
+    /// The packet arena's live/free accounting failed: a live slot is not
+    /// referenced by exactly one queue position or pending arrival, a free
+    /// slot is still referenced, or the arena's internal consistency check
+    /// ([`crate::packet::PacketArena::check`]) found corruption.
+    ArenaAccounting,
 }
 
 /// One recorded invariant violation.
@@ -524,7 +533,13 @@ impl Audit {
     /// check occupancy against the physical buffer, and cross-check the PFC
     /// pause mirror. Returns the data wire bytes found buffered (for the
     /// conservation check).
-    pub(crate) fn check_switch(&mut self, time: Time, node: NodeId, sw: &Switch) -> u64 {
+    pub(crate) fn check_switch(
+        &mut self,
+        time: Time,
+        node: NodeId,
+        sw: &Switch,
+        arena: &PacketArena,
+    ) -> u64 {
         self.deep_scans += 1;
         let mut switch_total = 0u64;
         let mut data_wire = 0u64;
@@ -532,7 +547,8 @@ impl Audit {
             let mut port_total = 0u64;
             for (qi, queue) in port.queues.iter().enumerate() {
                 let mut recount = 0u64;
-                for pkt in queue {
+                for &id in queue {
+                    let pkt = arena.get(id);
                     recount += pkt.size as u64;
                     if pkt.kind.is_data() {
                         data_wire += pkt.size as u64;
@@ -628,6 +644,50 @@ impl Audit {
             }
         }
         data_wire
+    }
+
+    /// Deep-scan the packet arena: the arena's own structural invariants
+    /// ([`PacketArena::check`]) must hold, and `refs` — the caller's recount
+    /// of how many times each slot is referenced by a port queue position or
+    /// a pending `Arrive` event — must show every live slot held exactly
+    /// once and every free slot not at all. Together these prove ids are
+    /// never duplicated, leaked, or used after release.
+    pub(crate) fn check_arena(&mut self, time: Time, arena: &PacketArena, refs: &[u32]) {
+        if let Err(e) = arena.check() {
+            self.report(
+                ViolationKind::ArenaAccounting,
+                time,
+                None,
+                None,
+                None,
+                None,
+                format!("arena self-check failed: {e}"),
+            );
+        }
+        for (i, &n) in refs.iter().enumerate() {
+            let live = arena.is_live(crate::packet::PacketId(i as u32));
+            if live && n != 1 {
+                self.report(
+                    ViolationKind::ArenaAccounting,
+                    time,
+                    None,
+                    None,
+                    None,
+                    None,
+                    format!("live arena slot {i} referenced {n} times (expected 1)"),
+                );
+            } else if !live && n != 0 {
+                self.report(
+                    ViolationKind::ArenaAccounting,
+                    time,
+                    None,
+                    None,
+                    None,
+                    None,
+                    format!("free arena slot {i} still referenced {n} times"),
+                );
+            }
+        }
     }
 
     /// Conservation across the whole fabric: what is buffered in switches
@@ -771,6 +831,33 @@ pub fn env_deep_every() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_check_flags_bad_reference_counts() {
+        let mut arena = PacketArena::new();
+        let live = arena.alloc(crate::packet::Packet::pfc(0, 1, 0, true));
+        let freed = arena.alloc(crate::packet::Packet::pfc(0, 1, 0, true));
+        arena.release(freed);
+        let mut a = Audit::new(AuditConfig::default());
+
+        // Consistent view: live slot referenced once, free slot not at all.
+        let mut refs = vec![0u32; arena.capacity()];
+        refs[live.index()] = 1;
+        a.check_arena(Time::ZERO, &arena, &refs);
+        assert_eq!(a.total_violations, 0);
+
+        // A duplicated live id and a dangling reference to a freed slot
+        // must each produce an ArenaAccounting violation.
+        refs[live.index()] = 2;
+        refs[freed.index()] = 1;
+        a.check_arena(Time::ZERO, &arena, &refs);
+        let r = a.into_report();
+        assert_eq!(r.total_violations, 2);
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::ArenaAccounting));
+    }
 
     #[test]
     fn report_caps_storage_but_counts_all() {

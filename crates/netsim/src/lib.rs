@@ -47,7 +47,7 @@ pub mod transport_api;
 pub use audit::{AuditConfig, AuditReport, Violation, ViolationKind};
 pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
 pub use noise::NoiseModel;
-pub use packet::{FlowId, NodeId, Packet, PktKind};
+pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktKind};
 pub use record::{FlowRecord, SimCounters, SimResult};
 pub use simcore::SchedKind;
 pub use sim::{FlowSpec, Sim};

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use simcore::{Rate, SimRng, Time};
 
 use crate::config::{Buggify, SwitchConfig};
-use crate::packet::{FlowId, NodeId, Packet};
+use crate::packet::{FlowId, NodeId, Packet, PacketArena, PacketId};
 
 /// One directional egress attachment (switch port or host NIC).
 #[derive(Debug)]
@@ -27,8 +27,10 @@ pub struct EgressPort {
     pub busy: bool,
     /// PFC pause state per data priority (bitmask by queue index).
     pub paused: u32,
-    /// Per-priority FIFO queues; index `num_prios` is the control queue.
-    pub queues: Vec<VecDeque<Packet>>,
+    /// Per-priority FIFO queues of arena handles; index `num_prios` is the
+    /// control queue. Queues rotate 4-byte [`PacketId`]s — the packets
+    /// themselves stay put in the [`PacketArena`].
+    pub queues: Vec<VecDeque<PacketId>>,
     /// Bytes queued per priority queue.
     pub queued_bytes_q: Vec<u64>,
     /// Total bytes queued on this port.
@@ -48,6 +50,7 @@ impl EgressPort {
             busy: false,
             paused: 0,
             queues: (0..nq).map(|_| VecDeque::new()).collect(),
+            // simlint::allow(hot-path-alloc, port construction runs once at topology build, not per event)
             queued_bytes_q: vec![0; nq],
             queued_bytes: 0,
             tx_bytes: 0,
@@ -70,25 +73,27 @@ impl EgressPort {
         }
     }
 
-    /// Push a packet into its priority queue.
-    pub fn enqueue(&mut self, pkt: Packet) {
-        let q = queue_index(&pkt, self.queues.len());
+    /// Push a packet (by handle) into its priority queue.
+    pub fn enqueue(&mut self, id: PacketId, arena: &PacketArena) {
+        let pkt = arena.get(id);
+        let q = queue_index(pkt, self.queues.len());
         self.queued_bytes_q[q] += pkt.size as u64;
         self.queued_bytes += pkt.size as u64;
-        self.queues[q].push_back(pkt);
+        self.queues[q].push_back(id);
     }
 
     /// Pop the highest-priority unpaused packet (strict priority, control
     /// queue first).
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self, arena: &PacketArena) -> Option<PacketId> {
         for q in (0..self.queues.len()).rev() {
             if self.is_paused(q) {
                 continue;
             }
-            if let Some(pkt) = self.queues[q].pop_front() {
-                self.queued_bytes_q[q] -= pkt.size as u64;
-                self.queued_bytes -= pkt.size as u64;
-                return Some(pkt);
+            if let Some(id) = self.queues[q].pop_front() {
+                let size = arena.get(id).size as u64;
+                self.queued_bytes_q[q] -= size;
+                self.queued_bytes -= size;
+                return Some(id);
             }
         }
         None
@@ -150,7 +155,9 @@ impl Switch {
             ports,
             total_buffered: 0,
             usable,
+            // simlint::allow(hot-path-alloc, switch construction runs once at topology build, not per event)
             ingress_bytes: vec![vec![0; num_prios as usize + 1]; n],
+            // simlint::allow(hot-path-alloc, switch construction runs once at topology build, not per event)
             ingress_paused: vec![vec![false; num_prios as usize + 1]; n],
             max_buffered: 0,
         }
@@ -207,33 +214,38 @@ impl Switch {
         }
     }
 
-    /// Offer a packet for queuing on egress `port` coming from ingress
-    /// `in_port`. Applies admission (lossy mode), buffer/ingress accounting
-    /// and PFC pause decisions. Returns the admission outcome and any PFC
-    /// pause frames to emit as `(ingress_port, prio)`.
+    /// Offer a packet (by handle) for queuing on egress `port` coming from
+    /// ingress `in_port`. Applies admission (lossy mode), buffer/ingress
+    /// accounting and PFC pause decisions. Returns the admission outcome and
+    /// any PFC pause frames to emit as `(ingress_port, prio)`. A `Dropped`
+    /// packet is released back to the arena here — its id is dead after the
+    /// call.
     pub fn admit(
         &mut self,
         port: u16,
         in_port: u16,
-        mut pkt: Packet,
+        id: PacketId,
+        arena: &mut PacketArena,
         pauses: &mut Vec<(u16, u8)>,
     ) -> Admission {
         let nq = self.ports[port as usize].queues.len();
-        let q = queue_index(&pkt, nq);
-        let is_data = pkt.kind.is_data();
+        let (q, size, is_data) = {
+            let pkt = arena.get(id);
+            (queue_index(pkt, nq), pkt.size as u64, pkt.kind.is_data())
+        };
         if !self.cfg.pfc_enabled && is_data {
             // Lossy: Dynamic-Threshold admission on the egress queue.
             let limit = self.dt_limit();
-            if self.ports[port as usize].queued_bytes_q[q] + pkt.size as u64 > limit {
+            if self.ports[port as usize].queued_bytes_q[q] + size > limit {
+                arena.release(id);
                 return Admission::Dropped;
             }
         }
-        pkt.cur_in_port = in_port;
-        let size = pkt.size as u64;
+        arena.get_mut(id).cur_in_port = in_port;
         self.total_buffered += size;
         self.max_buffered = self.max_buffered.max(self.total_buffered);
         self.ingress_bytes[in_port as usize][q] += size;
-        self.ports[port as usize].enqueue(pkt);
+        self.ports[port as usize].enqueue(id, arena);
 
         if self.cfg.pfc_enabled && q < nq - 1 {
             // PFC protects data priorities; control queue is never paused.
@@ -298,7 +310,9 @@ impl Host {
     pub fn new(port: EgressPort, num_prios: u8) -> Self {
         Host {
             port,
+            // simlint::allow(hot-path-alloc, host construction runs once at topology build, not per event)
             active: vec![Vec::new(); num_prios as usize],
+            // simlint::allow(hot-path-alloc, host construction runs once at topology build, not per event)
             rr: vec![0; num_prios as usize],
             next_poke: Time::MAX,
         }
@@ -331,53 +345,64 @@ mod tests {
         EgressPort::new(1, 0, Rate::from_gbps(100), Time::from_us(1), nq)
     }
 
-    fn data(prio: u8, bytes: u32) -> Packet {
-        Packet::data(0, 0, 1, prio, bytes, 0, Time::ZERO)
+    fn data(a: &mut PacketArena, prio: u8, bytes: u32) -> PacketId {
+        a.alloc(Packet::data(0, 0, 1, prio, bytes, 0, Time::ZERO))
     }
 
     #[test]
     fn strict_priority_dequeue_order() {
+        let mut a = PacketArena::new();
         let mut p = port(4);
-        p.enqueue(data(0, 100));
-        p.enqueue(data(2, 100));
-        p.enqueue(data(1, 100));
-        let order: Vec<u8> = std::iter::from_fn(|| p.dequeue())
-            .map(|pk| pk.prio)
+        for prio in [0, 2, 1] {
+            let id = data(&mut a, prio, 100);
+            p.enqueue(id, &a);
+        }
+        let order: Vec<u8> = std::iter::from_fn(|| p.dequeue(&a))
+            .map(|id| a.get(id).prio)
             .collect();
         assert_eq!(order, vec![2, 1, 0]);
     }
 
     #[test]
     fn control_queue_beats_all_data() {
+        let mut a = PacketArena::new();
         let mut p = port(3); // 2 data prios + control at index 2
-        p.enqueue(data(1, 100));
+        let d = data(&mut a, 1, 100);
+        p.enqueue(d, &a);
         let mut ack = Packet::pfc(0, 1, 0, true);
         ack.prio = 2;
-        p.enqueue(ack);
-        let first = p.dequeue().unwrap();
-        assert!(matches!(first.kind, PktKind::Pfc { .. }));
+        let ack = a.alloc(ack);
+        p.enqueue(ack, &a);
+        let first = p.dequeue(&a).unwrap();
+        assert!(matches!(a.get(first).kind, PktKind::Pfc { .. }));
     }
 
     #[test]
     fn paused_priority_is_skipped() {
+        let mut a = PacketArena::new();
         let mut p = port(3);
-        p.enqueue(data(1, 100));
-        p.enqueue(data(0, 200));
+        let hi = data(&mut a, 1, 100);
+        let lo = data(&mut a, 0, 200);
+        p.enqueue(hi, &a);
+        p.enqueue(lo, &a);
         p.set_paused(1, true);
-        assert_eq!(p.dequeue().unwrap().prio, 0);
+        assert_eq!(a.get(p.dequeue(&a).unwrap()).prio, 0);
         assert!(!p.has_sendable() || p.is_paused(1));
         p.set_paused(1, false);
-        assert_eq!(p.dequeue().unwrap().prio, 1);
+        assert_eq!(a.get(p.dequeue(&a).unwrap()).prio, 1);
     }
 
     #[test]
     fn byte_accounting_balances() {
+        let mut a = PacketArena::new();
         let mut p = port(2);
-        p.enqueue(data(0, 1000));
-        p.enqueue(data(1, 500));
+        let x = data(&mut a, 0, 1000);
+        let y = data(&mut a, 1, 500);
+        p.enqueue(x, &a);
+        p.enqueue(y, &a);
         assert_eq!(p.queued_bytes, 1048 + 548);
-        p.dequeue();
-        p.dequeue();
+        p.dequeue(&a);
+        p.dequeue(&a);
         assert_eq!(p.queued_bytes, 0);
         assert!(p.queued_bytes_q.iter().all(|&b| b == 0));
     }
@@ -395,12 +420,13 @@ mod tests {
 
     #[test]
     fn lossy_switch_drops_over_dt_limit() {
+        let mut a = PacketArena::new();
         let mut s = mk_switch(false, 10_000);
         let mut pauses = Vec::new();
         let mut admitted = 0;
         for i in 0..20 {
-            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
-            if s.admit(0, 1, pkt, &mut pauses) == Admission::Queued {
+            let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
+            if s.admit(0, 1, id, &mut a, &mut pauses) == Admission::Queued {
                 admitted += 1;
             }
         }
@@ -410,17 +436,20 @@ mod tests {
             "DT must accept early packets, got {admitted}"
         );
         assert!(pauses.is_empty(), "no PFC in lossy mode");
+        // Dropped packets were released by admit; queued ones stay live.
+        assert_eq!(a.live_count(), admitted);
     }
 
     #[test]
     fn pfc_pause_and_resume_cycle() {
+        let mut a = PacketArena::new();
         let mut s = mk_switch(true, 20_000);
         let mut pauses = Vec::new();
         let mut i = 0u64;
         // Fill until a pause is emitted.
         while pauses.is_empty() && i < 100 {
-            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
-            s.admit(0, 1, pkt, &mut pauses);
+            let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
+            s.admit(0, 1, id, &mut a, &mut pauses);
             i += 1;
         }
         assert!(!pauses.is_empty(), "pause must trigger");
@@ -428,15 +457,18 @@ mod tests {
         assert!(s.ingress_paused[1][0]);
         // Drain; resume must eventually be emitted.
         let mut resumes = Vec::new();
-        while let Some(pkt) = s.ports[0].dequeue() {
-            s.on_dequeue(&pkt, &mut resumes);
+        while let Some(id) = s.ports[0].dequeue(&a) {
+            s.on_dequeue(a.get(id), &mut resumes);
+            a.release(id);
         }
         assert_eq!(resumes, vec![(1, 0)]);
         assert_eq!(s.total_buffered, 0);
+        assert_eq!(a.live_count(), 0);
     }
 
     #[test]
     fn ecn_marking_thresholds() {
+        let mut a = PacketArena::new();
         let mut s = mk_switch(true, 10_000_000);
         s.cfg.ecn_kmin = 2_000;
         s.cfg.ecn_kmax = 4_000;
@@ -446,8 +478,8 @@ mod tests {
         // Below kmin: never marked.
         assert!(!s.ecn_mark(0, 0, 0, &mut rng));
         for i in 0..5 {
-            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
-            s.admit(0, 1, pkt, &mut pauses);
+            let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
+            s.admit(0, 1, id, &mut a, &mut pauses);
         }
         // Above kmax: always marked.
         assert!(s.ecn_mark(0, 0, 0, &mut rng));
@@ -455,6 +487,7 @@ mod tests {
 
     #[test]
     fn prio_scaled_ecn_marks_low_dscp_first() {
+        let mut a = PacketArena::new();
         let mut s = mk_switch(true, 10_000_000);
         s.cfg.ecn_kmin = 2_000;
         s.cfg.ecn_kmax = 4_000;
@@ -463,8 +496,8 @@ mod tests {
         let mut rng = SimRng::new(6);
         let mut pauses = Vec::new();
         for i in 0..5 {
-            let pkt = Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO);
-            s.admit(0, 1, pkt, &mut pauses);
+            let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
+            s.admit(0, 1, id, &mut a, &mut pauses);
         }
         // ~5 KB queued: dscp 0 thresholds (2k/4k) => always marked;
         // dscp 3 thresholds (8k/16k) => never marked.

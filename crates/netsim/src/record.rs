@@ -84,6 +84,19 @@ pub struct SimCounters {
     pub probes: u64,
     /// Maximum shared-buffer occupancy observed across switches.
     pub max_buffer_used: u64,
+    /// Packet-arena handle allocations over the whole run (slab reuse
+    /// included), i.e. total packets that existed.
+    pub arena_allocs: u64,
+    /// Fresh slab slots the arena ever grew to (== peak live packets; every
+    /// other allocation reused a freed slot without touching the heap).
+    pub arena_slab_slots: u64,
+    /// Peak number of simultaneously live packets.
+    pub arena_peak_live: u64,
+    /// `IntPath` boxes actually heap-allocated (pool misses). Bounded by the
+    /// peak number of in-flight INT-carrying packets, not by packet count.
+    pub arena_int_allocs: u64,
+    /// `IntPath` boxes served from / returned to the recycle pool.
+    pub arena_int_recycled: u64,
 }
 
 /// Per-flow time-series traces (only populated when

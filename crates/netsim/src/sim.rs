@@ -14,7 +14,8 @@ use crate::monitor::{Monitor, MonitorKind};
 use crate::node::queue_index;
 use crate::node::{Admission, EgressPort, Host, Switch};
 use crate::packet::{
-    AckInfo, FlowId, IntHop, NodeId, Packet, PktKind, CONTROL_BYTES, HEADER_BYTES,
+    AckInfo, FlowId, IntHop, NodeId, Packet, PacketArena, PacketId, PktKind, CONTROL_BYTES,
+    HEADER_BYTES,
 };
 use crate::record::{FlowRecord, FlowTrace, SimCounters, SimResult};
 use crate::routing::RoutingTable;
@@ -39,8 +40,11 @@ pub enum Event {
         node: NodeId,
         /// Ingress port index at the receiving node.
         in_port: u16,
-        /// The packet.
-        pkt: Packet,
+        /// Handle of the packet in the simulator's [`PacketArena`]. Carrying
+        /// the 4-byte id (instead of the packet) keeps `Event` at a few
+        /// machine words, so scheduler sift/percolate stays cheap — see the
+        /// `event_stays_slim` size pin below.
+        pkt: PacketId,
     },
     /// `node`'s egress `port` finished serializing its current packet.
     PortFree {
@@ -179,6 +183,10 @@ pub struct Sim {
     port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>>,
     routes: RoutingTable,
     flows: Vec<Flow>,
+    /// Slab holding every in-flight packet; events and port queues refer to
+    /// packets by [`PacketId`]. LIFO slot reuse keeps the id sequence a pure
+    /// function of the event order (deterministic across backends).
+    arena: PacketArena,
     queue: EventQueue<Event>,
     counters: SimCounters,
     monitors: Vec<Monitor>,
@@ -200,6 +208,7 @@ impl Sim {
     pub fn new(topo: &Topology, cfg: SimConfig, switch_cfg: SwitchConfig) -> Self {
         let n = topo.num_nodes();
         // Build per-node port lists in the same order as `Topology::adjacency`.
+        // simlint::allow(hot-path-alloc, Sim construction runs once per run, not per event)
         let mut port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>> = vec![Vec::new(); n];
         for &(a, b, spec) in &topo.links {
             let pa = port_specs[a as usize].len() as u16;
@@ -231,6 +240,7 @@ impl Sim {
                 }
                 NodeKind::Switch => {
                     nodes.push(Node::Switch(Switch::new(
+                        // simlint::allow(hot-path-alloc, per-switch config copy at construction, not per event)
                         switch_cfg.clone(),
                         ports,
                         cfg.num_prios,
@@ -249,6 +259,7 @@ impl Sim {
             port_specs,
             routes,
             flows: Vec::new(),
+            arena: PacketArena::new(),
             queue: EventQueue::with_sched(sched),
             counters: SimCounters::default(),
             monitors: Vec::new(),
@@ -261,6 +272,7 @@ impl Sim {
             completed_buf: Vec::new(),
             #[cfg(feature = "audit")]
             audit: if crate::audit::env_enabled() {
+                // simlint::allow(hot-path-alloc, one audit box per run at construction, not per event)
                 Some(Box::new(Audit::new(AuditConfig {
                     panic_on_violation: crate::audit::env_panic(),
                     deep_every: crate::audit::env_deep_every(),
@@ -283,6 +295,7 @@ impl Sim {
     pub fn enable_audit_with(&mut self, cfg: AuditConfig) {
         #[cfg(feature = "audit")]
         {
+            // simlint::allow(hot-path-alloc, one audit box per run at enablement, not per event)
             self.audit = Some(Box::new(Audit::new(cfg)));
         }
         #[cfg(not(feature = "audit"))]
@@ -497,6 +510,12 @@ impl Sim {
         }) {
             self.counters.max_buffer_used = self.counters.max_buffer_used.max(sw.max_buffered);
         }
+        let astats = self.arena.stats();
+        self.counters.arena_allocs = astats.allocs;
+        self.counters.arena_slab_slots = astats.slot_allocs;
+        self.counters.arena_peak_live = astats.peak_live;
+        self.counters.arena_int_allocs = astats.int_allocs;
+        self.counters.arena_int_recycled = astats.int_recycled;
         #[cfg(feature = "audit")]
         let audit = self.audit.take().map(|a| a.into_report());
         #[cfg(not(feature = "audit"))]
@@ -506,6 +525,7 @@ impl Sim {
                 .flows
                 .iter()
                 .map(|f| {
+                    // simlint::allow(hot-path-alloc, result assembly after the event loop has ended)
                     let mut r = f.record.clone();
                     r.retransmits = f.transport.retransmits();
                     r
@@ -556,7 +576,7 @@ impl Sim {
             let mut buffered_data = 0u64;
             for (id, node) in self.nodes.iter().enumerate() {
                 if let Node::Switch(s) = node {
-                    buffered_data += a.check_switch(now, id as NodeId, s);
+                    buffered_data += a.check_switch(now, id as NodeId, s, &self.arena);
                 }
             }
             a.check_conservation(now, buffered_data);
@@ -564,6 +584,31 @@ impl Sim {
             if let Err(msg) = self.queue.check_invariants() {
                 a.queue_violation(now, msg);
             }
+            // Arena accounting: every live slot must be referenced exactly
+            // once — by one port queue or one pending Arrive event — and
+            // free slots never. Counts references across the whole topology
+            // plus the event queue, then hands the tally to the audit.
+            // simlint::allow(hot-path-alloc, deep-scan-only audit buffer, off the per-event path)
+            let mut refs = vec![0u32; self.arena.capacity()];
+            for node in &self.nodes {
+                let ports: &[EgressPort] = match node {
+                    Node::Switch(s) => &s.ports,
+                    Node::Host(h) => std::slice::from_ref(&h.port),
+                };
+                for p in ports {
+                    for q in &p.queues {
+                        for id in q {
+                            refs[id.index()] += 1;
+                        }
+                    }
+                }
+            }
+            self.queue.for_each_live(&mut |ev| {
+                if let Event::Arrive { pkt, .. } = ev {
+                    refs[pkt.index()] += 1;
+                }
+            });
+            a.check_arena(now, &self.arena, &refs);
         }
         self.audit = Some(a);
     }
@@ -656,27 +701,29 @@ impl Sim {
             return;
         }
         // simlint::allow(hot-path-unwrap, guarded by the has_sendable() early return above)
-        let mut pkt = p.dequeue().expect("has_sendable");
+        let pid = p.dequeue(&self.arena).expect("has_sendable");
         let mut resumes = Vec::new();
-        s.on_dequeue(&pkt, &mut resumes);
+        s.on_dequeue(self.arena.get(pid), &mut resumes);
+        let (size, is_data, prio) = {
+            let pkt = self.arena.get(pid);
+            (pkt.size as u64, pkt.kind.is_data(), pkt.prio)
+        };
         let p = &mut s.ports[port as usize];
         p.busy = true;
-        p.tx_bytes += pkt.size as u64;
+        p.tx_bytes += size;
         let (peer, peer_port, rate, prop) = self.port_specs[node as usize][port as usize];
-        if self.switch_cfg.int_enabled && pkt.kind.is_data() {
-            let qlen = p.queued_bytes_q[pkt.prio as usize];
-            let tx = p.tx_bytes;
+        if self.switch_cfg.int_enabled && is_data {
             let rec = IntHop {
-                qlen,
-                tx_bytes: tx,
+                qlen: p.queued_bytes_q[prio as usize],
+                tx_bytes: p.tx_bytes,
                 ts: now,
                 rate_bps: rate.as_bps(),
             };
-            pkt.int.get_or_insert_with(Default::default).push(rec);
+            self.arena.append_int(pid, rec);
         }
-        let ser = rate.serialize_time(pkt.size as u64);
+        let ser = rate.serialize_time(size);
         let mut arrival = now + ser + prop;
-        if pkt.kind.is_data() {
+        if is_data {
             if let Some(nc) = self.switch_cfg.nc_delay {
                 arrival += nc.sample(&mut self.nc_rng);
             }
@@ -688,7 +735,7 @@ impl Sim {
             Event::Arrive {
                 node: peer,
                 in_port: peer_port,
-                pkt,
+                pkt: pid,
             },
         );
         self.emit_pfc(node, &resumes, false, now);
@@ -707,27 +754,29 @@ impl Sim {
             if let Some(a) = self.audit.as_deref_mut() {
                 a.on_pfc_frame(now, node, in_port, prio, pause);
             }
-            let pkt = Packet::pfc(node, peer, prio, pause);
+            let pid = self.arena.alloc(Packet::pfc(node, peer, prio, pause));
             self.queue.schedule(
                 now + prop,
                 Event::Arrive {
                     node: peer,
                     in_port: peer_port,
-                    pkt,
+                    pkt: pid,
                 },
             );
         }
     }
 
-    fn on_arrive(&mut self, node: NodeId, in_port: u16, pkt: Packet, now: Time) {
+    fn on_arrive(&mut self, node: NodeId, in_port: u16, pkt: PacketId, now: Time) {
         match &self.nodes[node as usize] {
             Node::Switch(_) => self.switch_arrive(node, in_port, pkt, now),
             Node::Host(_) => self.host_arrive(node, pkt, now),
         }
     }
 
-    fn switch_arrive(&mut self, node: NodeId, in_port: u16, mut pkt: Packet, now: Time) {
-        if let PktKind::Pfc { prio, pause } = pkt.kind {
+    fn switch_arrive(&mut self, node: NodeId, in_port: u16, pid: PacketId, now: Time) {
+        if let PktKind::Pfc { prio, pause } = self.arena.get(pid).kind {
+            // PFC frames are consumed at the MAC layer, never queued.
+            self.arena.release(pid);
             let Node::Switch(s) = &mut self.nodes[node as usize] else {
                 unreachable!()
             };
@@ -737,25 +786,33 @@ impl Sim {
             }
             return;
         }
-        let egress = self.routes.port_for(node, pkt.dst, pkt.flow);
+        let (dst, flow, is_data, data_q, dscp) = {
+            let pkt = self.arena.get(pid);
+            (
+                pkt.dst,
+                pkt.flow,
+                pkt.kind.is_data(),
+                pkt.prio as usize,
+                pkt.dscp,
+            )
+        };
+        let egress = self.routes.port_for(node, dst, flow);
         let Node::Switch(s) = &mut self.nodes[node as usize] else {
             unreachable!()
         };
-        let is_data = pkt.kind.is_data();
         #[cfg(feature = "audit")]
         let mut ecn_info = None;
         if is_data {
-            let q = pkt.prio as usize;
             #[cfg(feature = "audit")]
-            let q_pre = s.ports[egress as usize].queued_bytes_q[q];
-            let marked = s.ecn_mark(egress, q, pkt.dscp, &mut self.ecn_rng);
+            let q_pre = s.ports[egress as usize].queued_bytes_q[data_q];
+            let marked = s.ecn_mark(egress, data_q, dscp, &mut self.ecn_rng);
             if marked {
-                pkt.ecn_ce = true;
+                self.arena.get_mut(pid).ecn_ce = true;
                 self.counters.ecn_marks += 1;
             }
             #[cfg(feature = "audit")]
             {
-                ecn_info = Some((q_pre, pkt.dscp, marked));
+                ecn_info = Some((q_pre, dscp, marked));
             }
         }
         #[cfg(feature = "audit")]
@@ -763,14 +820,14 @@ impl Sim {
             node,
             in_port,
             egress,
-            queue: queue_index(&pkt, s.ports[egress as usize].queues.len()) as u8,
-            wire: pkt.size as u64,
+            queue: queue_index(self.arena.get(pid), s.ports[egress as usize].queues.len()) as u8,
+            wire: self.arena.get(pid).size as u64,
             is_data,
             dropped: false,
             ecn: ecn_info,
         };
         let mut pauses = Vec::new();
-        let admission = s.admit(egress, in_port, pkt, &mut pauses);
+        let admission = s.admit(egress, in_port, pid, &mut self.arena, &mut pauses);
         // The `s` borrow ends here so the audit can re-inspect the switch.
         #[cfg(feature = "audit")]
         if self.audit.is_some() {
@@ -799,46 +856,54 @@ impl Sim {
         }
     }
 
-    fn host_arrive(&mut self, node: NodeId, pkt: Packet, now: Time) {
-        match &pkt.kind {
+    fn host_arrive(&mut self, node: NodeId, pid: PacketId, now: Time) {
+        match &self.arena.get(pid).kind {
             PktKind::Pfc { prio, pause } => {
+                let (prio, pause) = (*prio as usize, *pause);
+                self.arena.release(pid);
                 let Node::Host(h) = &mut self.nodes[node as usize] else {
                     unreachable!()
                 };
-                h.port.set_paused(*prio as usize, *pause);
-                if !*pause {
+                h.port.set_paused(prio, pause);
+                if !pause {
                     self.host_poke(node, now);
                 }
             }
             PktKind::Data => {
-                debug_assert_eq!(pkt.dst, node, "data packet misrouted");
                 self.counters.data_delivered += 1;
                 #[cfg(feature = "audit")]
                 if let Some(a) = self.audit.as_deref_mut() {
+                    let pkt = self.arena.get(pid);
                     a.on_data_delivered(now, pkt.flow, pkt.size as u64);
                 }
-                self.receiver_data(node, pkt, now);
+                debug_assert_eq!(self.arena.get(pid).dst, node, "data packet misrouted");
+                self.receiver_data(node, pid, now);
             }
             PktKind::Probe => {
-                debug_assert_eq!(pkt.dst, node);
+                let (flow, src, ts_tx, in_prio) = {
+                    let pkt = self.arena.get(pid);
+                    debug_assert_eq!(pkt.dst, node);
+                    (pkt.flow, pkt.src, pkt.ts_tx, pkt.prio)
+                };
+                self.arena.release(pid);
                 // Echo the probe back at the same priority it came in on
                 // (probe echoes measure the reverse control path like ACKs).
                 let info = AckInfo {
                     cum_bytes: 0,
                     acked_seq: 0,
                     acked_bytes: 0,
-                    ts_echo: pkt.ts_tx,
+                    ts_echo: ts_tx,
                     ecn_echo: false,
                     nack: None,
                     int: None,
                 };
-                let prio = self.ack_prio(pkt.prio);
-                let ack = Packet::ack(pkt.flow, node, pkt.src, prio, info, true, now);
+                let prio = self.ack_prio(in_prio);
+                let ack = Packet::ack(flow, node, src, prio, info, true, now);
                 self.host_enqueue_control(node, ack, now);
             }
             PktKind::Ack(_) | PktKind::ProbeAck(_) => {
-                debug_assert_eq!(pkt.dst, node, "ack misrouted");
-                self.sender_ack(node, pkt, now);
+                debug_assert_eq!(self.arena.get(pid).dst, node, "ack misrouted");
+                self.sender_ack(node, pid, now);
             }
         }
     }
@@ -851,41 +916,65 @@ impl Sim {
     }
 
     /// Receiver-side handling of a data segment: update reassembly state,
-    /// emit a per-packet ACK, record delivery/completion.
-    fn receiver_data(&mut self, node: NodeId, mut pkt: Packet, now: Time) {
-        let flow = &mut self.flows[pkt.flow as usize];
-        let (new_bytes, nack) = flow.recv.on_data(pkt.seq, pkt.payload as u64, self.lossy);
+    /// emit a per-packet ACK, record delivery/completion. Consumes the
+    /// arena slot: the data packet is retired and its slot immediately
+    /// reused (LIFO) by the ACK this method emits.
+    fn receiver_data(&mut self, node: NodeId, pid: PacketId, now: Time) {
+        let (fid, src, seq, payload, ts_tx, ecn_ce, in_prio) = {
+            let pkt = self.arena.get(pid);
+            (
+                pkt.flow,
+                pkt.src,
+                pkt.seq,
+                pkt.payload,
+                pkt.ts_tx,
+                pkt.ecn_ce,
+                pkt.prio,
+            )
+        };
+        let flow = &mut self.flows[fid as usize];
+        let (new_bytes, nack) = flow.recv.on_data(seq, payload as u64, self.lossy);
         flow.record.delivered = flow.recv.delivered;
         if new_bytes > 0 {
-            if let Some(t) = self.traces.get_mut(&pkt.flow) {
+            if let Some(t) = self.traces.get_mut(&fid) {
                 if let Some(m) = &mut t.throughput {
                     m.record(now, new_bytes);
                 }
             }
         }
+        let flow = &mut self.flows[fid as usize];
         if !flow.recv.done && flow.recv.cum >= flow.spec.size {
             flow.recv.done = true;
             flow.record.finish = Some(now);
-            self.completed_buf.push(pkt.flow);
+            self.completed_buf.push(fid);
         }
+        let cum_bytes = flow.recv.cum;
+        // Detach the INT record (it rides the ACK back to the sender), then
+        // retire the data packet before allocating the ACK so the ACK reuses
+        // the same cache-hot slot.
+        let int = self.arena.get_mut(pid).int.take();
+        self.arena.release(pid);
         let info = AckInfo {
-            cum_bytes: flow.recv.cum,
-            acked_seq: pkt.seq,
-            acked_bytes: pkt.payload,
-            ts_echo: pkt.ts_tx,
-            ecn_echo: pkt.ecn_ce,
+            cum_bytes,
+            acked_seq: seq,
+            acked_bytes: payload,
+            ts_echo: ts_tx,
+            ecn_echo: ecn_ce,
             nack,
-            int: pkt.int.take(),
+            int,
         };
-        let prio = self.ack_prio(pkt.prio);
-        let ack = Packet::ack(pkt.flow, node, pkt.src, prio, info, false, now);
+        let prio = self.ack_prio(in_prio);
+        let ack = Packet::ack(fid, node, src, prio, info, false, now);
         self.host_enqueue_control(node, ack, now);
     }
 
-    /// Sender-side handling of an ACK or probe echo.
-    fn sender_ack(&mut self, node: NodeId, pkt: Packet, now: Time) {
-        let fid = pkt.flow;
+    /// Sender-side handling of an ACK or probe echo. Consumes the arena
+    /// slot; the echoed INT box (if any) returns to the arena's recycle
+    /// stack after the transport callback.
+    fn sender_ack(&mut self, node: NodeId, pid: PacketId, now: Time) {
+        let fid = self.arena.get(pid).flow;
         if !self.flows[fid as usize].active {
+            self.arena.release(pid);
             return;
         }
         #[cfg(feature = "audit")]
@@ -893,7 +982,11 @@ impl Sim {
             a.touch_flow(fid);
         }
         let f = &mut self.flows[fid as usize];
-        let (info, kind) = match pkt.kind {
+        // Take the AckInfo out of the slot (leaving an inert Data kind
+        // behind) so the slot can be retired before the transport runs.
+        let taken = std::mem::replace(&mut self.arena.get_mut(pid).kind, PktKind::Data);
+        self.arena.release(pid);
+        let (info, kind) = match taken {
             PktKind::Ack(info) => (info, AckKind::Data),
             PktKind::ProbeAck(info) => (info, AckKind::Probe),
             _ => unreachable!(),
@@ -922,6 +1015,11 @@ impl Sim {
             let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
             f.transport.on_ack(&ack, &mut ctx);
         }
+        // The transport only borrows the AckEvent, so the INT box comes
+        // back here — return it to the pool instead of freeing it.
+        if let Some(boxed) = ack.int {
+            self.arena.recycle_int(boxed);
+        }
         if f.transport.is_finished() {
             f.active = false;
             let (src, prio) = (f.spec.src, f.spec.phys_prio);
@@ -935,10 +1033,11 @@ impl Sim {
     /// Queue a locally generated control packet (ACK/probe echo) on the
     /// host's NIC and kick transmission.
     fn host_enqueue_control(&mut self, node: NodeId, pkt: Packet, now: Time) {
+        let pid = self.arena.alloc(pkt);
         let Node::Host(h) = &mut self.nodes[node as usize] else {
             unreachable!()
         };
-        h.port.enqueue(pkt);
+        h.port.enqueue(pid, &self.arena);
         self.host_poke(node, now);
     }
 
@@ -953,7 +1052,7 @@ impl Sim {
             return;
         }
         let mut min_retry = Time::MAX;
-        let mut selected: Option<Packet> = None;
+        let mut selected: Option<PacketId> = None;
         let nq = h.port.queues.len();
         'prio: for q in (0..nq).rev() {
             // Queued packets (ACKs, probe echoes) first within priority.
@@ -961,10 +1060,11 @@ impl Sim {
             let paused = q < nq - 1 && h.port.is_paused(q);
             if !h.port.queues[q].is_empty() && !paused {
                 // simlint::allow(hot-path-unwrap, guarded by the is_empty() check one line up)
-                let pkt = h.port.queues[q].pop_front().unwrap();
-                h.port.queued_bytes_q[q] -= pkt.size as u64;
-                h.port.queued_bytes -= pkt.size as u64;
-                selected = Some(pkt);
+                let pid = h.port.queues[q].pop_front().unwrap();
+                let size = self.arena.get(pid).size as u64;
+                h.port.queued_bytes_q[q] -= size;
+                h.port.queued_bytes -= size;
+                selected = Some(pid);
                 break 'prio;
             }
             if q >= h.active.len() || paused {
@@ -996,7 +1096,7 @@ impl Sim {
                             a.on_data_injected(fid, pkt.size as u64);
                         }
                         h.rr[q] = (idx + 1) % len;
-                        selected = Some(pkt);
+                        selected = Some(self.arena.alloc(pkt));
                         break;
                     }
                     TrySend::Probe => {
@@ -1005,7 +1105,7 @@ impl Sim {
                         self.counters.probes += 1;
                         let pkt = Packet::probe(fid, node, f.spec.dst, f.spec.phys_prio, now);
                         h.rr[q] = (idx + 1) % len;
-                        selected = Some(pkt);
+                        selected = Some(self.arena.alloc(pkt));
                         break;
                     }
                     TrySend::NotBefore(t) => {
@@ -1025,15 +1125,16 @@ impl Sim {
             }
         }
         match selected {
-            Some(pkt) => {
+            Some(pid) => {
+                let size = self.arena.get(pid).size as u64;
                 let (peer, peer_port, rate, prop) = self.port_specs[node as usize][0];
                 let h = match &mut self.nodes[node as usize] {
                     Node::Host(h) => h,
                     _ => unreachable!(),
                 };
                 h.port.busy = true;
-                h.port.tx_bytes += pkt.size as u64;
-                let ser = rate.serialize_time(pkt.size as u64);
+                h.port.tx_bytes += size;
+                let ser = rate.serialize_time(size);
                 self.queue
                     .schedule(now + ser, Event::PortFree { node, port: 0 });
                 self.queue.schedule(
@@ -1041,7 +1142,7 @@ impl Sim {
                     Event::Arrive {
                         node: peer,
                         in_port: peer_port,
-                        pkt,
+                        pkt: pid,
                     },
                 );
             }
@@ -1097,5 +1198,28 @@ impl Sim {
             let period = m.period;
             self.queue.schedule(now + period, Event::Sample { monitor });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole point of the packet arena: events stay a few machine words
+    /// so the scheduler backends sift small entries. If `Event` grows past
+    /// 16 bytes (or an `Entry<Event>` past 40), someone put a payload back
+    /// into the queue by value — route it through the arena instead.
+    #[test]
+    fn event_stays_slim() {
+        assert!(
+            std::mem::size_of::<Event>() <= 16,
+            "Event grew to {} bytes; keep payloads in the packet arena",
+            std::mem::size_of::<Event>()
+        );
+        assert!(
+            std::mem::size_of::<simcore::Entry<Event>>() <= 40,
+            "Entry<Event> grew to {} bytes",
+            std::mem::size_of::<simcore::Entry<Event>>()
+        );
     }
 }

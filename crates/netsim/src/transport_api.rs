@@ -71,6 +71,12 @@ pub struct AckEvent {
     /// Missing byte range reported by the receiver (lossy mode).
     pub nack: Option<(u64, u64)>,
     /// INT telemetry echoed by the receiver (HPCC).
+    ///
+    /// Transports see a borrowed view only (`on_ack` takes `&AckEvent`):
+    /// after the callback returns, the host hands the box back to the
+    /// packet arena's recycle pool, so steady-state INT traffic reuses a
+    /// bounded set of boxes instead of allocating per ACK. Don't stash the
+    /// box or assume its contents outlive the callback.
     pub int: Option<Box<IntPath>>,
 }
 

@@ -10,7 +10,7 @@
 //! the audit subsystem.
 
 use netsim::node::{queue_index, Admission, EgressPort, Switch};
-use netsim::packet::Packet;
+use netsim::packet::{Packet, PacketArena};
 use netsim::{Buggify, SwitchConfig};
 use proptest::prelude::*;
 use simcore::{Rate, SimRng, Time};
@@ -62,12 +62,12 @@ fn data_pkt(prio: u8, payload: u32, seq: u64) -> Packet {
 /// Recount every queue of the switch from its actual contents and compare
 /// against all cached byte counters. Independent of `Switch`'s own
 /// bookkeeping and of `netsim::audit`.
-fn recount_consistent(s: &Switch) -> Result<(), String> {
+fn recount_consistent(s: &Switch, arena: &PacketArena) -> Result<(), String> {
     let mut switch_total = 0u64;
     for (pi, port) in s.ports.iter().enumerate() {
         let mut port_total = 0u64;
         for (qi, queue) in port.queues.iter().enumerate() {
-            let real: u64 = queue.iter().map(|p| p.size as u64).sum();
+            let real: u64 = queue.iter().map(|&id| arena.get(id).size as u64).sum();
             if real != port.queued_bytes_q[qi] {
                 return Err(format!(
                     "port {pi} queue {qi}: recount {real} != cached {}",
@@ -104,6 +104,7 @@ fn recount_consistent(s: &Switch) -> Result<(), String> {
 /// shadow pause map. Returns the (in_port, queue) an admit landed on.
 fn step(
     s: &mut Switch,
+    arena: &mut PacketArena,
     op: Op,
     seq: &mut u64,
     shadow_paused: &mut [[bool; NQ]; NPORTS],
@@ -115,12 +116,14 @@ fn step(
             let pkt = data_pkt(prio, payload, *seq);
             *seq += 1;
             let q = queue_index(&pkt, NQ);
-            s.admit(port, in_port, pkt, &mut pauses);
+            let id = arena.alloc(pkt);
+            s.admit(port, in_port, id, arena, &mut pauses);
             Some((in_port, q))
         }
         Op::Dequeue { port } => {
-            if let Some(pkt) = s.ports[port as usize].dequeue() {
-                s.on_dequeue(&pkt, &mut resumes);
+            if let Some(id) = s.ports[port as usize].dequeue(arena) {
+                s.on_dequeue(arena.get(id), &mut resumes);
+                arena.release(id);
             }
             None
         }
@@ -152,14 +155,15 @@ proptest! {
     #[test]
     fn correct_switch_holds_all_invariants(words in proptest::collection::vec(0u64..u64::MAX, 1..300)) {
         let mut s = mk_switch(true, 64_000, None);
+        let mut arena = PacketArena::new();
         let mut seq = 0u64;
         let mut shadow = [[false; NQ]; NPORTS];
         for &w in &words {
-            let hit = match step(&mut s, decode(w), &mut seq, &mut shadow) {
+            let hit = match step(&mut s, &mut arena, decode(w), &mut seq, &mut shadow) {
                 Ok(h) => h,
                 Err(e) => return Err(TestCaseError::fail(e)),
             };
-            if let Err(e) = recount_consistent(&s) {
+            if let Err(e) = recount_consistent(&s, &arena) {
                 return Err(TestCaseError::fail(e));
             }
             // The Xoff-at-crossing invariant, checked for the pair that just
@@ -186,17 +190,19 @@ proptest! {
     #[test]
     fn full_drain_zeroes_all_counters(words in proptest::collection::vec(0u64..u64::MAX, 1..200)) {
         let mut s = mk_switch(true, 64_000, None);
+        let mut arena = PacketArena::new();
         let mut seq = 0u64;
         let mut shadow = [[false; NQ]; NPORTS];
         for &w in &words {
-            if let Err(e) = step(&mut s, decode(w), &mut seq, &mut shadow) {
+            if let Err(e) = step(&mut s, &mut arena, decode(w), &mut seq, &mut shadow) {
                 return Err(TestCaseError::fail(e));
             }
         }
         let mut resumes = Vec::new();
         for p in 0..NPORTS {
-            while let Some(pkt) = s.ports[p].dequeue() {
-                s.on_dequeue(&pkt, &mut resumes);
+            while let Some(id) = s.ports[p].dequeue(&arena) {
+                s.on_dequeue(arena.get(id), &mut resumes);
+                arena.release(id);
             }
         }
         prop_assert_eq!(s.total_buffered, 0);
@@ -205,6 +211,9 @@ proptest! {
             prop_assert_eq!(p.queued_bytes, 0);
             prop_assert!(p.queued_bytes_q.iter().all(|&b| b == 0));
         }
+        // Every admitted packet came back out (or was dropped in admit), so
+        // the arena must account for zero live handles.
+        prop_assert_eq!(arena.live_count(), 0);
     }
 
     /// Lossy Dynamic-Threshold admission: a data packet is dropped exactly
@@ -212,6 +221,7 @@ proptest! {
     #[test]
     fn dt_admission_matches_the_threshold_exactly(words in proptest::collection::vec(0u64..u64::MAX, 1..300)) {
         let mut s = mk_switch(false, 24_000, None);
+        let mut arena = PacketArena::new();
         let mut seq = 0u64;
         for &w in &words {
             match decode(w) {
@@ -223,7 +233,8 @@ proptest! {
                     let would_exceed =
                         s.ports[port as usize].queued_bytes_q[q] + wire > s.dt_limit();
                     let mut pauses = Vec::new();
-                    let adm = s.admit(port, in_port, pkt, &mut pauses);
+                    let id = arena.alloc(pkt);
+                    let adm = s.admit(port, in_port, id, &mut arena, &mut pauses);
                     prop_assert_eq!(
                         adm == Admission::Dropped,
                         would_exceed,
@@ -233,12 +244,13 @@ proptest! {
                 }
                 Op::Dequeue { port } => {
                     let mut resumes = Vec::new();
-                    if let Some(pkt) = s.ports[port as usize].dequeue() {
-                        s.on_dequeue(&pkt, &mut resumes);
+                    if let Some(id) = s.ports[port as usize].dequeue(&arena) {
+                        s.on_dequeue(arena.get(id), &mut resumes);
+                        arena.release(id);
                     }
                 }
             }
-            if let Err(e) = recount_consistent(&s) {
+            if let Err(e) = recount_consistent(&s, &arena) {
                 return Err(TestCaseError::fail(e));
             }
         }
@@ -249,12 +261,14 @@ proptest! {
     #[test]
     fn ecn_marks_respect_kmin_kmax(fills in proptest::collection::vec(64u32..1501, 0..40), rng_seed in 0u64..1_000_000) {
         let mut s = mk_switch(true, 10_000_000, None);
+        let mut arena = PacketArena::new();
         s.cfg.ecn_kmin = 5_000;
         s.cfg.ecn_kmax = 20_000;
         let mut rng = SimRng::new(rng_seed);
         for (seq, &payload) in fills.iter().enumerate() {
             let mut pauses = Vec::new();
-            s.admit(0, 1, data_pkt(0, payload, seq as u64), &mut pauses);
+            let id = arena.alloc(data_pkt(0, payload, seq as u64));
+            s.admit(0, 1, id, &mut arena, &mut pauses);
             let q = s.ports[0].queued_bytes_q[0];
             let marked = s.ecn_mark(0, 0, 0, &mut rng);
             if q <= s.cfg.ecn_kmin {
@@ -275,10 +289,12 @@ proptest! {
         // sits at its 3 kB floor; 30+ packets of >= 112 B wire size always
         // cross it and the off-by-one always misses the crossing packet.
         let mut s = mk_switch(true, 20_000, Some(Buggify::PfcPauseOffByOne));
+        let mut arena = PacketArena::new();
         let mut violated = false;
         for (i, &payload) in payloads.iter().enumerate() {
             let mut pauses = Vec::new();
-            s.admit(0, 1, data_pkt(0, payload, i as u64), &mut pauses);
+            let id = arena.alloc(data_pkt(0, payload, i as u64));
+            s.admit(0, 1, id, &mut arena, &mut pauses);
             if s.ingress_bytes[1][0] > s.pfc_pause_threshold() && !s.ingress_paused[1][0] {
                 violated = true;
             }
@@ -291,16 +307,19 @@ proptest! {
     #[test]
     fn buggified_dequeue_leak_is_caught(payloads in proptest::collection::vec(64u32..1501, 1..40)) {
         let mut s = mk_switch(true, 10_000_000, Some(Buggify::DequeueLeak));
+        let mut arena = PacketArena::new();
         for (i, &payload) in payloads.iter().enumerate() {
             let mut pauses = Vec::new();
-            s.admit(0, 1, data_pkt(0, payload, i as u64), &mut pauses);
+            let id = arena.alloc(data_pkt(0, payload, i as u64));
+            s.admit(0, 1, id, &mut arena, &mut pauses);
         }
         let mut resumes = Vec::new();
-        while let Some(pkt) = s.ports[0].dequeue() {
-            s.on_dequeue(&pkt, &mut resumes);
+        while let Some(id) = s.ports[0].dequeue(&arena) {
+            s.on_dequeue(arena.get(id), &mut resumes);
+            arena.release(id);
         }
         prop_assert!(
-            recount_consistent(&s).is_err(),
+            recount_consistent(&s, &arena).is_err(),
             "leak must break the recount"
         );
         prop_assert!(s.total_buffered > 0, "leaked bytes must remain counted");

@@ -256,6 +256,18 @@ impl<E> EventQueue<E> {
         self.sched.peek_min().map(|e| e.at)
     }
 
+    /// Visit every live (non-cancelled) pending event, in backend storage
+    /// order (NOT time order). Used by audit layers that need to account for
+    /// resources referenced by in-flight events; O(entries), so callers
+    /// should rate-limit it.
+    pub fn for_each_live(&self, f: &mut dyn FnMut(&E)) {
+        self.sched.for_each(&mut |entry| {
+            if entry.slot == NO_SLOT || self.slots[entry.slot as usize].live {
+                f(&entry.event);
+            }
+        });
+    }
+
     /// Verify the queue's internal bookkeeping. Used by the audit layer;
     /// O(entries + slots), so callers should rate-limit it.
     ///

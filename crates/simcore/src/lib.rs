@@ -27,7 +27,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledId};
-pub use sched::{SchedKind, Scheduler};
+pub use sched::{Entry, SchedKind, Scheduler};
 pub use rate::Rate;
 pub use ringlog::RingLog;
 pub use rng::SimRng;

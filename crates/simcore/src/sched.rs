@@ -644,6 +644,15 @@ mod tests {
         }
     }
 
+    /// Every backend stores and moves whole `Entry`s during sift/percolate,
+    /// so entry size is a direct hot-path cost. The header (at, seq, slot)
+    /// is 24 bytes; an 8-byte payload must pack into 32 total. Downstream,
+    /// `netsim` pins `Entry<Event>` ≤ 40 bytes for the same reason.
+    #[test]
+    fn entry_header_stays_small() {
+        assert_eq!(std::mem::size_of::<Entry<u64>>(), 32);
+    }
+
     /// Drain any backend and assert the pop order is sorted by (at, seq).
     fn drains_sorted(s: &mut dyn Scheduler<u64>) {
         let mut prev: Option<(Time, u64)> = None;

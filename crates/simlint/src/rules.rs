@@ -1,6 +1,6 @@
 //! The simlint rule set.
 //!
-//! Six rules, each guarding an invariant that the runtime audit (PR 2) and
+//! Seven rules, each guarding an invariant that the runtime audit (PR 2) and
 //! the differential scheduler tests (PR 3) can only check *dynamically*:
 //!
 //! | rule                   | guards against                                      |
@@ -11,6 +11,7 @@
 //! | `lossy-time-cast`      | bare `as u64`/`as i64` on `Time`/`Rate` values      |
 //! | `hot-path-unwrap`      | `unwrap()`/`expect()` in scheduler/sim hot paths    |
 //! | `allow-without-reason` | `#[allow(...)]` with no justifying comment          |
+//! | `hot-path-alloc`       | `Box::new`/`vec![`/`.to_vec()`/`.clone()` per event |
 //!
 //! Any finding can be silenced in place with an annotation comment:
 //!
@@ -24,7 +25,7 @@
 
 use crate::lexer::{Lexed, Tok, TokKind};
 
-/// One of the six lint rules.
+/// One of the seven lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation-state crates.
@@ -40,17 +41,22 @@ pub enum Rule {
     HotPathUnwrap,
     /// R6: no `#[allow(...)]` without a reason comment.
     AllowWithoutReason,
+    /// R7: no `Box::new`/`vec![`/`.to_vec()`/`.clone()` in non-test
+    /// hot-path code — per-event heap traffic belongs in the packet arena
+    /// or a setup path.
+    HotPathAlloc,
 }
 
 impl Rule {
     /// Every rule, in diagnostic order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NondeterministicMap,
         Rule::WallClock,
         Rule::UnseededRng,
         Rule::LossyTimeCast,
         Rule::HotPathUnwrap,
         Rule::AllowWithoutReason,
+        Rule::HotPathAlloc,
     ];
 
     /// The kebab-case name used in diagnostics and `simlint::allow(...)`.
@@ -62,6 +68,7 @@ impl Rule {
             Rule::LossyTimeCast => "lossy-time-cast",
             Rule::HotPathUnwrap => "hot-path-unwrap",
             Rule::AllowWithoutReason => "allow-without-reason",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -88,11 +95,17 @@ impl Rule {
             Rule::WallClock => !path.starts_with("crates/bench/"),
             Rule::UnseededRng => true,
             Rule::LossyTimeCast => true,
-            // The two hot paths named by the rule.
+            // The two hottest files named by the rule.
             Rule::HotPathUnwrap => {
                 path == "crates/simcore/src/sched.rs" || path == "crates/netsim/src/sim.rs"
             }
             Rule::AllowWithoutReason => true,
+            // The per-event files: scheduler sift, event loop, switch model.
+            Rule::HotPathAlloc => {
+                path == "crates/simcore/src/sched.rs"
+                    || path == "crates/netsim/src/sim.rs"
+                    || path == "crates/netsim/src/node.rs"
+            }
         }
     }
 }
@@ -467,6 +480,63 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                         allowed: None,
                     });
                 }
+            }
+            // R7: constructor allocations.
+            "Box"
+                if Rule::HotPathAlloc.applies_to(path)
+                    && i + 3 < toks.len()
+                    && t(i + 1) == ":"
+                    && t(i + 2) == ":"
+                    && t(i + 3) == "new"
+                    && !in_test_region(&regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::HotPathAlloc,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "Box::new in a hot path heap-allocates per event; pool the \
+                              allocation (packet arena / recycle stack) or move it to setup"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            // R7: `vec![...]` literal.
+            "vec"
+                if Rule::HotPathAlloc.applies_to(path)
+                    && i + 1 < toks.len()
+                    && t(i + 1) == "!"
+                    && !in_test_region(&regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::HotPathAlloc,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "vec![] in a hot path heap-allocates per event; reuse a \
+                              buffer or move the allocation to setup"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            // R7: copying method calls.
+            "to_vec" | "clone"
+                if Rule::HotPathAlloc.applies_to(path)
+                    && i + 1 < toks.len()
+                    && t(i + 1) == "("
+                    && i >= 1
+                    && t(i - 1) == "."
+                    && !in_test_region(&regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::HotPathAlloc,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{}() in a hot path copies the container per event; borrow it or \
+                         move the copy off the per-event path",
+                        tok.text
+                    ),
+                    allowed: None,
+                });
             }
             // R5
             "unwrap" | "expect"

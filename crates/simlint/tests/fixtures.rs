@@ -169,6 +169,38 @@ fn r5_only_applies_to_named_hot_paths() {
     );
 }
 
+// --- R7: hot-path-alloc --------------------------------------------------
+
+#[test]
+fn r7_fires_on_hot_path_allocations() {
+    let fs = lint_source(HOT_PATH, include_str!("fixtures/r7_bad.rs"));
+    assert_only_rule(&fs, Rule::HotPathAlloc);
+    // Box::new, vec![], .to_vec(), .clone(); the #[cfg(test)] module's
+    // allocations are exempt.
+    assert_eq!(unallowed(&fs, Rule::HotPathAlloc), 4);
+}
+
+#[test]
+fn r7_respects_allow_annotations() {
+    let fs = lint_source(HOT_PATH, include_str!("fixtures/r7_allowed.rs"));
+    assert_eq!(unallowed(&fs, Rule::HotPathAlloc), 0);
+    assert_eq!(allowed(&fs, Rule::HotPathAlloc), 2);
+}
+
+#[test]
+fn r7_only_applies_to_per_event_files() {
+    let src = include_str!("fixtures/r7_bad.rs");
+    assert!(lint_source("crates/netsim/src/packet.rs", src).is_empty());
+    assert!(lint_source("crates/experiments/src/x.rs", src).is_empty());
+    for hot in [
+        "crates/netsim/src/sim.rs",
+        "crates/netsim/src/node.rs",
+        "crates/simcore/src/sched.rs",
+    ] {
+        assert_eq!(unallowed(&lint_source(hot, src), Rule::HotPathAlloc), 4);
+    }
+}
+
 // --- R6: allow-without-reason --------------------------------------------
 
 #[test]

@@ -1,0 +1,28 @@
+//! R7 bad example: per-event heap allocation in hot-path (non-test) code.
+
+pub fn box_per_event(v: u64) -> Box<u64> {
+    Box::new(v)
+}
+
+pub fn vec_per_event(n: usize) -> Vec<u64> {
+    vec![0; n]
+}
+
+pub fn copy_slice(s: &[u64]) -> Vec<u64> {
+    s.to_vec()
+}
+
+pub fn copy_container(v: &Vec<u64>) -> Vec<u64> {
+    v.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocations_in_test_code_are_fine() {
+        let b = Box::new(1u64);
+        let v = vec![*b; 3];
+        let w = v.to_vec();
+        assert_eq!(w.clone(), v);
+    }
+}

@@ -30,6 +30,21 @@ if [[ -n "$PREV" ]]; then
         printf "  %-18s %14.0f -> %14.0f  (%+.1f%%)\n", n, o, c, delta
       }'
     done
+  # Allocation counters (arena_churn): slab growth or INT-box count rising
+  # faster than events means the zero-steady-state-allocation contract is
+  # eroding — surface the drift alongside the throughput numbers.
+  extract_alloc() {
+    sed -n 's/.*"name": "\([^"]*\)".*"arena_slab_slots": \([0-9]*\).*"arena_int_allocs": \([0-9]*\).*/\1 \2 \3/p' "$1"
+  }
+  if [[ -n "$(extract_alloc "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== allocation counters vs previous $BENCH_FILE ==="
+    join <(extract_alloc "$PREV" | sort) <(extract_alloc "$BENCH_FILE" | sort) |
+      while read -r name old_slots old_int new_slots new_int; do
+        printf "  %-18s slab_slots %8s -> %-8s  int_allocs %8s -> %-8s\n" \
+          "$name" "$old_slots" "$new_slots" "$old_int" "$new_int"
+      done
+  fi
   rm -f "$PREV"
 else
   echo "(no previous $BENCH_FILE; baseline written)"

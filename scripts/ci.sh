@@ -2,8 +2,8 @@
 # Full CI gauntlet, in escalating order of strictness:
 #
 #   1. simlint: the workspace static-analysis pass (determinism, wall-clock,
-#      RNG, time-cast, and hot-path-unwrap invariants) must report zero
-#      unallowed findings;
+#      RNG, time-cast, hot-path-unwrap, and hot-path-alloc invariants) must
+#      report zero unallowed findings;
 #   2. clippy: `cargo clippy --workspace --all-targets -- -D warnings`
 #      (skipped with a warning if the toolchain has no clippy component);
 #   3. tier-1: release build + full test suite (includes the property
@@ -11,14 +11,20 @@
 #   4. audit compile-out: netsim must build with the audit layer compiled
 #      out entirely (--no-default-features);
 #   5. audited e2e: the whole experiments test suite rerun with the
-#      invariant audit enabled on every Sim, panicking on any violation;
+#      invariant audit enabled on every Sim, panicking on any violation —
+#      this includes the packet-arena live/free accounting invariant; the
+#      arena- and audit-focused suites then rerun with the deep scan forced
+#      to every event boundary (PRIOPLUS_AUDIT_DEEP=1) so arena reference
+#      counts are verified at maximum granularity;
 #   6. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=calendar
 #      and =quad, so every default-backend code path (unit, e2e, golden)
 #      also runs — and stays bit-identical — on the alternative event
 #      schedulers;
 #   7. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
-#      per-backend rows cover event-queue drift for all three backends).
+#      per-backend rows cover event-queue drift for all three backends, and
+#      the arena_churn row carries the allocation counters that pin the
+#      zero-steady-state-allocation contract).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -64,6 +70,9 @@ echo
 echo "=== [5/7] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
+echo "--- arena accounting at every event boundary (deep scan forced) ---"
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
+  cargo test -q --release -p experiments --test e2e_arena --test e2e_audit
 
 echo
 echo "=== [6/7] scheduler-backend matrix (calendar, quad) ==="
