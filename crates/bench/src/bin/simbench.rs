@@ -19,6 +19,10 @@
 //!   INT boxes bounded by the in-flight population) and reports the arena
 //!   counters in the JSON so drift checks see allocation regressions;
 //! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
+//! - `incast_hybrid` / `websearch_hybrid`: the hybrid packet/fluid model
+//!   at 50 % background load — the fluid run is timed, and the JSON extras
+//!   carry the packet-reference comparison (`event_reduction`,
+//!   `wall_reduction`, foreground-FCT delta);
 //! - `sweep_flowsched`: N quick flow-scheduling configs serial (`jobs=1`)
 //!   vs parallel (`--jobs`/`PRIOPLUS_JOBS`/cores) — wall-clock speedup of
 //!   the sweep runner.
@@ -29,6 +33,7 @@
 use std::time::Instant;
 
 use experiments::flowsched::{run_many, FlowSchedConfig};
+use experiments::hybrid::{paired_fg_fct_us, HybridMode, HybridScenario};
 use experiments::micro::{Micro, MicroEnv};
 use experiments::report::json_string;
 use experiments::sweep::default_jobs;
@@ -212,6 +217,56 @@ fn bench_arena_churn(stats: &std::cell::RefCell<[u64; 5]>) -> u64 {
     c.events
 }
 
+/// Hybrid packet/fluid scenario: the fluid run is the timed scenario; the
+/// packet-level reference run of the same background trace provides the
+/// `event_reduction` / `wall_reduction` factors and the foreground-FCT
+/// delta reported in the JSON extras.
+fn bench_hybrid(name: &'static str, sc: &HybridScenario) -> Scenario {
+    let mut packet_wall = f64::INFINITY;
+    let mut fluid_wall = f64::INFINITY;
+    let mut packet_events = 0u64;
+    let mut fluid_events = 0u64;
+    let mut fct = (f64::NAN, f64::NAN);
+    for _ in 0..REPS {
+        let p = sc.run(HybridMode::PacketRef, None);
+        let f = sc.run(HybridMode::Fluid, None);
+        packet_wall = packet_wall.min(p.wall);
+        fluid_wall = fluid_wall.min(f.wall);
+        packet_events = p.events();
+        fluid_events = f.events();
+        fct = paired_fg_fct_us(&p, &f);
+    }
+    let event_reduction = packet_events as f64 / fluid_events as f64;
+    let wall_reduction = packet_wall / fluid_wall;
+    let fct_delta_pct = (fct.1 - fct.0) / fct.0 * 100.0;
+    let s = Scenario {
+        name,
+        wall_ms: fluid_wall * 1e3,
+        events: fluid_events,
+        events_per_sec: fluid_events as f64 / fluid_wall,
+        extra: format!(
+            ", \"packet_wall_ms\": {:.3}, \"packet_events\": {packet_events}, \
+             \"event_reduction\": {event_reduction:.3}, \
+             \"wall_reduction\": {wall_reduction:.3}, \
+             \"fg_fct_delta_pct\": {fct_delta_pct:.3}",
+            packet_wall * 1e3
+        ),
+    };
+    println!(
+        "{:<26} {:>10.1} ms  {:>12} events  {:>14.0} events/s",
+        s.name, s.wall_ms, s.events, s.events_per_sec
+    );
+    println!(
+        "  {name}: packet ref {:.1} ms / {packet_events} events -> \
+         {:.2}x events, {:.2}x wall, fg FCT delta {:+.2}%",
+        packet_wall * 1e3,
+        event_reduction,
+        wall_reduction,
+        fct_delta_pct
+    );
+    s
+}
+
 fn flowsched_cfg(seed: u64) -> FlowSchedConfig {
     let mut cfg = FlowSchedConfig::new(Scheme::PrioPlusSwift, 4);
     cfg.k = 4;
@@ -259,6 +314,11 @@ fn main() {
          (peak live {peak}), {int_allocs} INT boxes, {int_recycled} recycles"
     );
     scenarios.push(churn);
+    scenarios.push(bench_hybrid("incast_hybrid", &HybridScenario::incast(0.5)));
+    scenarios.push(bench_hybrid(
+        "websearch_hybrid",
+        &HybridScenario::websearch(0.5),
+    ));
 
     // Sweep speedup: the same config list serial vs parallel.
     let jobs = default_jobs();
@@ -267,7 +327,7 @@ fn main() {
     let (parallel_s, _) = time_best(|| run_many(&cfgs, jobs).len() as u64);
     let speedup = serial_s / parallel_s;
     println!(
-        "\nsweep_flowsched    {} configs: serial {:.1} ms, parallel ({} jobs) {:.1} ms, speedup {:.2}x",
+        "\nsweep_flowsched    {} configs: serial {:.1} ms, parallel ({} effective jobs) {:.1} ms, speedup {:.2}x",
         cfgs.len(),
         serial_s * 1e3,
         jobs,
@@ -291,8 +351,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // `jobs_effective` is the worker count the "parallel" leg actually ran
+    // with — when it resolves to 1 (single-core CI, PRIOPLUS_JOBS=1) the
+    // runner takes its serial bypass and the speedup is pure noise, so the
+    // field must not read like a parallelism claim.
     json.push_str(&format!(
-        "  \"sweep\": {{\"configs\": {}, \"jobs\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n",
+        "  \"sweep\": {{\"configs\": {}, \"jobs_effective\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n",
         cfgs.len(),
         jobs,
         serial_s * 1e3,

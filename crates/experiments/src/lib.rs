@@ -10,6 +10,8 @@
 //! - [`coflowsched`]: the coflow + file-request scenario (Fig 12ab, 15,
 //!   17, 18);
 //! - [`mltrain`]: the ring all-reduce ML-cluster scenario (Fig 12c);
+//! - [`hybrid`]: the hybrid packet/fluid runner — fluid background
+//!   traffic against a packet-level reference from one shared trace;
 //! - [`report`]: plain-text table + JSON emission so EXPERIMENTS.md entries
 //!   can be regenerated and diffed;
 //! - [`sweep`]: the parallel sweep runner (`--jobs N` / `PRIOPLUS_JOBS`)
@@ -25,6 +27,7 @@
 pub mod coflowsched;
 pub mod flowsched;
 pub mod golden;
+pub mod hybrid;
 pub mod micro;
 pub mod mltrain;
 pub mod report;

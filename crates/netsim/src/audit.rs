@@ -27,7 +27,11 @@
 //! - **arena accounting** — every live packet-arena slot is referenced by
 //!   exactly one queue position or pending arrival, free slots by none, and
 //!   the arena's free-list/live bookkeeping is internally consistent
-//!   ([`crate::packet::PacketArena::check`]).
+//!   ([`crate::packet::PacketArena::check`]);
+//! - **fluid mass conservation** — with hybrid background traffic
+//!   ([`crate::fluid`]), every fluid-loaded port's cumulative injected mass
+//!   equals drained plus backlog, in exact integer units (no mass is ever
+//!   created or destroyed by the piecewise-constant rate solver).
 //!
 //! Violations become structured [`Violation`] records pinpointing the event,
 //! node, port, queue, and flow, alongside a ring buffer of the most recent
@@ -101,6 +105,10 @@ pub enum ViolationKind {
     /// slot is still referenced, or the arena's internal consistency check
     /// ([`crate::packet::PacketArena::check`]) found corruption.
     ArenaAccounting,
+    /// The fluid background solver's mass accounting failed: cumulative
+    /// injected units no longer equal drained plus backlog on some port
+    /// (hybrid model, [`crate::fluid`]).
+    FluidConservation,
 }
 
 /// One recorded invariant violation.
@@ -220,7 +228,12 @@ pub(crate) struct SwitchArrive {
     pub(crate) is_data: bool,
     pub(crate) dropped: bool,
     /// For data packets: (egress queue bytes before enqueue, dscp, marked).
+    /// With fluid background load the first element already includes the
+    /// projected fluid occupancy — the value `ecn_mark` actually compared.
     pub(crate) ecn: Option<(u64, u8, bool)>,
+    /// Projected fluid background occupancy at the egress port when the
+    /// switch made its admission/ECN decisions (0 without fluid load).
+    pub(crate) fluid_occ: u64,
 }
 
 /// The (switch, ingress port, queue) an admission in the current event
@@ -231,6 +244,9 @@ pub(crate) struct Focus {
     pub(crate) node: NodeId,
     pub(crate) in_port: u16,
     pub(crate) queue: u8,
+    /// Fluid occupancy at admission time, for recomputing the pause
+    /// threshold the switch actually used.
+    pub(crate) fluid_occ: u64,
 }
 
 /// Live audit state held by the simulator while auditing is enabled.
@@ -468,8 +484,8 @@ impl Audit {
         // under alpha * (free-at-admission) = alpha * (free_now + size).
         if !sw.cfg.pfc_enabled && info.is_data {
             let q_post = sw.ports[info.egress as usize].queued_bytes_q[info.queue as usize];
-            let limit =
-                (sw.cfg.dt_alpha * (sw.free_buffer() + info.wire) as f64) as u64 + info.wire;
+            let free_at_admission = (sw.free_buffer() + info.wire).saturating_sub(info.fluid_occ);
+            let limit = (sw.cfg.dt_alpha * free_at_admission as f64) as u64 + info.wire;
             if q_post > limit {
                 self.report(
                     ViolationKind::BufferOverflow,
@@ -489,6 +505,7 @@ impl Audit {
                 node: info.node,
                 in_port: info.in_port,
                 queue: info.queue,
+                fluid_occ: info.fluid_occ,
             });
         }
     }
@@ -506,11 +523,14 @@ impl Audit {
     /// can only fall and the threshold can only rise, and a resume requires
     /// falling below `threshold - resume_offset`. So `bytes > threshold`
     /// still holding here means the admission itself saw it and must have
-    /// paused.
+    /// paused. With fluid load the admission-time fluid occupancy is
+    /// replayed: the boundary threshold then upper-bounds the one the
+    /// switch used (free buffer only grows between admission and boundary),
+    /// keeping the implication sound.
     pub(crate) fn check_xoff(&mut self, time: Time, focus: &Focus, sw: &Switch) {
         let (ip, q) = (focus.in_port as usize, focus.queue as usize);
         let bytes = sw.ingress_bytes[ip][q];
-        let threshold = sw.pfc_pause_threshold();
+        let threshold = sw.pfc_pause_threshold(focus.fluid_occ);
         if bytes > threshold && !sw.ingress_paused[ip][q] {
             self.report(
                 ViolationKind::PfcXoffMissed,
@@ -685,6 +705,29 @@ impl Audit {
                     None,
                     None,
                     format!("free arena slot {i} still referenced {n} times"),
+                );
+            }
+        }
+    }
+
+    /// Fluid mass conservation (hybrid model): on every fluid-loaded port,
+    /// cumulative injected units must equal cumulative drained units plus
+    /// the current backlog — the solver's integer rate×time arithmetic
+    /// makes this identity exact, so any deviation is an accounting bug.
+    pub(crate) fn check_fluid(&mut self, time: Time, view: &crate::fluid::FluidAudit) {
+        for p in &view.ports {
+            if p.injected != p.drained + p.backlog {
+                self.report(
+                    ViolationKind::FluidConservation,
+                    time,
+                    Some(p.node),
+                    Some(p.port),
+                    None,
+                    None,
+                    format!(
+                        "fluid mass leak: injected {} != drained {} + backlog {} units",
+                        p.injected, p.drained, p.backlog
+                    ),
                 );
             }
         }

@@ -28,6 +28,10 @@ pub enum Buggify {
     PfcPauseOffByOne,
     /// `ecn_mark` marks every data packet, even below `kmin`.
     EcnMarkBelowKmin,
+    /// The fluid background solver under-counts drained mass by one byte
+    /// per settled segment, breaking the `injected == drained + backlog`
+    /// conservation identity the audit checks.
+    FluidDrainLeak,
 }
 
 /// Shared-buffer and scheduling configuration of a switch.
@@ -135,8 +139,12 @@ pub struct SimConfig {
     /// Event-scheduler backend. Pure performance knob: every backend pops
     /// in the identical `(time, seq)` order, so results are bit-identical
     /// across choices (pinned by the golden-trace suite). Defaults to the
-    /// `PRIOPLUS_SCHED` environment variable (binary heap when unset).
+    /// `PRIOPLUS_SCHED` environment variable (calendar queue when unset).
     pub sched: SchedKind,
+    /// Fluid background traffic (hybrid packet/fluid model). `None` — the
+    /// default — is the pure packet simulator; the zero-background e2e
+    /// suite pins that an empty background load is bit-identical to it.
+    pub background: Option<crate::fluid::BackgroundLoad>,
 }
 
 impl Default for SimConfig {
@@ -151,6 +159,7 @@ impl Default for SimConfig {
             trace_flows: false,
             trace_bucket: Time::from_us(20),
             sched: SchedKind::from_env(),
+            background: None,
         }
     }
 }

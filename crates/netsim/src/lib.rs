@@ -34,6 +34,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod fluid;
 pub mod monitor;
 pub mod node;
 pub mod noise;
@@ -46,6 +47,7 @@ pub mod transport_api;
 
 pub use audit::{AuditConfig, AuditReport, Violation, ViolationKind};
 pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
+pub use fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
 pub use noise::NoiseModel;
 pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktKind};
 pub use record::{FlowRecord, SimCounters, SimResult};

@@ -170,30 +170,47 @@ impl Switch {
     }
 
     /// Dynamic-Threshold admission limit for one queue (Choudhury–Hahne):
-    /// a queue may grow up to `alpha * free_buffer`.
+    /// a queue may grow up to `alpha * free_buffer`. `fluid_occ` is the
+    /// projected fluid background occupancy at the egress port (hybrid
+    /// model); it consumes shared buffer the same way packet bytes do, so
+    /// it shrinks the free pool the threshold scales with. Zero whenever
+    /// the port carries no fluid load (pure packet runs are unchanged).
     #[inline]
-    pub fn dt_limit(&self) -> u64 {
-        (self.cfg.dt_alpha * self.free_buffer() as f64) as u64
+    pub fn dt_limit(&self, fluid_occ: u64) -> u64 {
+        (self.cfg.dt_alpha * self.free_buffer().saturating_sub(fluid_occ) as f64) as u64
     }
 
     /// PFC pause threshold for one (ingress port, priority) counter.
     /// Dynamic: proportional to the free buffer with the (small) ingress
     /// alpha, floored at three MTUs so the switch can always absorb a final
-    /// in-flight packet pair.
+    /// in-flight packet pair. `fluid_occ` as in [`Self::dt_limit`]: fluid
+    /// background backlog shrinks the free pool, pausing packet ingress
+    /// earlier on fluid-loaded switches.
     #[inline]
-    pub fn pfc_pause_threshold(&self) -> u64 {
-        ((self.cfg.pfc_alpha * self.free_buffer() as f64) as u64).max(3_000)
+    pub fn pfc_pause_threshold(&self, fluid_occ: u64) -> u64 {
+        ((self.cfg.pfc_alpha * self.free_buffer().saturating_sub(fluid_occ) as f64) as u64)
+            .max(3_000)
     }
 
     /// Decide ECN marking for a data packet about to be enqueued on `port`,
     /// given current queue occupancy (RED on the per-queue bytes). With
     /// priority-scaled ECN (Appendix B extension) the thresholds grow with
     /// the packet's DSCP, so lower virtual priorities mark first.
-    pub fn ecn_mark(&self, port: u16, queue: usize, dscp: u8, rng: &mut SimRng) -> bool {
+    /// `fluid_occ` adds the projected fluid background backlog at the port
+    /// to the occupancy RED sees, so fluid load back-pressures ECN-driven
+    /// foreground senders exactly as queued packet bytes would.
+    pub fn ecn_mark(
+        &self,
+        port: u16,
+        queue: usize,
+        dscp: u8,
+        fluid_occ: u64,
+        rng: &mut SimRng,
+    ) -> bool {
         if self.cfg.buggify == Some(Buggify::EcnMarkBelowKmin) {
             return true;
         }
-        let q = self.ports[port as usize].queued_bytes_q[queue];
+        let q = self.ports[port as usize].queued_bytes_q[queue] + fluid_occ;
         let scale = if self.cfg.ecn_prio_scaled {
             dscp as u64 + 1
         } else {
@@ -225,6 +242,7 @@ impl Switch {
         port: u16,
         in_port: u16,
         id: PacketId,
+        fluid_occ: u64,
         arena: &mut PacketArena,
         pauses: &mut Vec<(u16, u8)>,
     ) -> Admission {
@@ -235,7 +253,7 @@ impl Switch {
         };
         if !self.cfg.pfc_enabled && is_data {
             // Lossy: Dynamic-Threshold admission on the egress queue.
-            let limit = self.dt_limit();
+            let limit = self.dt_limit(fluid_occ);
             if self.ports[port as usize].queued_bytes_q[q] + size > limit {
                 arena.release(id);
                 return Admission::Dropped;
@@ -249,7 +267,7 @@ impl Switch {
 
         if self.cfg.pfc_enabled && q < nq - 1 {
             // PFC protects data priorities; control queue is never paused.
-            let threshold = self.pfc_pause_threshold();
+            let threshold = self.pfc_pause_threshold(fluid_occ);
             let counted = if self.cfg.buggify == Some(Buggify::PfcPauseOffByOne) {
                 // Injected fault: compare the pre-admission counter, so the
                 // pause fires one packet late.
@@ -266,8 +284,10 @@ impl Switch {
     }
 
     /// Account a packet leaving the switch from egress `port`. Returns PFC
-    /// resume frames to emit as `(ingress_port, prio)`.
-    pub fn on_dequeue(&mut self, pkt: &Packet, resumes: &mut Vec<(u16, u8)>) {
+    /// resume frames to emit as `(ingress_port, prio)`. `fluid_occ` as in
+    /// [`Self::dt_limit`] (shrinks the resume threshold symmetrically with
+    /// the pause threshold).
+    pub fn on_dequeue(&mut self, pkt: &Packet, fluid_occ: u64, resumes: &mut Vec<(u16, u8)>) {
         if self.cfg.buggify == Some(Buggify::DequeueLeak) {
             // Injected fault: departure accounting is skipped entirely.
             return;
@@ -282,7 +302,7 @@ impl Switch {
         self.ingress_bytes[in_port][q] -= size;
 
         if self.ingress_paused[in_port][q] {
-            let threshold = self.pfc_pause_threshold();
+            let threshold = self.pfc_pause_threshold(fluid_occ);
             let resume_at = threshold.saturating_sub(self.cfg.pfc_resume_offset_bytes);
             if self.ingress_bytes[in_port][q] <= resume_at {
                 self.ingress_paused[in_port][q] = false;
@@ -426,7 +446,7 @@ mod tests {
         let mut admitted = 0;
         for i in 0..20 {
             let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
-            if s.admit(0, 1, id, &mut a, &mut pauses) == Admission::Queued {
+            if s.admit(0, 1, id, 0, &mut a, &mut pauses) == Admission::Queued {
                 admitted += 1;
             }
         }
@@ -449,7 +469,7 @@ mod tests {
         // Fill until a pause is emitted.
         while pauses.is_empty() && i < 100 {
             let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
-            s.admit(0, 1, id, &mut a, &mut pauses);
+            s.admit(0, 1, id, 0, &mut a, &mut pauses);
             i += 1;
         }
         assert!(!pauses.is_empty(), "pause must trigger");
@@ -458,7 +478,7 @@ mod tests {
         // Drain; resume must eventually be emitted.
         let mut resumes = Vec::new();
         while let Some(id) = s.ports[0].dequeue(&a) {
-            s.on_dequeue(a.get(id), &mut resumes);
+            s.on_dequeue(a.get(id), 0, &mut resumes);
             a.release(id);
         }
         assert_eq!(resumes, vec![(1, 0)]);
@@ -476,13 +496,13 @@ mod tests {
         let mut rng = SimRng::new(5);
         let mut pauses = Vec::new();
         // Below kmin: never marked.
-        assert!(!s.ecn_mark(0, 0, 0, &mut rng));
+        assert!(!s.ecn_mark(0, 0, 0, 0, &mut rng));
         for i in 0..5 {
             let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
-            s.admit(0, 1, id, &mut a, &mut pauses);
+            s.admit(0, 1, id, 0, &mut a, &mut pauses);
         }
         // Above kmax: always marked.
-        assert!(s.ecn_mark(0, 0, 0, &mut rng));
+        assert!(s.ecn_mark(0, 0, 0, 0, &mut rng));
     }
 
     #[test]
@@ -497,12 +517,12 @@ mod tests {
         let mut pauses = Vec::new();
         for i in 0..5 {
             let id = a.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
-            s.admit(0, 1, id, &mut a, &mut pauses);
+            s.admit(0, 1, id, 0, &mut a, &mut pauses);
         }
         // ~5 KB queued: dscp 0 thresholds (2k/4k) => always marked;
         // dscp 3 thresholds (8k/16k) => never marked.
-        assert!(s.ecn_mark(0, 0, 0, &mut rng));
-        assert!(!s.ecn_mark(0, 0, 3, &mut rng));
+        assert!(s.ecn_mark(0, 0, 0, 0, &mut rng));
+        assert!(!s.ecn_mark(0, 0, 3, 0, &mut rng));
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub struct SimCounters {
     pub arena_int_allocs: u64,
     /// `IntPath` boxes served from / returned to the recycle pool.
     pub arena_int_recycled: u64,
+    /// Fluid background flows that started injecting (hybrid model).
+    pub fluid_flows_started: u64,
+    /// Fluid background flows fully drained through their port.
+    pub fluid_flows_completed: u64,
+    /// Total fluid background bytes injected.
+    pub fluid_bytes_injected: u64,
+    /// Fluid rate-change epochs processed (the scheduler events the whole
+    /// background load cost, in place of per-packet events).
+    pub fluid_epochs: u64,
 }
 
 /// Per-flow time-series traces (only populated when

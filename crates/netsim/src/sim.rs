@@ -3,14 +3,14 @@
 use std::collections::BTreeMap;
 
 use simcore::stats::ThroughputMeter;
-use simcore::{EventQueue, Rate, SimRng, Time};
+use simcore::{EventQueue, Rate, ScheduledId, SimRng, Time};
 
 #[cfg(feature = "audit")]
 use crate::audit::{Audit, SwitchArrive, ViolationKind};
 use crate::audit::AuditConfig;
-use crate::config::{AckPriority, SimConfig, SwitchConfig};
+use crate::config::{AckPriority, Buggify, SimConfig, SwitchConfig};
+use crate::fluid::FluidState;
 use crate::monitor::{Monitor, MonitorKind};
-#[cfg(feature = "audit")]
 use crate::node::queue_index;
 use crate::node::{Admission, EgressPort, Host, Switch};
 use crate::packet::{
@@ -75,6 +75,12 @@ pub enum Event {
         /// Monitor index.
         monitor: u32,
     },
+    /// A fluid background rate-change epoch (hybrid model): the single
+    /// pending epoch the fluid solver keeps in the queue, rescheduled via
+    /// cancellable scheduling whenever a coupling hook changes the
+    /// piecewise-constant rates. Never scheduled when
+    /// [`SimConfig::background`] is `None`.
+    FluidEpoch,
     /// End of simulation.
     End,
 }
@@ -197,6 +203,12 @@ pub struct Sim {
     lossy: bool,
     app: Option<Box<dyn App>>,
     completed_buf: Vec<FlowId>,
+    /// Fluid background-traffic solver (hybrid model); `None` — the pure
+    /// packet simulator — keeps every coupling hook to one branch.
+    fluid: Option<Box<FluidState>>,
+    /// The single pending [`Event::FluidEpoch`], if any. Cancellable so a
+    /// coupling hook can pull the epoch earlier without stale events.
+    fluid_epoch: Option<ScheduledId>,
     /// Invariant-audit state; `None` keeps the hot path to one branch per
     /// hook. Boxed so the disabled case costs a single word.
     #[cfg(feature = "audit")]
@@ -252,6 +264,26 @@ impl Sim {
         let seed = cfg.seed;
         let sched = cfg.sched;
         let lossy = !switch_cfg.pfc_enabled;
+        let fluid = cfg.background.as_ref().map(|bg| {
+            for &(node, port) in &bg.ports {
+                assert!(
+                    matches!(nodes.get(node as usize), Some(Node::Switch(_))),
+                    "background port ({node}, {port}) is not a switch egress"
+                );
+            }
+            let leak = switch_cfg.buggify == Some(Buggify::FluidDrainLeak);
+            // simlint::allow(hot-path-alloc, one fluid box per run at construction, not per event)
+            Box::new(FluidState::new(
+                bg,
+                |node, port| {
+                    port_specs
+                        .get(node as usize)
+                        .and_then(|v| v.get(port as usize))
+                        .map_or(0, |&(_, _, rate, _)| rate.as_bps())
+                },
+                leak,
+            ))
+        });
         Sim {
             cfg,
             switch_cfg,
@@ -270,6 +302,8 @@ impl Sim {
             lossy,
             app: None,
             completed_buf: Vec::new(),
+            fluid,
+            fluid_epoch: None,
             #[cfg(feature = "audit")]
             audit: if crate::audit::env_enabled() {
                 // simlint::allow(hot-path-alloc, one audit box per run at construction, not per event)
@@ -462,6 +496,11 @@ impl Sim {
             self.queue
                 .schedule(period, Event::Sample { monitor: i as u32 });
         }
+        // Hybrid model: the fluid solver keeps exactly one pending epoch in
+        // the queue; the first sits at the first background arrival.
+        if let Some(first) = self.fluid.as_deref().and_then(|f| f.first_epoch()) {
+            self.fluid_epoch = Some(self.queue.schedule_cancellable(first, Event::FluidEpoch));
+        }
         while let Some((now, ev)) = self.queue.pop() {
             self.counters.events += 1;
             #[cfg(feature = "audit")]
@@ -473,6 +512,7 @@ impl Sim {
                     Event::FlowTimer { flow, .. } => ("flow_timer", *flow),
                     Event::HostPoke { node } => ("host_poke", *node),
                     Event::Sample { monitor } => ("sample", *monitor),
+                    Event::FluidEpoch => ("fluid_epoch", 0),
                     Event::End => ("end", 0),
                 };
                 a.on_event(now, kind, id);
@@ -490,6 +530,7 @@ impl Sim {
                 Event::PortFree { node, port } => self.on_port_free(node, port, now),
                 Event::Arrive { node, in_port, pkt } => self.on_arrive(node, in_port, pkt, now),
                 Event::Sample { monitor } => self.on_sample(monitor, now),
+                Event::FluidEpoch => self.on_fluid_epoch(now),
             }
             if !self.completed_buf.is_empty() && self.app.is_some() {
                 // simlint::allow(hot-path-unwrap, guarded by the is_some() check one line up)
@@ -509,6 +550,11 @@ impl Sim {
             _ => None,
         }) {
             self.counters.max_buffer_used = self.counters.max_buffer_used.max(sw.max_buffered);
+        }
+        if let Some(f) = self.fluid.as_deref() {
+            self.counters.fluid_flows_started = f.flows_started();
+            self.counters.fluid_flows_completed = f.flows_completed();
+            self.counters.fluid_bytes_injected = f.injected_bytes();
         }
         let astats = self.arena.stats();
         self.counters.arena_allocs = astats.allocs;
@@ -581,6 +627,9 @@ impl Sim {
             }
             a.check_conservation(now, buffered_data);
             a.check_counters(now, &self.counters);
+            if let Some(f) = self.fluid.as_deref() {
+                a.check_fluid(now, &f.audit_view());
+            }
             if let Err(msg) = self.queue.check_invariants() {
                 a.queue_violation(now, msg);
             }
@@ -687,12 +736,65 @@ impl Sim {
             Node::Switch(s) => {
                 s.ports[port as usize].busy = false;
                 self.switch_dequeue(node, port, now);
+                if self.fluid.is_some() {
+                    // The port may have gone idle: hand its bandwidth back
+                    // to the fluid class.
+                    self.fluid_sync_port(node, port, now);
+                }
             }
+        }
+    }
+
+    /// Process the pending fluid rate-change epoch and schedule the next.
+    fn on_fluid_epoch(&mut self, now: Time) {
+        self.counters.fluid_epochs += 1;
+        self.fluid_epoch = None;
+        if let Some(f) = self.fluid.as_deref_mut() {
+            f.on_epoch(now);
+        }
+        self.fluid_reschedule(now);
+    }
+
+    /// Replace the pending fluid epoch with the solver's next rate-change
+    /// instant (cancelling any stale one).
+    fn fluid_reschedule(&mut self, now: Time) {
+        if let Some(id) = self.fluid_epoch.take() {
+            self.queue.cancel(id);
+        }
+        if let Some(next) = self.fluid.as_deref().and_then(|f| f.plan(now)) {
+            self.fluid_epoch = Some(self.queue.schedule_cancellable(next, Event::FluidEpoch));
+        }
+    }
+
+    /// Push a switch egress port's foreground-presence state (packets
+    /// queued or serializing) into the fluid solver; reschedules the
+    /// pending epoch when the bandwidth split changed. Cheap no-op for
+    /// ports carrying no fluid load.
+    fn fluid_sync_port(&mut self, node: NodeId, port: u16, now: Time) {
+        let presence = match &self.nodes[node as usize] {
+            Node::Switch(s) => {
+                let p = &s.ports[port as usize];
+                p.busy || p.queued_bytes > 0
+            }
+            Node::Host(_) => return,
+        };
+        let mut changed = false;
+        if let Some(f) = self.fluid.as_deref_mut() {
+            changed = f.set_presence(node, port, presence, now);
+        }
+        if changed {
+            self.fluid_reschedule(now);
         }
     }
 
     /// Try to start transmitting the next packet on a switch egress port.
     fn switch_dequeue(&mut self, node: NodeId, port: u16, now: Time) {
+        // Hybrid coupling: fluid backlog at this port consumes buffer (PFC
+        // resume threshold).
+        let fluid_occ = match self.fluid.as_deref() {
+            Some(f) => f.occupancy_bytes(node, port, now),
+            None => 0,
+        };
         let Node::Switch(s) = &mut self.nodes[node as usize] else {
             return;
         };
@@ -703,10 +805,23 @@ impl Sim {
         // simlint::allow(hot-path-unwrap, guarded by the has_sendable() early return above)
         let pid = p.dequeue(&self.arena).expect("has_sendable");
         let mut resumes = Vec::new();
-        s.on_dequeue(self.arena.get(pid), &mut resumes);
+        s.on_dequeue(self.arena.get(pid), fluid_occ, &mut resumes);
         let (size, is_data, prio) = {
             let pkt = self.arena.get(pid);
             (pkt.size as u64, pkt.kind.is_data(), pkt.prio)
+        };
+        // Hybrid coupling: a data-class packet leaving a fluid-loaded port
+        // serializes behind the fluid bytes injected before its admission
+        // that have neither drained nor been charged to an earlier packet
+        // (FIFO emulation; see `fluid::FluidState::pop_stamp`).
+        let nq = s.ports[port as usize].queues.len();
+        let fluid_owed = if (prio as usize).min(nq - 1) == 0 {
+            match self.fluid.as_deref_mut() {
+                Some(f) => f.pop_stamp(node, port, now),
+                None => 0,
+            }
+        } else {
+            0
         };
         let p = &mut s.ports[port as usize];
         p.busy = true;
@@ -721,7 +836,13 @@ impl Sim {
             };
             self.arena.append_int(pid, rec);
         }
-        let ser = rate.serialize_time(size);
+        // `fluid_owed == 0` takes the exact original path, so
+        // zero-background runs stay bit-identical.
+        let ser = if fluid_owed == 0 {
+            rate.serialize_time(size)
+        } else {
+            rate.serialize_time(size.saturating_add(fluid_owed))
+        };
         let mut arrival = now + ser + prop;
         if is_data {
             if let Some(nc) = self.switch_cfg.nc_delay {
@@ -781,6 +902,18 @@ impl Sim {
                 unreachable!()
             };
             s.ports[in_port as usize].set_paused(prio as usize, pause);
+            if self.fluid.is_some() && prio == 0 {
+                // Hybrid coupling: a pause of the lowest data priority —
+                // the class fluid background traffic rides — halts fluid
+                // service on this egress port until resume.
+                let mut changed = false;
+                if let Some(f) = self.fluid.as_deref_mut() {
+                    changed = f.set_paused(node, in_port, pause, now);
+                }
+                if changed {
+                    self.fluid_reschedule(now);
+                }
+            }
             if !pause {
                 self.switch_dequeue(node, in_port, now);
             }
@@ -797,6 +930,12 @@ impl Sim {
             )
         };
         let egress = self.routes.port_for(node, dst, flow);
+        // Hybrid coupling: projected fluid backlog at the egress inflates
+        // the occupancy ECN sees and shrinks the free buffer DT/PFC use.
+        let fluid_occ = match self.fluid.as_deref() {
+            Some(f) => f.occupancy_bytes(node, egress, now),
+            None => 0,
+        };
         let Node::Switch(s) = &mut self.nodes[node as usize] else {
             unreachable!()
         };
@@ -804,8 +943,8 @@ impl Sim {
         let mut ecn_info = None;
         if is_data {
             #[cfg(feature = "audit")]
-            let q_pre = s.ports[egress as usize].queued_bytes_q[data_q];
-            let marked = s.ecn_mark(egress, data_q, dscp, &mut self.ecn_rng);
+            let q_pre = s.ports[egress as usize].queued_bytes_q[data_q] + fluid_occ;
+            let marked = s.ecn_mark(egress, data_q, dscp, fluid_occ, &mut self.ecn_rng);
             if marked {
                 self.arena.get_mut(pid).ecn_ce = true;
                 self.counters.ecn_marks += 1;
@@ -825,9 +964,10 @@ impl Sim {
             is_data,
             dropped: false,
             ecn: ecn_info,
+            fluid_occ,
         };
         let mut pauses = Vec::new();
-        let admission = s.admit(egress, in_port, pid, &mut self.arena, &mut pauses);
+        let admission = s.admit(egress, in_port, pid, fluid_occ, &mut self.arena, &mut pauses);
         // The `s` borrow ends here so the audit can re-inspect the switch.
         #[cfg(feature = "audit")]
         if self.audit.is_some() {
@@ -850,6 +990,25 @@ impl Sim {
                 self.counters.drops += 1;
             }
             Admission::Queued => {
+                if self.fluid.is_some() {
+                    // Hybrid coupling: admitted data-class packets get a
+                    // FIFO stamp of the fluid mass logically ahead of them
+                    // in the shared queue, and the queue just became (or
+                    // stayed) non-empty.
+                    let qi = {
+                        let Node::Switch(sw) = &self.nodes[node as usize] else {
+                            unreachable!()
+                        };
+                        let pkt = self.arena.get(pid);
+                        queue_index(pkt, sw.ports[egress as usize].queues.len())
+                    };
+                    if qi == 0 {
+                        if let Some(f) = self.fluid.as_deref_mut() {
+                            f.push_stamp(node, egress, now);
+                        }
+                    }
+                    self.fluid_sync_port(node, egress, now);
+                }
                 self.emit_pfc(node, &pauses, true, now);
                 self.switch_dequeue(node, egress, now);
             }

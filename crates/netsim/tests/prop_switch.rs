@@ -117,12 +117,12 @@ fn step(
             *seq += 1;
             let q = queue_index(&pkt, NQ);
             let id = arena.alloc(pkt);
-            s.admit(port, in_port, id, arena, &mut pauses);
+            s.admit(port, in_port, id, 0, arena, &mut pauses);
             Some((in_port, q))
         }
         Op::Dequeue { port } => {
             if let Some(id) = s.ports[port as usize].dequeue(arena) {
-                s.on_dequeue(arena.get(id), &mut resumes);
+                s.on_dequeue(arena.get(id), 0, &mut resumes);
                 arena.release(id);
             }
             None
@@ -170,7 +170,7 @@ proptest! {
             // received a packet (data priorities only; control is unpaused).
             if let Some((ip, q)) = hit {
                 if q < NQ - 1 {
-                    let over = s.ingress_bytes[ip as usize][q] > s.pfc_pause_threshold();
+                    let over = s.ingress_bytes[ip as usize][q] > s.pfc_pause_threshold(0);
                     prop_assert!(
                         !over || s.ingress_paused[ip as usize][q],
                         "ingress ({ip}, {q}) above pause threshold but not paused"
@@ -201,7 +201,7 @@ proptest! {
         let mut resumes = Vec::new();
         for p in 0..NPORTS {
             while let Some(id) = s.ports[p].dequeue(&arena) {
-                s.on_dequeue(arena.get(id), &mut resumes);
+                s.on_dequeue(arena.get(id), 0, &mut resumes);
                 arena.release(id);
             }
         }
@@ -231,10 +231,10 @@ proptest! {
                     let q = queue_index(&pkt, NQ);
                     let wire = pkt.size as u64;
                     let would_exceed =
-                        s.ports[port as usize].queued_bytes_q[q] + wire > s.dt_limit();
+                        s.ports[port as usize].queued_bytes_q[q] + wire > s.dt_limit(0);
                     let mut pauses = Vec::new();
                     let id = arena.alloc(pkt);
-                    let adm = s.admit(port, in_port, id, &mut arena, &mut pauses);
+                    let adm = s.admit(port, in_port, id, 0, &mut arena, &mut pauses);
                     prop_assert_eq!(
                         adm == Admission::Dropped,
                         would_exceed,
@@ -245,7 +245,7 @@ proptest! {
                 Op::Dequeue { port } => {
                     let mut resumes = Vec::new();
                     if let Some(id) = s.ports[port as usize].dequeue(&arena) {
-                        s.on_dequeue(arena.get(id), &mut resumes);
+                        s.on_dequeue(arena.get(id), 0, &mut resumes);
                         arena.release(id);
                     }
                 }
@@ -268,9 +268,9 @@ proptest! {
         for (seq, &payload) in fills.iter().enumerate() {
             let mut pauses = Vec::new();
             let id = arena.alloc(data_pkt(0, payload, seq as u64));
-            s.admit(0, 1, id, &mut arena, &mut pauses);
+            s.admit(0, 1, id, 0, &mut arena, &mut pauses);
             let q = s.ports[0].queued_bytes_q[0];
-            let marked = s.ecn_mark(0, 0, 0, &mut rng);
+            let marked = s.ecn_mark(0, 0, 0, 0, &mut rng);
             if q <= s.cfg.ecn_kmin {
                 prop_assert!(!marked, "marked at {q} <= kmin");
             }
@@ -294,8 +294,8 @@ proptest! {
         for (i, &payload) in payloads.iter().enumerate() {
             let mut pauses = Vec::new();
             let id = arena.alloc(data_pkt(0, payload, i as u64));
-            s.admit(0, 1, id, &mut arena, &mut pauses);
-            if s.ingress_bytes[1][0] > s.pfc_pause_threshold() && !s.ingress_paused[1][0] {
+            s.admit(0, 1, id, 0, &mut arena, &mut pauses);
+            if s.ingress_bytes[1][0] > s.pfc_pause_threshold(0) && !s.ingress_paused[1][0] {
                 violated = true;
             }
         }
@@ -311,11 +311,11 @@ proptest! {
         for (i, &payload) in payloads.iter().enumerate() {
             let mut pauses = Vec::new();
             let id = arena.alloc(data_pkt(0, payload, i as u64));
-            s.admit(0, 1, id, &mut arena, &mut pauses);
+            s.admit(0, 1, id, 0, &mut arena, &mut pauses);
         }
         let mut resumes = Vec::new();
         while let Some(id) = s.ports[0].dequeue(&arena) {
-            s.on_dequeue(arena.get(id), &mut resumes);
+            s.on_dequeue(arena.get(id), 0, &mut resumes);
             arena.release(id);
         }
         prop_assert!(
@@ -332,7 +332,7 @@ proptest! {
         let s = mk_switch(true, 10_000_000, Some(Buggify::EcnMarkBelowKmin));
         let mut rng = SimRng::new(rng_seed);
         // Empty queue: 0 <= kmin, yet the buggified switch marks.
-        prop_assert!(s.ecn_mark(0, 0, 0, &mut rng), "buggify must force a mark");
+        prop_assert!(s.ecn_mark(0, 0, 0, 0, &mut rng), "buggify must force a mark");
         prop_assert!(s.ports[0].queued_bytes_q[0] <= s.cfg.ecn_kmin);
     }
 }

@@ -69,10 +69,10 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue at time zero on the default (binary-heap)
-    /// backend.
+    /// Create an empty queue at time zero on the default backend
+    /// ([`SchedKind::default`], the calendar queue).
     pub fn new() -> Self {
-        Self::with_sched(SchedKind::Binary)
+        Self::with_sched(SchedKind::default())
     }
 
     /// Create an empty queue at time zero on the given scheduler backend.

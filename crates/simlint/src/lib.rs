@@ -5,7 +5,7 @@
 //! scheduler tests catch violations *dynamically*; simlint refuses them at
 //! build time. It walks every first-party Rust source in the workspace
 //! with a small hand-rolled lexer (no `syn` — the workspace builds
-//! offline) and applies the seven rules documented in [`rules`].
+//! offline) and applies the eight rules documented in [`rules`].
 //!
 //! Used three ways:
 //!

@@ -1,6 +1,6 @@
 //! The simlint rule set.
 //!
-//! Seven rules, each guarding an invariant that the runtime audit (PR 2) and
+//! Eight rules, each guarding an invariant that the runtime audit (PR 2) and
 //! the differential scheduler tests (PR 3) can only check *dynamically*:
 //!
 //! | rule                   | guards against                                      |
@@ -12,6 +12,7 @@
 //! | `hot-path-unwrap`      | `unwrap()`/`expect()` in scheduler/sim hot paths    |
 //! | `allow-without-reason` | `#[allow(...)]` with no justifying comment          |
 //! | `hot-path-alloc`       | `Box::new`/`vec![`/`.to_vec()`/`.clone()` per event |
+//! | `float-order`          | f64/f32 accumulation over iterated collections      |
 //!
 //! Any finding can be silenced in place with an annotation comment:
 //!
@@ -25,7 +26,7 @@
 
 use crate::lexer::{Lexed, Tok, TokKind};
 
-/// One of the seven lint rules.
+/// One of the eight lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation-state crates.
@@ -45,11 +46,19 @@ pub enum Rule {
     /// hot-path code — per-event heap traffic belongs in the packet arena
     /// or a setup path.
     HotPathAlloc,
+    /// R8: no `f64`/`f32` accumulation over iterated collections
+    /// (`.sum::<f64>()`, float-typed `.sum()`/`.product()`, float-seeded
+    /// `.fold(...)`) in simulation-state crates — float addition is not
+    /// associative, so any refactor that reorders the iteration silently
+    /// perturbs results. Accumulate in integer units (the fluid model's
+    /// u128 byte-picoseconds, `u64` byte counters) and convert to float at
+    /// the edge, or annotate why the ordering is pinned.
+    FloatOrder,
 }
 
 impl Rule {
     /// Every rule, in diagnostic order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NondeterministicMap,
         Rule::WallClock,
         Rule::UnseededRng,
@@ -57,6 +66,7 @@ impl Rule {
         Rule::HotPathUnwrap,
         Rule::AllowWithoutReason,
         Rule::HotPathAlloc,
+        Rule::FloatOrder,
     ];
 
     /// The kebab-case name used in diagnostics and `simlint::allow(...)`.
@@ -69,6 +79,7 @@ impl Rule {
             Rule::HotPathUnwrap => "hot-path-unwrap",
             Rule::AllowWithoutReason => "allow-without-reason",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::FloatOrder => "float-order",
         }
     }
 
@@ -106,6 +117,16 @@ impl Rule {
                     || path == "crates/netsim/src/sim.rs"
                     || path == "crates/netsim/src/node.rs"
             }
+            // Same scope as R1: the crates whose values feed simulation
+            // state or recorded results.
+            Rule::FloatOrder => [
+                "crates/simcore/",
+                "crates/netsim/",
+                "crates/transport/",
+                "crates/workloads/",
+            ]
+            .iter()
+            .any(|p| path.starts_with(p)),
         }
     }
 }
@@ -535,6 +556,80 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                          move the copy off the per-event path",
                         tok.text
                     ),
+                    allowed: None,
+                });
+            }
+            // R8: float accumulation over an iterated collection. Three
+            // lexical shapes cover the std reduction entry points:
+            //   .sum::<f64>() / .product::<f32>()   — turbofish-typed
+            //   let x: f64 = it.sum();              — statement mentions f64
+            //   it.fold(0.0, ..)                    — float-seeded fold
+            "sum" | "product"
+                if Rule::FloatOrder.applies_to(path)
+                    && i >= 1
+                    && t(i - 1) == "."
+                    && !in_test_region(&regions, tok.line)
+                    && {
+                        let turbofish_float = i + 4 < toks.len()
+                            && t(i + 1) == ":"
+                            && t(i + 2) == ":"
+                            && t(i + 3) == "<"
+                            && (t(i + 4) == "f64" || t(i + 4) == "f32");
+                        // For an untyped `.sum()`, look back through the
+                        // enclosing statement for a float type ascription.
+                        let stmt_mentions_float = t(i + 1) == "(" && {
+                            let mut j = i;
+                            let mut hit = false;
+                            while j > 0 {
+                                j -= 1;
+                                match t(j) {
+                                    ";" | "{" | "}" => break,
+                                    "f64" | "f32" => {
+                                        hit = true;
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            hit
+                        };
+                        turbofish_float || stmt_mentions_float
+                    } =>
+            {
+                findings.push(Finding {
+                    rule: Rule::FloatOrder,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "float {}() over an iterated collection: f64 addition is not \
+                         associative, so reordering the iteration perturbs results; \
+                         accumulate in integer units or annotate why the order is pinned",
+                        tok.text
+                    ),
+                    allowed: None,
+                });
+            }
+            "fold"
+                if Rule::FloatOrder.applies_to(path)
+                    && i >= 1
+                    && t(i - 1) == "."
+                    && i + 2 < toks.len()
+                    && t(i + 1) == "("
+                    && toks[i + 2].kind == TokKind::Num
+                    && (t(i + 2).contains('.')
+                        || t(i + 2).ends_with("f64")
+                        || t(i + 2).ends_with("f32"))
+                    && !in_test_region(&regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::FloatOrder,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "float-seeded fold() over an iterated collection: f64 \
+                              addition is not associative, so reordering the iteration \
+                              perturbs results; accumulate in integer units or annotate \
+                              why the order is pinned"
+                        .into(),
                     allowed: None,
                 });
             }

@@ -201,6 +201,39 @@ fn r7_only_applies_to_per_event_files() {
     }
 }
 
+// --- R8: float-order ------------------------------------------------------
+
+#[test]
+fn r8_fires_on_float_accumulation() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r8_bad.rs"));
+    assert_only_rule(&fs, Rule::FloatOrder);
+    // sum::<f64>, float-ascribed .sum(), product::<f32>, fold(0.0, ..);
+    // the integer sum and the #[cfg(test)] module are exempt.
+    assert_eq!(unallowed(&fs, Rule::FloatOrder), 4);
+}
+
+#[test]
+fn r8_respects_allow_annotations() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r8_allowed.rs"));
+    assert_eq!(unallowed(&fs, Rule::FloatOrder), 0);
+    assert_eq!(allowed(&fs, Rule::FloatOrder), 2);
+}
+
+#[test]
+fn r8_only_applies_to_sim_state_crates() {
+    let src = include_str!("fixtures/r8_bad.rs");
+    assert!(lint_source("crates/experiments/src/x.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    assert_eq!(
+        unallowed(
+            &lint_source("crates/workloads/src/x.rs", src),
+            Rule::FloatOrder
+        ),
+        4,
+        "workloads is a sim-state crate"
+    );
+}
+
 // --- R6: allow-without-reason --------------------------------------------
 
 #[test]

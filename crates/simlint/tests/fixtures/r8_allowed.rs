@@ -1,0 +1,13 @@
+//! R8 allowed example: float accumulations annotated with why the
+//! iteration order is pinned (observability-only values computed over a
+//! Vec in insertion order).
+
+pub fn report_mean(samples: &[f64]) -> f64 {
+    // simlint::allow(float-order, observability only: slice iterated in fixed insertion order)
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+pub fn report_total(samples: &[f64]) -> f64 {
+    // simlint::allow(float-order, reporting edge: accumulates a Vec in its recorded order)
+    samples.iter().fold(0.0, |acc, s| acc + s)
+}

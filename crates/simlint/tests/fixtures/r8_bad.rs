@@ -1,0 +1,34 @@
+//! R8 bad example: float accumulation over iterated collections in
+//! sim-state code — turbofish sum, float-ascribed sum, and a float-seeded
+//! fold all fire; test-module accumulation is exempt.
+
+pub fn turbofish_sum(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}
+
+pub fn ascribed_sum(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().copied().sum();
+    total
+}
+
+pub fn turbofish_product(factors: &[f32]) -> f32 {
+    factors.iter().product::<f32>()
+}
+
+pub fn seeded_fold(samples: &[f64]) -> f64 {
+    samples.iter().fold(0.0, |acc, s| acc + s)
+}
+
+pub fn integer_sum_is_fine(bytes: &[u64]) -> u64 {
+    bytes.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_sums_in_test_code_are_fine() {
+        let mean = [1.0f64, 2.0, 3.0].iter().sum::<f64>() / 3.0;
+        let folded = [1.0f64, 2.0].iter().fold(0.0, |a, b| a + b);
+        assert!(mean > 1.9 && folded > 2.9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Open-loop background-traffic specs for the hybrid packet/fluid model.
+//!
+//! A [`BackgroundSpec`] samples a Poisson open-loop arrival trace for each
+//! bottleneck port at a target utilization, drawing flow sizes from any
+//! [`SizeDist`] (e.g. WebSearch). The trace is a plain `(start, bytes)`
+//! list so the same arrivals can be fed both to `netsim`'s fluid solver
+//! (hybrid run) and to packet-level blast senders (the reference run a
+//! hybrid result is validated against) — the ≤5 % foreground-FCT
+//! acceptance comparison depends on both modes seeing identical arrivals.
+
+use simcore::time::PS_PER_SEC;
+use simcore::{Rate, SimRng, Time};
+
+use crate::websearch::SizeDist;
+
+/// Poisson open-loop background-traffic spec for one or more bottleneck
+/// ports.
+#[derive(Clone, Debug)]
+pub struct BackgroundSpec {
+    /// Flow-size distribution.
+    pub dist: SizeDist,
+    /// Target utilization of each loaded port's line rate (0..1).
+    pub load: f64,
+    /// Root seed; each port gets an independent split stream.
+    pub seed: u64,
+}
+
+impl BackgroundSpec {
+    /// New spec at `load` utilization with sizes from `dist`.
+    pub fn new(dist: SizeDist, load: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&load), "background load must be in [0,1)");
+        BackgroundSpec { dist, load, seed }
+    }
+
+    /// Sample the arrival trace for one port: `(start, bytes)` pairs,
+    /// sorted by start, with arrival rate `line · load / mean(dist)`
+    /// flows/sec until `until`. `port_index` selects the per-port RNG
+    /// stream, so adding ports never perturbs existing traces.
+    pub fn sample_port(&self, port_index: u64, line: Rate, until: Time) -> Vec<(Time, u64)> {
+        let mut out = Vec::new();
+        if self.load == 0.0 {
+            return out;
+        }
+        let mut rng = SimRng::new(self.seed).split(port_index);
+        let lambda = line.as_bps() as f64 / 8.0 * self.load / self.dist.mean();
+        let mean_gap_ps = PS_PER_SEC as f64 / lambda;
+        let mut t = Time::ZERO;
+        loop {
+            let gap = rng.exponential(mean_gap_ps);
+            t += Time::from_ps_f64(gap);
+            if t >= until {
+                break;
+            }
+            out.push((t, self.dist.sample(&mut rng).max(1)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed_and_port() {
+        let spec = BackgroundSpec::new(SizeDist::websearch(), 0.5, 7);
+        let a = spec.sample_port(0, Rate::from_gbps(100), Time::from_ms(10));
+        let b = spec.sample_port(0, Rate::from_gbps(100), Time::from_ms(10));
+        assert_eq!(a, b);
+        let other_port = spec.sample_port(1, Rate::from_gbps(100), Time::from_ms(10));
+        assert_ne!(a, other_port, "ports must get independent streams");
+    }
+
+    #[test]
+    fn trace_hits_target_load() {
+        let spec = BackgroundSpec::new(SizeDist::websearch(), 0.5, 11);
+        let until = Time::from_ms(200);
+        let line = Rate::from_gbps(100);
+        let trace = spec.sample_port(0, line, until);
+        let bytes: u64 = trace.iter().map(|&(_, b)| b).sum();
+        let offered = bytes as f64 * 8.0 / until.as_secs_f64();
+        let target = line.as_bps() as f64 * 0.5;
+        assert!(
+            (offered / target - 1.0).abs() < 0.15,
+            "offered {offered:.3e} bps vs target {target:.3e} bps"
+        );
+    }
+
+    #[test]
+    fn trace_is_sorted_and_zero_load_is_empty() {
+        let spec = BackgroundSpec::new(SizeDist::websearch(), 0.3, 3);
+        let trace = spec.sample_port(0, Rate::from_gbps(10), Time::from_ms(20));
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        let empty = BackgroundSpec::new(SizeDist::websearch(), 0.0, 3)
+            .sample_port(0, Rate::from_gbps(10), Time::from_ms(20));
+        assert!(empty.is_empty());
+    }
+}

@@ -2,6 +2,9 @@
 //!
 //! - [`websearch`]: the DCTCP WebSearch flow-size distribution with Poisson
 //!   open-loop arrivals at a target load (flow-scheduling scenario, §6.2);
+//! - [`background`]: per-port Poisson background-traffic traces for the
+//!   hybrid packet/fluid model (same trace drives the fluid solver and the
+//!   packet-level reference run);
 //! - [`coflow`]: a synthetic coflow generator statistically matched to the
 //!   published characterization of the Facebook Hadoop trace, plus the
 //!   20-into-1 file-request incast pattern (coflow scenario, §6.2);
@@ -18,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod allreduce;
+pub mod background;
 pub mod coflow;
 pub mod priomap;
 pub mod websearch;
 
 pub use allreduce::RingJob;
+pub use background::BackgroundSpec;
 pub use coflow::{Coflow, CoflowGen};
 pub use priomap::SizeClassifier;
 pub use websearch::{FlowArrival, PoissonArrivals, SizeDist, WEBSEARCH_CDF};

@@ -45,6 +45,26 @@ if [[ -n "$PREV" ]]; then
           "$name" "$old_slots" "$new_slots" "$old_int" "$new_int"
       done
   fi
+  # Hybrid model speedup (incast_hybrid / websearch_hybrid): the
+  # event_reduction factor is the whole point of the fluid background
+  # model — print its drift so a coupling change that silently erodes
+  # (or inflates) the speedup or the foreground-FCT fidelity is visible.
+  extract_hybrid() {
+    sed -n 's/.*"name": "\([^"]*\)".*"event_reduction": \([0-9.]*\).*"wall_reduction": \([0-9.]*\).*"fg_fct_delta_pct": \(-\{0,1\}[0-9.]*\).*/\1 \2 \3 \4/p' "$1"
+  }
+  if [[ -n "$(extract_hybrid "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== hybrid event_reduction vs previous $BENCH_FILE ==="
+    join <(extract_hybrid "$PREV" | sort) <(extract_hybrid "$BENCH_FILE" | sort) |
+      while read -r name old_ev old_wall old_fct new_ev new_wall new_fct; do
+        awk -v n="$name" -v oe="$old_ev" -v ne="$new_ev" \
+            -v nw="$new_wall" -v nf="$new_fct" 'BEGIN {
+          drift = (oe > 0) ? (ne - oe) / oe * 100.0 : 0.0
+          printf "  %-18s event_reduction %6.2fx -> %-6.2fx (%+.1f%%)  wall %6.2fx  fg_fct %+6.2f%%\n", \
+            n, oe, ne, drift, nw, nf
+        }'
+      done
+  fi
   rm -f "$PREV"
 else
   echo "(no previous $BENCH_FILE; baseline written)"

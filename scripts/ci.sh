@@ -2,8 +2,8 @@
 # Full CI gauntlet, in escalating order of strictness:
 #
 #   1. simlint: the workspace static-analysis pass (determinism, wall-clock,
-#      RNG, time-cast, hot-path-unwrap, and hot-path-alloc invariants) must
-#      report zero unallowed findings;
+#      RNG, time-cast, hot-path-unwrap, hot-path-alloc, and float-order
+#      invariants) must report zero unallowed findings;
 #   2. clippy: `cargo clippy --workspace --all-targets -- -D warnings`
 #      (skipped with a warning if the toolchain has no clippy component);
 #   3. tier-1: release build + full test suite (includes the property
@@ -16,15 +16,21 @@
 #      arena- and audit-focused suites then rerun with the deep scan forced
 #      to every event boundary (PRIOPLUS_AUDIT_DEEP=1) so arena reference
 #      counts are verified at maximum granularity;
-#   6. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=calendar
-#      and =quad, so every default-backend code path (unit, e2e, golden)
-#      also runs — and stays bit-identical — on the alternative event
-#      schedulers;
-#   7. bench drift: scripts/bench.sh prints events/sec deltas against the
+#   6. hybrid model: the packet/fluid e2e suite rerun with the audit (and
+#      its per-port fluid mass-conservation invariant) force-enabled on
+#      every Sim and the deep scan at every event — zero-background
+#      bit-identity, the conservation property fleet, and the
+#      FluidDrainLeak detection test all under maximum audit granularity;
+#   7. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
+#      and =quad, so every code path pinned on the calendar-queue default
+#      (unit, e2e, golden) also runs — and stays bit-identical — on the
+#      alternative event schedulers;
+#   8. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
-#      per-backend rows cover event-queue drift for all three backends, and
+#      per-backend rows cover event-queue drift for all three backends,
 #      the arena_churn row carries the allocation counters that pin the
-#      zero-steady-state-allocation contract).
+#      zero-steady-state-allocation contract, and the hybrid rows carry
+#      the event_reduction factors that pin the fluid model's speedup).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -46,11 +52,11 @@ if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
   esac
 fi
 
-echo "=== [1/7] simlint: workspace static analysis ==="
+echo "=== [1/8] simlint: workspace static analysis ==="
 cargo run --release -q -p simlint
 
 echo
-echo "=== [2/7] clippy (-D warnings) ==="
+echo "=== [2/8] clippy (-D warnings) ==="
 if cargo clippy --version >/dev/null 2>&1; then
   cargo clippy --workspace --all-targets -- -D warnings
 else
@@ -58,16 +64,16 @@ else
 fi
 
 echo
-echo "=== [3/7] tier-1: release build + tests ==="
+echo "=== [3/8] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 
 echo
-echo "=== [4/7] audit compiles out (netsim --no-default-features) ==="
+echo "=== [4/8] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 
 echo
-echo "=== [5/7] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [5/8] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 echo "--- arena accounting at every event boundary (deep scan forced) ---"
@@ -75,12 +81,17 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_arena --test e2e_audit
 
 echo
-echo "=== [6/7] scheduler-backend matrix (calendar, quad) ==="
-PRIOPLUS_SCHED=calendar cargo test -q
+echo "=== [6/8] hybrid packet/fluid e2e (fluid conservation forced) ==="
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
+  cargo test -q --release -p experiments --test e2e_hybrid
+
+echo
+echo "=== [7/8] scheduler-backend matrix (binary, quad) ==="
+PRIOPLUS_SCHED=binary cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
 
 echo
-echo "=== [7/7] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [8/8] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 
 echo
