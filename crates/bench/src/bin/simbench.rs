@@ -18,6 +18,10 @@
 //!   steady-state-allocation contract (slab growth == peak live packets,
 //!   INT boxes bounded by the in-flight population) and reports the arena
 //!   counters in the JSON so drift checks see allocation regressions;
+//! - `incast_faults`: the Swift incast with a fault schedule installed —
+//!   bottleneck flaps, random sender-link flaps, periodic pause storms —
+//!   timing the fault overlay on the hot dequeue/arrival paths (the JSON
+//!   extras carry the fault counters);
 //! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
 //! - `incast_hybrid` / `websearch_hybrid`: the hybrid packet/fluid model
 //!   at 50 % background load — the fluid run is timed, and the JSON extras
@@ -38,7 +42,7 @@ use experiments::micro::{Micro, MicroEnv};
 use experiments::report::json_string;
 use experiments::sweep::default_jobs;
 use experiments::Scheme;
-use netsim::NoiseModel;
+use netsim::{FaultSchedule, NoiseModel};
 use simcore::{EventQueue, SchedKind, Time};
 use transport::{CcSpec, PrioPlusPolicy};
 
@@ -217,6 +221,62 @@ fn bench_arena_churn(stats: &std::cell::RefCell<[u64; 5]>) -> u64 {
     c.events
 }
 
+/// The Swift incast under a busy fault schedule: three fixed bottleneck
+/// flaps (the port is saturated, so each catches packets in flight),
+/// seed-driven flaps over eight sender links, and a periodic pause storm
+/// on the bottleneck egress. Times the fault overlay in the hot loop and
+/// writes the run's fault counters into `stats`
+/// `[fault_events, fault_link_drops, fault_ctrl_drops]`.
+fn bench_incast_faults(stats: &std::cell::RefCell<[u64; 3]>) -> u64 {
+    let n = 64;
+    let switch = n as u32 + 1;
+    let horizon = Time::from_ms(8);
+    let links: Vec<(u32, u16)> = (1..=8).map(|p| (switch, p as u16)).collect();
+    let mut faults =
+        FaultSchedule::random_flaps(&links, 23, horizon, Time::from_us(500), Time::from_us(50));
+    for ms in [1u64, 3, 5] {
+        faults.link_flap(
+            switch,
+            0,
+            Time::from_ms(ms),
+            Time::from_ms(ms) + Time::from_us(100),
+        );
+        faults.pause_storm(
+            switch,
+            0,
+            0,
+            Time::from_ms(ms + 1),
+            Time::from_ms(ms + 1) + Time::from_us(100),
+        );
+    }
+    let mut m = Micro::build(&MicroEnv {
+        senders: n,
+        end: horizon,
+        trace: false,
+        seed: 7,
+        noise: NoiseModel::testbed(),
+        sched: SchedKind::Binary,
+        faults: Some(faults),
+        ..Default::default()
+    });
+    let cc = CcSpec::Swift {
+        queuing: Time::from_us(4),
+        scaling: false,
+    };
+    for s in 1..=n {
+        m.add_flow(s, 2_000_000, Time::ZERO, 0, 4, &cc);
+    }
+    let res = m.sim.run();
+    let c = &res.counters;
+    assert!(c.fault_events > 0, "fault schedule must apply");
+    assert!(
+        c.fault_link_drops > 0,
+        "bottleneck flaps must catch packets in flight"
+    );
+    *stats.borrow_mut() = [c.fault_events, c.fault_link_drops, c.fault_ctrl_drops];
+    c.events
+}
+
 /// Hybrid packet/fluid scenario: the fluid run is the timed scenario; the
 /// packet-level reference run of the same background trace provides the
 /// `event_reduction` / `wall_reduction` factors and the foreground-FCT
@@ -314,6 +374,18 @@ fn main() {
          (peak live {peak}), {int_allocs} INT boxes, {int_recycled} recycles"
     );
     scenarios.push(churn);
+    let fault_stats = std::cell::RefCell::new([0u64; 3]);
+    let mut faults = scenario("incast_faults", || bench_incast_faults(&fault_stats));
+    let [fault_events, fault_link_drops, fault_ctrl_drops] = *fault_stats.borrow();
+    faults.extra = format!(
+        ", \"fault_events\": {fault_events}, \"fault_link_drops\": {fault_link_drops}, \
+         \"fault_ctrl_drops\": {fault_ctrl_drops}"
+    );
+    println!(
+        "  incast_faults counters: {fault_events} fault transitions, \
+         {fault_link_drops} data drops, {fault_ctrl_drops} control drops"
+    );
+    scenarios.push(faults);
     scenarios.push(bench_hybrid("incast_hybrid", &HybridScenario::incast(0.5)));
     scenarios.push(bench_hybrid(
         "websearch_hybrid",

@@ -12,6 +12,8 @@
 //! - [`mltrain`]: the ring all-reduce ML-cluster scenario (Fig 12c);
 //! - [`hybrid`]: the hybrid packet/fluid runner — fluid background
 //!   traffic against a packet-level reference from one shared trace;
+//! - [`faults`]: the fault-regime comparison (link flaps and PFC pause
+//!   storms vs the fault-free reference, FCT + priority inversions);
 //! - [`report`]: plain-text table + JSON emission so EXPERIMENTS.md entries
 //!   can be regenerated and diffed;
 //! - [`sweep`]: the parallel sweep runner (`--jobs N` / `PRIOPLUS_JOBS`)
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod coflowsched;
+pub mod faults;
 pub mod flowsched;
 pub mod golden;
 pub mod hybrid;

@@ -5,7 +5,7 @@
 //! give the paper's ≈ 12 µs data-packet RTT.
 
 use netsim::monitor::MonitorKind;
-use netsim::{FlowSpec, NoiseModel, SchedKind, Sim, SimConfig, SwitchConfig, Topology};
+use netsim::{FaultSchedule, FlowSpec, NoiseModel, SchedKind, Sim, SimConfig, SwitchConfig, Topology};
 use simcore::{Rate, Time};
 use transport::CcSpec;
 
@@ -32,6 +32,9 @@ pub struct MicroEnv {
     pub switch: SwitchConfig,
     /// Event-scheduler backend (results are identical across backends).
     pub sched: SchedKind,
+    /// Deterministic fault schedule (link flaps, degradation, PFC pause
+    /// storms); `None` runs fault-free.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Default for MicroEnv {
@@ -47,6 +50,7 @@ impl Default for MicroEnv {
             trace: true,
             switch: SwitchConfig::default(),
             sched: SchedKind::from_env(),
+            faults: None,
         }
     }
 }
@@ -76,6 +80,7 @@ impl Micro {
             meas_noise: env.noise,
             trace_flows: env.trace,
             sched: env.sched,
+            faults: env.faults.clone(),
             ..Default::default()
         };
         let sim = Sim::new(&topo, cfg, env.switch.clone());

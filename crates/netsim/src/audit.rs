@@ -109,6 +109,11 @@ pub enum ViolationKind {
     /// injected units no longer equal drained plus backlog on some port
     /// (hybrid model, [`crate::fluid`]).
     FluidConservation,
+    /// The PFC wait-for graph over paused ports contains a cycle — a
+    /// circular buffer dependency that cannot drain
+    /// ([`crate::faults::detect_pause_cycle`]). Reported once per deadlock
+    /// episode; re-armed when the cycle clears.
+    PfcDeadlock,
 }
 
 /// One recorded invariant violation.
@@ -268,6 +273,9 @@ pub struct Audit {
     pfc: BTreeMap<(NodeId, u16, u8), PfcMirror>,
     focus: Option<Focus>,
     touched: Vec<FlowId>,
+    /// A PFC deadlock cycle is currently present (latch: one violation per
+    /// episode, re-armed when the cycle clears).
+    deadlock_active: bool,
 }
 
 #[cfg_attr(not(feature = "audit"), allow(dead_code))]
@@ -291,6 +299,7 @@ impl Audit {
             pfc: BTreeMap::new(),
             focus: None,
             touched: Vec::new(),
+            deadlock_active: false,
         }
     }
 
@@ -368,6 +377,45 @@ impl Audit {
                 Some(flow),
                 format!("delivered {d} + dropped {dr} > injected {i}"),
             );
+        }
+    }
+
+    /// A data packet was dropped because its link was down at arrival
+    /// ([`crate::faults`]): it joins the dropped tallies so packet
+    /// conservation stays exact under link flaps. Control-packet losses are
+    /// not tallied — they were never counted as injected.
+    pub(crate) fn on_link_drop(&mut self, wire: u64) {
+        self.dropped_pkts += 1;
+        self.dropped_wire += wire;
+    }
+
+    /// Outcome of the PFC deadlock monitor for this deep scan: report a
+    /// fresh cycle once, stay quiet while it persists, re-arm when it
+    /// clears.
+    pub(crate) fn check_deadlock(&mut self, time: Time, cycle: Option<&[(NodeId, u16, u8)]>) {
+        match cycle {
+            Some(c) => {
+                if self.deadlock_active {
+                    return;
+                }
+                self.deadlock_active = true;
+                let mut desc = String::from("PFC wait-for cycle:");
+                for &(n, p, q) in c {
+                    use std::fmt::Write;
+                    let _ = write!(desc, " ({n},{p},q{q})");
+                }
+                let &(node, port, queue) = c.first().expect("a cycle has vertices");
+                self.report(
+                    ViolationKind::PfcDeadlock,
+                    time,
+                    Some(node),
+                    Some(port),
+                    Some(queue),
+                    None,
+                    desc,
+                );
+            }
+            None => self.deadlock_active = false,
         }
     }
 
@@ -774,8 +822,8 @@ impl Audit {
                 format!("counters.data_delivered {c} != audited {a}"),
             );
         }
-        if counters.drops != self.dropped_pkts {
-            let (c, a) = (counters.drops, self.dropped_pkts);
+        if counters.drops + counters.fault_link_drops != self.dropped_pkts {
+            let (c, f, a) = (counters.drops, counters.fault_link_drops, self.dropped_pkts);
             self.report(
                 ViolationKind::CounterMismatch,
                 time,
@@ -783,7 +831,7 @@ impl Audit {
                 None,
                 None,
                 None,
-                format!("counters.drops {c} != audited {a}"),
+                format!("counters.drops {c} + fault_link_drops {f} != audited {a}"),
             );
         }
     }
@@ -992,5 +1040,180 @@ mod tests {
             a.queue_violation(Time::ZERO, "boom".into());
         });
         assert!(result.is_err());
+    }
+
+    // ---- Buggify coverage: every injected switch/fluid fault must be ----
+    // ---- caught by the audit check that owns its invariant.          ----
+
+    use crate::config::{Buggify, SwitchConfig};
+    use crate::fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
+    use crate::node::{Admission, EgressPort};
+    use crate::packet::Packet;
+    use simcore::{Rate, SimRng};
+
+    fn buggy_switch(buggify: Option<Buggify>, buffer: u64) -> Switch {
+        let cfg = SwitchConfig {
+            buffer_bytes: buffer,
+            pfc_lossless_prios: 0,
+            buggify,
+            ..Default::default()
+        };
+        let ports = (0..2)
+            .map(|_| EgressPort::new(1, 0, Rate::from_gbps(100), Time::from_us(1), 3))
+            .collect();
+        Switch::new(cfg, ports, 2)
+    }
+
+    #[test]
+    fn dequeue_leak_buggify_caught_by_buffer_accounting() {
+        let mut arena = PacketArena::new();
+        let mut s = buggy_switch(Some(Buggify::DequeueLeak), 1_000_000);
+        let mut pauses = Vec::new();
+        let id = arena.alloc(Packet::data(0, 0, 1, 0, 1000, 0, Time::ZERO));
+        assert_eq!(
+            s.admit(0, 1, id, 0, &mut arena, &mut pauses),
+            Admission::Queued
+        );
+        let mut a = Audit::new(AuditConfig::default());
+        a.check_switch(Time::ZERO, 0, &s, &arena);
+        assert_eq!(a.total_violations, 0, "consistent before the departure");
+        // Departure under the buggify: the queue pops, but shared-buffer
+        // and ingress accounting are never released.
+        let popped = s.ports[0].dequeue(&arena).unwrap();
+        let mut resumes = Vec::new();
+        s.on_dequeue(arena.get(popped), 0, &mut resumes);
+        arena.release(popped);
+        a.check_switch(Time::from_us(1), 0, &s, &arena);
+        let r = a.into_report();
+        assert!(r.total_violations > 0, "leak must be detected");
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::BufferAccounting));
+    }
+
+    /// Drive admissions and run the boundary Xoff check after each one,
+    /// exactly as the event loop does; returns the violations found.
+    fn xoff_scan(buggify: Option<Buggify>) -> AuditReport {
+        let mut arena = PacketArena::new();
+        // Small buffer so the pause threshold floors at 3000 B quickly.
+        let mut s = buggy_switch(buggify, 20_000);
+        let mut pauses = Vec::new();
+        let mut a = Audit::new(AuditConfig::default());
+        for i in 0..6u64 {
+            let id = arena.alloc(Packet::data(0, 0, 1, 0, 1000, i * 1000, Time::ZERO));
+            s.admit(0, 1, id, 0, &mut arena, &mut pauses);
+            for &(ip, q) in &pauses {
+                a.on_pfc_frame(Time::from_us(i), 0, ip, q, true);
+            }
+            pauses.clear();
+            let focus = Focus {
+                node: 0,
+                in_port: 1,
+                queue: 0,
+                fluid_occ: 0,
+            };
+            a.check_xoff(Time::from_us(i), &focus, &s);
+        }
+        a.into_report()
+    }
+
+    #[test]
+    fn pfc_off_by_one_buggify_caught_by_xoff_check() {
+        let r = xoff_scan(Some(Buggify::PfcPauseOffByOne));
+        assert!(r.total_violations > 0, "late pause must be flagged");
+        assert_eq!(r.violations[0].kind, ViolationKind::PfcXoffMissed);
+        // Soundness: the identical sequence on a correct switch is clean.
+        assert!(xoff_scan(None).is_clean());
+    }
+
+    #[test]
+    fn ecn_below_kmin_buggify_caught_by_ecn_bounds() {
+        let s = buggy_switch(Some(Buggify::EcnMarkBelowKmin), 1_000_000);
+        let mut rng = SimRng::new(3);
+        // Empty queue, far below kmin — the buggify marks anyway.
+        let marked = s.ecn_mark(0, 0, 0, 0, &mut rng);
+        assert!(marked, "buggify must mark unconditionally");
+        let mut a = Audit::new(AuditConfig::default());
+        let info = SwitchArrive {
+            node: 0,
+            in_port: 1,
+            egress: 0,
+            queue: 0,
+            wire: 1048,
+            is_data: true,
+            dropped: false,
+            ecn: Some((0, 0, marked)),
+            fluid_occ: 0,
+        };
+        a.note_switch_arrive(Time::ZERO, &info, &s);
+        let r = a.into_report();
+        assert_eq!(r.total_violations, 1);
+        assert_eq!(r.violations[0].kind, ViolationKind::EcnBounds);
+    }
+
+    #[test]
+    fn fluid_drain_leak_buggify_caught_by_fluid_conservation() {
+        let bg = BackgroundLoad {
+            ports: vec![(5, 0)],
+            flows: vec![FluidFlowSpec {
+                start: Time::ZERO,
+                bytes: 1_000_000,
+                port: 0,
+            }],
+            access_bps: 0,
+        };
+        let mut f = FluidState::new(&bg, |_, _| 100_000_000_000, true);
+        let mut now = Time::ZERO;
+        f.on_epoch(now);
+        while let Some(next) = f.plan(now) {
+            now = next;
+            f.on_epoch(now);
+        }
+        let mut a = Audit::new(AuditConfig::default());
+        a.check_fluid(now, &f.audit_view());
+        let r = a.into_report();
+        assert!(r.total_violations >= 1, "drain leak must be detected");
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::FluidConservation));
+    }
+
+    #[test]
+    fn fault_drops_join_the_counter_identity() {
+        let mut a = Audit::new(AuditConfig::default());
+        a.on_link_drop(1048);
+        let mut c = SimCounters {
+            fault_link_drops: 1,
+            ..SimCounters::default()
+        };
+        a.check_counters(Time::ZERO, &c);
+        assert_eq!(a.total_violations, 0, "audited fault drop balances");
+        // An unaccounted fault drop (the FaultDropUnaccounted buggify path)
+        // breaks the identity and must surface as a counter mismatch.
+        c.fault_link_drops = 2;
+        a.check_counters(Time::ZERO, &c);
+        assert_eq!(a.total_violations, 1);
+        let r = a.into_report();
+        assert_eq!(r.violations[0].kind, ViolationKind::CounterMismatch);
+    }
+
+    #[test]
+    fn deadlock_latch_reports_once_per_episode() {
+        let mut a = Audit::new(AuditConfig::default());
+        let cycle = [(0 as NodeId, 0u16, 0u8), (1, 1, 0)];
+        a.check_deadlock(Time::from_us(1), Some(&cycle));
+        a.check_deadlock(Time::from_us(2), Some(&cycle));
+        assert_eq!(a.total_violations, 1, "latched: one report per episode");
+        a.check_deadlock(Time::from_us(3), None); // cycle cleared: re-arm
+        a.check_deadlock(Time::from_us(4), Some(&cycle));
+        assert_eq!(a.total_violations, 2);
+        let r = a.into_report();
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::PfcDeadlock));
+        assert!(r.violations[0].detail.contains("(0,0,q0)"));
     }
 }

@@ -32,6 +32,11 @@ pub enum Buggify {
     /// per settled segment, breaking the `injected == drained + backlog`
     /// conservation identity the audit checks.
     FluidDrainLeak,
+    /// Data packets dropped on a downed link are counted in
+    /// [`crate::record::SimCounters::fault_link_drops`] but never reported
+    /// to the audit's conservation tallies, breaking the
+    /// `drops + fault_link_drops == audited drops` identity.
+    FaultDropUnaccounted,
 }
 
 /// Shared-buffer and scheduling configuration of a switch.
@@ -145,6 +150,11 @@ pub struct SimConfig {
     /// default — is the pure packet simulator; the zero-background e2e
     /// suite pins that an empty background load is bit-identical to it.
     pub background: Option<crate::fluid::BackgroundLoad>,
+    /// Deterministic fault schedule (link flaps, degradation epochs, PFC
+    /// pause storms). `None` — the default — runs fault-free and keeps
+    /// every fault hook to one branch; an installed schedule also arms the
+    /// PFC deadlock monitor in the audit deep scan.
+    pub faults: Option<crate::faults::FaultSchedule>,
 }
 
 impl Default for SimConfig {
@@ -160,6 +170,7 @@ impl Default for SimConfig {
             trace_bucket: Time::from_us(20),
             sched: SchedKind::from_env(),
             background: None,
+            faults: None,
         }
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod faults;
 pub mod fluid;
 pub mod monitor;
 pub mod node;
@@ -47,6 +48,7 @@ pub mod transport_api;
 
 pub use audit::{AuditConfig, AuditReport, Violation, ViolationKind};
 pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
 pub use noise::NoiseModel;
 pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktKind};

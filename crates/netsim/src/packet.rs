@@ -42,6 +42,14 @@ impl IntHop {
 /// covers them with margin.
 pub const INT_INLINE_HOPS: usize = 8;
 
+/// Hard cap on hop records an [`IntPath`] will store. Matches the routing
+/// layer's 64-hop loop guard, so any path this long is a routing bug, not a
+/// telemetry need. Past the cap [`IntPath::push`] saturates: the record is
+/// discarded and `push` returns `false` (the first `len()` hops stay exact —
+/// a transport computing per-hop gradients sees a stable prefix, never
+/// silently shifted or truncated records).
+pub const INT_MAX_HOPS: usize = 64;
+
 /// The INT records collected along a packet's path.
 ///
 /// Stores up to [`INT_INLINE_HOPS`] hops inline; only paths longer than that
@@ -71,20 +79,24 @@ impl IntPath {
         }
     }
 
-    /// Append one hop record.
-    pub fn push(&mut self, hop: IntHop) {
+    /// Append one hop record. Returns `false` — leaving the path unchanged
+    /// — once [`INT_MAX_HOPS`] records are stored (see the cap's docs).
+    pub fn push(&mut self, hop: IntHop) -> bool {
         if self.spill.is_empty() {
             if (self.len as usize) < INT_INLINE_HOPS {
                 self.inline[self.len as usize] = hop;
                 self.len += 1;
-                return;
+                return true;
             }
             // First spill: migrate the inline records so `as_slice` stays a
             // single contiguous view.
             self.spill.reserve(INT_INLINE_HOPS * 2);
             self.spill.extend_from_slice(&self.inline[..self.len as usize]);
+        } else if self.spill.len() >= INT_MAX_HOPS {
+            return false;
         }
         self.spill.push(hop);
+        true
     }
 
     /// Number of hop records.
@@ -447,8 +459,10 @@ impl PacketArena {
 
     /// Append an INT hop record to the packet behind `id`, materializing its
     /// `IntPath` from the recycle stack (or, only when the stack is dry, a
-    /// fresh box) if the packet does not carry one yet.
-    pub fn append_int(&mut self, id: PacketId, hop: IntHop) {
+    /// fresh box) if the packet does not carry one yet. Returns `false` when
+    /// the path was already at [`INT_MAX_HOPS`] and the record was discarded
+    /// (see [`IntPath::push`]).
+    pub fn append_int(&mut self, id: PacketId, hop: IntHop) -> bool {
         let i = id.index();
         debug_assert!(self.live[i], "append_int() on freed packet {id:?}");
         if self.slots[i].int.is_none() {
@@ -465,8 +479,9 @@ impl PacketArena {
             };
             self.slots[i].int = Some(boxed);
         }
-        if let Some(path) = self.slots[i].int.as_mut() {
-            path.push(hop);
+        match self.slots[i].int.as_mut() {
+            Some(path) => path.push(hop),
+            None => unreachable!("int box installed above"),
         }
     }
 
@@ -582,6 +597,31 @@ mod tests {
         assert_eq!(p.len(), 12);
         let qlens: Vec<u64> = p.as_slice().iter().map(|h| h.qlen).collect();
         assert_eq!(qlens, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn int_path_saturates_at_max_hops() {
+        let mut p = IntPath::new();
+        let hop = |i: u64| IntHop {
+            qlen: i,
+            tx_bytes: i,
+            ts: Time::from_us(i),
+            rate_bps: 100,
+        };
+        for i in 0..INT_MAX_HOPS as u64 {
+            assert!(p.push(hop(i)), "hop {i} must be accepted below the cap");
+        }
+        assert_eq!(p.len(), INT_MAX_HOPS);
+        // Past the cap: rejected, path unchanged, recorded prefix intact.
+        assert!(!p.push(hop(999)));
+        assert!(!p.push(hop(1000)));
+        assert_eq!(p.len(), INT_MAX_HOPS);
+        let qlens: Vec<u64> = p.as_slice().iter().map(|h| h.qlen).collect();
+        assert_eq!(qlens, (0..INT_MAX_HOPS as u64).collect::<Vec<u64>>());
+        // Clearing re-arms the path.
+        p.clear();
+        assert!(p.push(hop(0)));
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -106,6 +106,14 @@ pub struct SimCounters {
     /// Fluid rate-change epochs processed (the scheduler events the whole
     /// background load cost, in place of per-packet events).
     pub fluid_epochs: u64,
+    /// Fault-schedule transitions applied ([`crate::faults::FaultSchedule`]).
+    pub fault_events: u64,
+    /// Data packets dropped because their link was down at arrival.
+    pub fault_link_drops: u64,
+    /// Control packets (ACKs, probes, probe echoes) dropped because their
+    /// link was down at arrival. PFC frames are never dropped (out-of-band
+    /// reliable control plane).
+    pub fault_ctrl_drops: u64,
 }
 
 /// Per-flow time-series traces (only populated when

@@ -9,6 +9,7 @@ use simcore::{EventQueue, Rate, ScheduledId, SimRng, Time};
 use crate::audit::{Audit, SwitchArrive, ViolationKind};
 use crate::audit::AuditConfig;
 use crate::config::{AckPriority, Buggify, SimConfig, SwitchConfig};
+use crate::faults::{FaultKind, FaultRuntime};
 use crate::fluid::FluidState;
 use crate::monitor::{Monitor, MonitorKind};
 use crate::node::queue_index;
@@ -81,6 +82,15 @@ pub enum Event {
     /// piecewise-constant rates. Never scheduled when
     /// [`SimConfig::background`] is `None`.
     FluidEpoch,
+    /// Apply fault-schedule transition `idx`
+    /// ([`crate::faults::FaultSchedule`]). Scheduled up-front at run start
+    /// — through the same scheduler backend as every other event — so
+    /// fault runs stay bit-identical across backends. Never scheduled when
+    /// [`SimConfig::faults`] is `None`.
+    Fault {
+        /// Index into the installed schedule's event list.
+        idx: u32,
+    },
     /// End of simulation.
     End,
 }
@@ -209,6 +219,9 @@ pub struct Sim {
     /// The single pending [`Event::FluidEpoch`], if any. Cancellable so a
     /// coupling hook can pull the epoch earlier without stale events.
     fluid_epoch: Option<ScheduledId>,
+    /// Fault-schedule runtime state; `None` — the fault-free default —
+    /// keeps every fault hook to one branch.
+    faults: Option<Box<FaultRuntime>>,
     /// Invariant-audit state; `None` keeps the hot path to one branch per
     /// hook. Boxed so the disabled case costs a single word.
     #[cfg(feature = "audit")]
@@ -284,6 +297,37 @@ impl Sim {
                 leak,
             ))
         });
+        let faults = cfg
+            .faults
+            // simlint::allow(hot-path-alloc, one schedule clone at Sim construction, not per event)
+            .clone()
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                for ev in &s.events {
+                    let (node, port) = ev.kind.link();
+                    assert!(
+                        port_specs
+                            .get(node as usize)
+                            .is_some_and(|v| (port as usize) < v.len()),
+                        "fault schedule targets nonexistent link attachment ({node}, {port})"
+                    );
+                    if matches!(ev.kind, FaultKind::DegradeStart { .. }) {
+                        if let Some(bg) = cfg.background.as_ref() {
+                            let (peer, peer_port, _, _) =
+                                port_specs[node as usize][port as usize];
+                            assert!(
+                                !bg.ports.contains(&(node, port))
+                                    && !bg.ports.contains(&(peer, peer_port)),
+                                "link degradation on fluid-loaded port ({node}, {port}) is \
+                                 unsupported: the fluid solver captures drain rates at \
+                                 construction (flaps and pause storms are fine)"
+                            );
+                        }
+                    }
+                }
+                // simlint::allow(hot-path-alloc, one fault box per run at construction, not per event)
+                Box::new(FaultRuntime::new(s))
+            });
         Sim {
             cfg,
             switch_cfg,
@@ -304,6 +348,7 @@ impl Sim {
             completed_buf: Vec::new(),
             fluid,
             fluid_epoch: None,
+            faults,
             #[cfg(feature = "audit")]
             audit: if crate::audit::env_enabled() {
                 // simlint::allow(hot-path-alloc, one audit box per run at construction, not per event)
@@ -501,6 +546,18 @@ impl Sim {
         if let Some(first) = self.fluid.as_deref().and_then(|f| f.first_epoch()) {
             self.fluid_epoch = Some(self.queue.schedule_cancellable(first, Event::FluidEpoch));
         }
+        // The fault schedule is fixed up-front: every transition becomes a
+        // first-class event through the same scheduler backend as data
+        // traffic, so fault runs stay bit-identical across backends.
+        // simlint::allow(hot-path-alloc, once at run start, not on the per-event path)
+        let fault_times: Vec<Time> = self
+            .faults
+            .as_deref()
+            .map(|ft| ft.schedule.events.iter().map(|e| e.at).collect())
+            .unwrap_or_default();
+        for (i, at) in fault_times.into_iter().enumerate() {
+            self.queue.schedule(at, Event::Fault { idx: i as u32 });
+        }
         while let Some((now, ev)) = self.queue.pop() {
             self.counters.events += 1;
             #[cfg(feature = "audit")]
@@ -513,6 +570,7 @@ impl Sim {
                     Event::HostPoke { node } => ("host_poke", *node),
                     Event::Sample { monitor } => ("sample", *monitor),
                     Event::FluidEpoch => ("fluid_epoch", 0),
+                    Event::Fault { idx } => ("fault", *idx),
                     Event::End => ("end", 0),
                 };
                 a.on_event(now, kind, id);
@@ -531,6 +589,7 @@ impl Sim {
                 Event::Arrive { node, in_port, pkt } => self.on_arrive(node, in_port, pkt, now),
                 Event::Sample { monitor } => self.on_sample(monitor, now),
                 Event::FluidEpoch => self.on_fluid_epoch(now),
+                Event::Fault { idx } => self.on_fault(idx, now),
             }
             if !self.completed_buf.is_empty() && self.app.is_some() {
                 // simlint::allow(hot-path-unwrap, guarded by the is_some() check one line up)
@@ -629,6 +688,25 @@ impl Sim {
             a.check_counters(now, &self.counters);
             if let Some(f) = self.fluid.as_deref() {
                 a.check_fluid(now, &f.audit_view());
+            }
+            if self.faults.is_some() {
+                // PFC deadlock monitor: a cycle in the wait-for graph over
+                // paused egress attachments is a circular buffer dependency
+                // (see DESIGN.md § Fault model). Only armed alongside a
+                // fault schedule — transient legitimate pause cycles in
+                // cyclic topologies are not deadlocks.
+                // simlint::allow(hot-path-alloc, deep-scan-only audit buffer, off the per-event path)
+                let switches: Vec<(NodeId, &Switch)> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, n)| match n {
+                        Node::Switch(s) => Some((id as NodeId, s)),
+                        Node::Host(_) => None,
+                    })
+                    .collect();
+                let cycle = crate::faults::detect_pause_cycle(&switches, &self.arena);
+                a.check_deadlock(now, cycle.as_deref());
             }
             if let Err(msg) = self.queue.check_invariants() {
                 a.queue_violation(now, msg);
@@ -787,8 +865,167 @@ impl Sim {
         }
     }
 
+    /// Apply fault-schedule transition `idx` at its scheduled time.
+    fn on_fault(&mut self, idx: u32, now: Time) {
+        self.counters.fault_events += 1;
+        let kind = self
+            .faults
+            .as_deref()
+            // simlint::allow(hot-path-unwrap, Fault events are only scheduled when a runtime exists)
+            .expect("Fault event without a fault runtime")
+            .schedule
+            .events[idx as usize]
+            .kind;
+        match kind {
+            FaultKind::LinkDown { node, port } => self.set_link_down(node, port, true, now),
+            FaultKind::LinkUp { node, port } => self.set_link_down(node, port, false, now),
+            FaultKind::DegradeStart {
+                node,
+                port,
+                rate_factor,
+                extra_prop,
+            } => self.set_degrade(node, port, Some((rate_factor, extra_prop))),
+            FaultKind::DegradeEnd { node, port } => self.set_degrade(node, port, None),
+            FaultKind::PauseStart { node, port, prio } => {
+                self.set_storm(node, port, prio, true, now)
+            }
+            FaultKind::PauseEnd { node, port, prio } => {
+                self.set_storm(node, port, prio, false, now)
+            }
+        }
+    }
+
+    /// Take a link (both attachments) down, or bring it back up. While down,
+    /// neither attachment serializes and every non-PFC packet in flight on
+    /// the link is dropped at arrival; on recovery both sides are kicked so
+    /// queued traffic resumes.
+    fn set_link_down(&mut self, node: NodeId, port: u16, down: bool, now: Time) {
+        let (peer, peer_port, _, _) = self.port_specs[node as usize][port as usize];
+        // simlint::allow(hot-path-unwrap, Fault events are only scheduled when a runtime exists)
+        let ft = self.faults.as_deref_mut().expect("fault runtime");
+        ft.set_down(node, port, down);
+        ft.set_down(peer, peer_port, down);
+        for (n, p) in [(node, port), (peer, peer_port)] {
+            self.fault_fluid_sync(n, p, now);
+            if !down {
+                match &self.nodes[n as usize] {
+                    Node::Switch(_) => self.switch_dequeue(n, p, now),
+                    Node::Host(_) => self.host_poke(n, now),
+                }
+            }
+        }
+    }
+
+    /// Begin (`Some((rate_factor, extra_prop))`) or end (`None`) a
+    /// degradation epoch on both directions of the link at `(node, port)`.
+    /// Applied at dequeue time, so already-queued packets see the regime
+    /// active when they reach the head of line.
+    fn set_degrade(&mut self, node: NodeId, port: u16, eff: Option<(f64, Time)>) {
+        let (peer, peer_port, _, _) = self.port_specs[node as usize][port as usize];
+        // simlint::allow(hot-path-unwrap, Fault events are only scheduled when a runtime exists)
+        let ft = self.faults.as_deref_mut().expect("fault runtime");
+        let (on, factor, extra) = match eff {
+            Some((factor, extra)) => (true, factor, extra),
+            None => (false, 1.0, Time::ZERO),
+        };
+        ft.set_degrade(node, port, on, factor, extra);
+        ft.set_degrade(peer, peer_port, on, factor, extra);
+    }
+
+    /// Pin (or release) a persistent PFC pause on `node`'s egress
+    /// attachment `port` for `prio` — a pause storm. While pinned, genuine
+    /// PFC frames addressed to that attachment are swallowed so the pin
+    /// holds; on release the pause bit is restored from the peer's real
+    /// pause authority (its ingress pause state).
+    fn set_storm(&mut self, node: NodeId, port: u16, prio: u8, on: bool, now: Time) {
+        let (peer, peer_port, _, _) = self.port_specs[node as usize][port as usize];
+        // simlint::allow(hot-path-unwrap, Fault events are only scheduled when a runtime exists)
+        let ft = self.faults.as_deref_mut().expect("fault runtime");
+        ft.set_storm(node, port, prio, on);
+        let paused = if on {
+            true
+        } else {
+            match &self.nodes[peer as usize] {
+                Node::Switch(ps) => ps.ingress_paused[peer_port as usize][prio as usize],
+                Node::Host(_) => false,
+            }
+        };
+        match &mut self.nodes[node as usize] {
+            Node::Switch(s) => s.ports[port as usize].set_paused(prio as usize, paused),
+            Node::Host(h) => {
+                debug_assert_eq!(port, 0, "hosts have a single egress port");
+                h.port.set_paused(prio as usize, paused);
+            }
+        }
+        if prio == 0 {
+            self.fault_fluid_sync(node, port, now);
+        }
+        if !paused {
+            match &self.nodes[node as usize] {
+                Node::Switch(_) => self.switch_dequeue(node, port, now),
+                Node::Host(_) => self.host_poke(node, now),
+            }
+        }
+    }
+
+    /// Recompute the effective fluid pause on a switch egress attachment:
+    /// fluid service halts while the link is down or priority 0 (the class
+    /// fluid traffic rides) is paused, genuinely or storm-pinned.
+    fn fault_fluid_sync(&mut self, node: NodeId, port: u16, now: Time) {
+        if self.fluid.is_none() {
+            return;
+        }
+        let paused0 = match &self.nodes[node as usize] {
+            Node::Switch(s) => s.ports[port as usize].is_paused(0),
+            Node::Host(_) => return,
+        };
+        let eff = paused0 || self.faults.as_deref().is_some_and(|f| f.is_down(node, port));
+        let mut changed = false;
+        if let Some(f) = self.fluid.as_deref_mut() {
+            changed = f.set_paused(node, port, eff, now);
+        }
+        if changed {
+            self.fluid_reschedule(now);
+        }
+    }
+
+    /// Retire a packet caught in flight on a dead link. Data losses are
+    /// reported to the audit's conservation tallies (unless the
+    /// [`Buggify::FaultDropUnaccounted`] self-test suppresses that to prove
+    /// the audit notices); control losses are counted in
+    /// [`SimCounters::fault_ctrl_drops`] but never audited, since control
+    /// packets are not part of the injected tallies.
+    fn fault_drop(&mut self, pid: PacketId) {
+        let (is_data, wire) = {
+            let pkt = self.arena.get(pid);
+            (pkt.kind.is_data(), pkt.size as u64)
+        };
+        if is_data {
+            self.counters.fault_link_drops += 1;
+            #[cfg(feature = "audit")]
+            if self.switch_cfg.buggify != Some(Buggify::FaultDropUnaccounted) {
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_link_drop(wire);
+                }
+            }
+            #[cfg(not(feature = "audit"))]
+            let _ = wire;
+        } else {
+            self.counters.fault_ctrl_drops += 1;
+        }
+        // A dropped INT carrier returns its telemetry box to the pool.
+        if let Some(boxed) = self.arena.get_mut(pid).int.take() {
+            self.arena.recycle_int(boxed);
+        }
+        self.arena.release(pid);
+    }
+
     /// Try to start transmitting the next packet on a switch egress port.
     fn switch_dequeue(&mut self, node: NodeId, port: u16, now: Time) {
+        if self.faults.as_deref().is_some_and(|f| f.is_down(node, port)) {
+            // Dead egress: nothing moves until LinkUp kicks this port.
+            return;
+        }
         // Hybrid coupling: fluid backlog at this port consumes buffer (PFC
         // resume threshold).
         let fluid_occ = match self.fluid.as_deref() {
@@ -827,6 +1064,12 @@ impl Sim {
         p.busy = true;
         p.tx_bytes += size;
         let (peer, peer_port, rate, prop) = self.port_specs[node as usize][port as usize];
+        // Degradation epoch: reduced rate and/or extra propagation. Applied
+        // before the INT record so telemetry reports the effective rate.
+        let (rate, prop) = match self.faults.as_deref().and_then(|f| f.degrade_of(node, port)) {
+            Some((factor, extra)) => (rate.mul_f64(factor), prop + extra),
+            None => (rate, prop),
+        };
         if self.switch_cfg.int_enabled && is_data {
             let rec = IntHop {
                 qlen: p.queued_bytes_q[prio as usize],
@@ -834,7 +1077,12 @@ impl Sim {
                 ts: now,
                 rate_bps: rate.as_bps(),
             };
-            self.arena.append_int(pid, rec);
+            let pushed = self.arena.append_int(pid, rec);
+            debug_assert!(
+                pushed,
+                "INT path saturated at switch {node}: {} hops means a routing loop",
+                crate::packet::INT_MAX_HOPS
+            );
         }
         // `fluid_owed == 0` takes the exact original path, so
         // zero-background runs stay bit-identical.
@@ -888,6 +1136,14 @@ impl Sim {
     }
 
     fn on_arrive(&mut self, node: NodeId, in_port: u16, pkt: PacketId, now: Time) {
+        if let Some(ft) = self.faults.as_deref() {
+            // A dead link drops everything in flight on it — except PFC
+            // frames, which model an out-of-band reliable control plane.
+            if ft.is_down(node, in_port) && !self.arena.get(pkt).kind.is_pfc() {
+                self.fault_drop(pkt);
+                return;
+            }
+        }
         match &self.nodes[node as usize] {
             Node::Switch(_) => self.switch_arrive(node, in_port, pkt, now),
             Node::Host(_) => self.host_arrive(node, pkt, now),
@@ -898,6 +1154,15 @@ impl Sim {
         if let PktKind::Pfc { prio, pause } = self.arena.get(pid).kind {
             // PFC frames are consumed at the MAC layer, never queued.
             self.arena.release(pid);
+            if self
+                .faults
+                .as_deref()
+                .is_some_and(|f| f.stormed(node, in_port, prio))
+            {
+                // Storm pin holds: genuine frames are swallowed. The peer's
+                // pause authority is re-read at storm release.
+                return;
+            }
             let Node::Switch(s) = &mut self.nodes[node as usize] else {
                 unreachable!()
             };
@@ -905,14 +1170,9 @@ impl Sim {
             if self.fluid.is_some() && prio == 0 {
                 // Hybrid coupling: a pause of the lowest data priority —
                 // the class fluid background traffic rides — halts fluid
-                // service on this egress port until resume.
-                let mut changed = false;
-                if let Some(f) = self.fluid.as_deref_mut() {
-                    changed = f.set_paused(node, in_port, pause, now);
-                }
-                if changed {
-                    self.fluid_reschedule(now);
-                }
+                // service on this egress port until resume. Composited with
+                // the fault overlay (a down link also halts fluid service).
+                self.fault_fluid_sync(node, in_port, now);
             }
             if !pause {
                 self.switch_dequeue(node, in_port, now);
@@ -1020,6 +1280,14 @@ impl Sim {
             PktKind::Pfc { prio, pause } => {
                 let (prio, pause) = (*prio as usize, *pause);
                 self.arena.release(pid);
+                if self
+                    .faults
+                    .as_deref()
+                    .is_some_and(|f| f.stormed(node, 0, prio as u8))
+                {
+                    // Storm pin on the host NIC holds; see `set_storm`.
+                    return;
+                }
                 let Node::Host(h) = &mut self.nodes[node as usize] else {
                     unreachable!()
                 };
@@ -1204,6 +1472,11 @@ impl Sim {
     /// (queued control first, then strict-priority pull across flows) and
     /// start transmitting it.
     fn host_poke(&mut self, node: NodeId, now: Time) {
+        if self.faults.as_deref().is_some_and(|f| f.is_down(node, 0)) {
+            // Dead NIC link: transports stay queued; LinkUp (or the next
+            // transport timer after recovery) re-pokes.
+            return;
+        }
         let Node::Host(h) = &mut self.nodes[node as usize] else {
             panic!("host_poke on switch {node}")
         };
@@ -1287,6 +1560,11 @@ impl Sim {
             Some(pid) => {
                 let size = self.arena.get(pid).size as u64;
                 let (peer, peer_port, rate, prop) = self.port_specs[node as usize][0];
+                let (rate, prop) =
+                    match self.faults.as_deref().and_then(|f| f.degrade_of(node, 0)) {
+                        Some((factor, extra)) => (rate.mul_f64(factor), prop + extra),
+                        None => (rate, prop),
+                    };
                 let h = match &mut self.nodes[node as usize] {
                     Node::Host(h) => h,
                     _ => unreachable!(),

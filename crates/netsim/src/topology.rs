@@ -168,6 +168,46 @@ impl Topology {
         t
     }
 
+    /// A linear chain: host 0 — switch — switch — … — switch — host 1, with
+    /// `switches ≥ 1` switches, all links at `rate`/`prop`. The only
+    /// deliberately long-diameter topology; used by the INT-path saturation
+    /// regression (paths longer than [`crate::packet::INT_INLINE_HOPS`]
+    /// spill, and [`crate::packet::INT_MAX_HOPS`] caps them) and by
+    /// multi-hop fault scenarios.
+    pub fn chain(switches: usize, rate: Rate, prop: Time) -> Self {
+        assert!(switches >= 1, "chain needs at least one switch");
+        let mut t = Topology::new();
+        let h0 = t.add_host();
+        let h1 = t.add_host();
+        let sws: Vec<_> = (0..switches).map(|_| t.add_switch()).collect();
+        t.connect(h0, sws[0], rate, prop);
+        for w in sws.windows(2) {
+            t.connect(w[0], w[1], rate, prop);
+        }
+        t.connect(sws[switches - 1], h1, rate, prop);
+        t
+    }
+
+    /// A ring of `n ≥ 3` switches, each with one attached host: hosts are
+    /// nodes `0..n`, switch `n + i` serves host `i`, and ring links join
+    /// switch `n + i` to switch `n + (i + 1) % n`. With odd `n` every
+    /// switch-to-switch shortest path is unique, so ECMP routing is fully
+    /// deterministic — the fault tests use this to construct circular
+    /// buffer dependencies (PFC deadlock) with pause storms.
+    pub fn ring(n: usize, rate: Rate, prop: Time) -> Self {
+        assert!(n >= 3, "ring needs at least three switches");
+        let mut t = Topology::new();
+        let hosts: Vec<_> = (0..n).map(|_| t.add_host()).collect();
+        let sws: Vec<_> = (0..n).map(|_| t.add_switch()).collect();
+        for i in 0..n {
+            t.connect(hosts[i], sws[i], rate, prop);
+        }
+        for i in 0..n {
+            t.connect(sws[i], sws[(i + 1) % n], rate, prop);
+        }
+        t
+    }
+
     /// Two-tier leaf–spine fabric. Each leaf hosts `hosts_per_leaf` hosts at
     /// `host_rate`; every leaf connects to every spine at `fabric_rate`.
     /// Oversubscription = `hosts_per_leaf*host_rate / (spines*fabric_rate)`.
@@ -351,6 +391,38 @@ mod tests {
         }
         for spine in &adj[28..30] {
             assert_eq!(spine.len(), 4);
+        }
+    }
+
+    #[test]
+    fn chain_counts_and_shape() {
+        let t = Topology::chain(10, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.hosts.len(), 2);
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.links.len(), 11);
+        let adj = t.adjacency();
+        // End hosts have one NIC; interior switches have degree 2.
+        assert_eq!(adj[0].len(), 1);
+        assert_eq!(adj[1].len(), 1);
+        for (sw, ports) in adj.iter().enumerate().skip(2) {
+            assert_eq!(ports.len(), 2, "switch {sw}");
+        }
+    }
+
+    #[test]
+    fn ring_counts_and_degrees() {
+        let n = 5;
+        let t = Topology::ring(n, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.hosts.len(), n);
+        assert_eq!(t.num_nodes(), 2 * n);
+        assert_eq!(t.links.len(), 2 * n); // n host links + n ring links
+        let adj = t.adjacency();
+        for (node, ports) in adj.iter().enumerate() {
+            if node < n {
+                assert_eq!(ports.len(), 1, "host {node}");
+            } else {
+                assert_eq!(ports.len(), 3, "switch {node}: host + two ring neighbors");
+            }
         }
     }
 

@@ -280,6 +280,110 @@ proptest! {
         }
     }
 
+    /// Link flaps and pause storms interleaved with traffic: a downed link
+    /// freezes its egress (no dequeues, modeling `Sim`'s dead-port early
+    /// return), a storm pins an egress pause bit, and neither may disturb
+    /// any byte counter, emit an illegal PFC transition, or let a pinned
+    /// priority transmit. After clearing every fault, a full drain must
+    /// return all counters to exactly zero — flaps never strand bytes.
+    #[test]
+    fn flapping_links_hold_all_invariants(words in proptest::collection::vec(0u64..u64::MAX, 1..300)) {
+        let mut s = mk_switch(true, 64_000, None);
+        let mut arena = PacketArena::new();
+        let mut seq = 0u64;
+        let mut shadow = [[false; NQ]; NPORTS];
+        let mut link_up = [true; NPORTS];
+        let mut storm = [[false; NQ - 1]; NPORTS];
+        for &w in &words {
+            let port = ((w >> 3) & 1) as usize;
+            match w & 7 {
+                // Flap: toggle the link under the egress port.
+                0 => link_up[port] = !link_up[port],
+                // Storm: toggle a pinned pause on a data priority, exactly
+                // as `Sim::set_storm` drives the port (pin on, restore to
+                // the peer's authority — unpaused here — on release).
+                1 => {
+                    let q = ((w >> 4) % (NQ as u64 - 1)) as usize;
+                    storm[port][q] = !storm[port][q];
+                    s.ports[port].set_paused(q, storm[port][q]);
+                }
+                2..=4 => {
+                    let op = Op::Admit {
+                        port: port as u16,
+                        in_port: ((w >> 4) & 1) as u16,
+                        prio: ((w >> 5) % 3) as u8,
+                        payload: 64 + ((w >> 8) % 1437) as u32,
+                    };
+                    let hit = match step(&mut s, &mut arena, op, &mut seq, &mut shadow) {
+                        Ok(h) => h,
+                        Err(e) => return Err(TestCaseError::fail(e)),
+                    };
+                    if let Some((ip, q)) = hit {
+                        if q < NQ - 1 {
+                            let over = s.ingress_bytes[ip as usize][q] > s.pfc_pause_threshold(0);
+                            prop_assert!(
+                                !over || s.ingress_paused[ip as usize][q],
+                                "ingress ({ip}, {q}) above pause threshold but not paused"
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    // Dequeue, honoring the fault overlay: a dead link's
+                    // egress is frozen, and a storm-pinned priority must
+                    // never be the one transmitting.
+                    if link_up[port] {
+                        if let Some(id) = s.ports[port].dequeue(&arena) {
+                            let q = queue_index(arena.get(id), NQ);
+                            prop_assert!(
+                                !(q < NQ - 1 && storm[port][q]),
+                                "storm-pinned queue {q} on port {port} transmitted"
+                            );
+                            let mut resumes = Vec::new();
+                            s.on_dequeue(arena.get(id), 0, &mut resumes);
+                            arena.release(id);
+                            for &(ip, rq) in &resumes {
+                                let slot = &mut shadow[ip as usize][rq as usize];
+                                prop_assert!(*slot, "Xon without Xoff for ({ip}, {rq})");
+                                *slot = false;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Err(e) = recount_consistent(&s, &arena) {
+                return Err(TestCaseError::fail(e));
+            }
+            for (ip, row) in shadow.iter().enumerate() {
+                for (q, &paused) in row.iter().enumerate() {
+                    prop_assert_eq!(paused, s.ingress_paused[ip][q]);
+                }
+            }
+        }
+        // Clear every fault and drain: nothing may be stranded.
+        for p in 0..NPORTS {
+            link_up[p] = true;
+            for (q, pinned) in storm[p].iter_mut().enumerate() {
+                *pinned = false;
+                s.ports[p].set_paused(q, false);
+            }
+        }
+        let mut resumes = Vec::new();
+        for p in 0..NPORTS {
+            while let Some(id) = s.ports[p].dequeue(&arena) {
+                s.on_dequeue(arena.get(id), 0, &mut resumes);
+                arena.release(id);
+            }
+        }
+        prop_assert_eq!(s.total_buffered, 0);
+        prop_assert!(s.ingress_bytes.iter().flatten().all(|&b| b == 0));
+        for p in &s.ports {
+            prop_assert_eq!(p.queued_bytes, 0);
+            prop_assert!(p.queued_bytes_q.iter().all(|&b| b == 0));
+        }
+        prop_assert_eq!(arena.live_count(), 0);
+    }
+
     /// Fault injection: the PFC off-by-one must produce a state where the
     /// admission that crossed the pause threshold leaves the pair unpaused
     /// — the exact signature the audit layer's Xoff check looks for.

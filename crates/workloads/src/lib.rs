@@ -10,6 +10,8 @@
 //!   20-into-1 file-request incast pattern (coflow scenario, §6.2);
 //! - [`allreduce`]: ring all-reduce training-job schedules for the ML
 //!   cluster scenario (ResNet/VGG data-parallel jobs, §6.2);
+//! - [`faults`]: seed-driven link-outage plans (alternating MTBF/MTTR
+//!   renewal windows) the harness turns into `netsim` fault schedules;
 //! - [`priomap`]: size-class → priority assignment helpers (smaller flows
 //!   get higher priorities, approximating pFabric-style scheduling).
 //!
@@ -23,11 +25,13 @@
 pub mod allreduce;
 pub mod background;
 pub mod coflow;
+pub mod faults;
 pub mod priomap;
 pub mod websearch;
 
 pub use allreduce::RingJob;
 pub use background::BackgroundSpec;
+pub use faults::FaultPlanSpec;
 pub use coflow::{Coflow, CoflowGen};
 pub use priomap::SizeClassifier;
 pub use websearch::{FlowArrival, PoissonArrivals, SizeDist, WEBSEARCH_CDF};

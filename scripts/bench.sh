@@ -45,6 +45,27 @@ if [[ -n "$PREV" ]]; then
           "$name" "$old_slots" "$new_slots" "$old_int" "$new_int"
       done
   fi
+  # Fault-regime scenario (incast_faults): wall-time drift is the
+  # headline number here — the fault overlay sits on the hot
+  # dequeue/arrival paths even when no fault is active, so a slowdown on
+  # this row means the overlay got expensive. The counters confirm the
+  # schedule still exercises real drops.
+  extract_faults() {
+    sed -n 's/.*"name": "\(incast_faults\)", "wall_ms": \([0-9.]*\).*"fault_events": \([0-9]*\), "fault_link_drops": \([0-9]*\).*/\1 \2 \3 \4/p' "$1"
+  }
+  if [[ -n "$(extract_faults "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== incast_faults wall-time vs previous $BENCH_FILE ==="
+    join <(extract_faults "$PREV" | sort) <(extract_faults "$BENCH_FILE" | sort) |
+      while read -r name old_wall old_ev old_drops new_wall new_ev new_drops; do
+        awk -v o="$old_wall" -v c="$new_wall" -v oe="$old_ev" -v ne="$new_ev" \
+            -v od="$old_drops" -v nd="$new_drops" 'BEGIN {
+          drift = (o > 0) ? (c - o) / o * 100.0 : 0.0
+          printf "  incast_faults      wall %8.1f ms -> %8.1f ms  (%+.1f%%)  fault_events %s -> %s  link_drops %s -> %s\n", \
+            o, c, drift, oe, ne, od, nd
+        }'
+      done
+  fi
   # Hybrid model speedup (incast_hybrid / websearch_hybrid): the
   # event_reduction factor is the whole point of the fluid background
   # model — print its drift so a coupling change that silently erodes

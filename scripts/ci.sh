@@ -21,16 +21,24 @@
 #      every Sim and the deep scan at every event — zero-background
 #      bit-identity, the conservation property fleet, and the
 #      FluidDrainLeak detection test all under maximum audit granularity;
-#   7. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
+#   7. fault regimes: the fault e2e matrix (link flaps, degradation,
+#      pause storms, the PFC deadlock monitor) rerun with the audit
+#      force-enabled, panicking on violations, and the deep scan at every
+#      event — conservation under failure at maximum granularity (the
+#      detector tests install their own non-panicking audit, so expected
+#      violations don't trip the panic switch);
+#   8. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
 #      and =quad, so every code path pinned on the calendar-queue default
 #      (unit, e2e, golden) also runs — and stays bit-identical — on the
 #      alternative event schedulers;
-#   8. bench drift: scripts/bench.sh prints events/sec deltas against the
+#   9. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
 #      per-backend rows cover event-queue drift for all three backends,
 #      the arena_churn row carries the allocation counters that pin the
-#      zero-steady-state-allocation contract, and the hybrid rows carry
-#      the event_reduction factors that pin the fluid model's speedup).
+#      zero-steady-state-allocation contract, the hybrid rows carry the
+#      event_reduction factors that pin the fluid model's speedup, and
+#      the incast_faults row carries the wall-time cost of the fault
+#      overlay on the hot paths).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -52,11 +60,11 @@ if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
   esac
 fi
 
-echo "=== [1/8] simlint: workspace static analysis ==="
+echo "=== [1/9] simlint: workspace static analysis ==="
 cargo run --release -q -p simlint
 
 echo
-echo "=== [2/8] clippy (-D warnings) ==="
+echo "=== [2/9] clippy (-D warnings) ==="
 if cargo clippy --version >/dev/null 2>&1; then
   cargo clippy --workspace --all-targets -- -D warnings
 else
@@ -64,16 +72,16 @@ else
 fi
 
 echo
-echo "=== [3/8] tier-1: release build + tests ==="
+echo "=== [3/9] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 
 echo
-echo "=== [4/8] audit compiles out (netsim --no-default-features) ==="
+echo "=== [4/9] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 
 echo
-echo "=== [5/8] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [5/9] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 echo "--- arena accounting at every event boundary (deep scan forced) ---"
@@ -81,17 +89,22 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_arena --test e2e_audit
 
 echo
-echo "=== [6/8] hybrid packet/fluid e2e (fluid conservation forced) ==="
+echo "=== [6/9] hybrid packet/fluid e2e (fluid conservation forced) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_hybrid
 
 echo
-echo "=== [7/8] scheduler-backend matrix (binary, quad) ==="
+echo "=== [7/9] fault-regime e2e (deadlock monitor, conservation under failure) ==="
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
+  cargo test -q --release -p experiments --test e2e_faults
+
+echo
+echo "=== [8/9] scheduler-backend matrix (binary, quad) ==="
 PRIOPLUS_SCHED=binary cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
 
 echo
-echo "=== [8/8] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [9/9] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 
 echo
