@@ -23,6 +23,10 @@
 //!   timing the fault overlay on the hot dequeue/arrival paths (the JSON
 //!   extras carry the fault counters);
 //! - `flowsched_k4`: one quick-scale fat-tree flow-scheduling run;
+//! - `hyperscale_incast`: the hyperscale open-loop scenario at bench scale
+//!   (k=8 fat-tree, streamed WebSearch + incast arrivals, streaming
+//!   sketches, slab-reclaimed flow state) — the JSON extras carry the
+//!   memory-budget counters (peak live flows, slab slots, peak bytes);
 //! - `incast_hybrid` / `websearch_hybrid`: the hybrid packet/fluid model
 //!   at 50 % background load — the fluid run is timed, and the JSON extras
 //!   carry the packet-reference comparison (`event_reduction`,
@@ -38,6 +42,7 @@ use std::time::Instant;
 
 use experiments::flowsched::{run_many, FlowSchedConfig};
 use experiments::hybrid::{paired_fg_fct_us, HybridMode, HybridScenario};
+use experiments::hyperscale::{run as hyperscale_run, HyperScheme, HyperscaleConfig};
 use experiments::micro::{Micro, MicroEnv};
 use experiments::report::json_string;
 use experiments::sweep::default_jobs;
@@ -281,6 +286,29 @@ fn bench_incast_faults(stats: &std::cell::RefCell<[u64; 3]>) -> u64 {
 /// packet-level reference run of the same background trace provides the
 /// `event_reduction` / `wall_reduction` factors and the foreground-FCT
 /// delta reported in the JSON extras.
+/// The hyperscale open-loop scenario at bench scale: k=8 fat-tree (128
+/// hosts), PrioPlus on one physical queue, streamed WebSearch + periodic
+/// incast arrivals, streaming sketches on. Reports the memory-budget
+/// counters (peak live flow state + arena) alongside events/s — the point
+/// of the scenario is that both stay bounded while total flow lifetimes
+/// grow with the trace.
+fn bench_hyperscale(stats: &std::cell::RefCell<[u64; 6]>) -> u64 {
+    let cfg = HyperscaleConfig {
+        duration: Time::from_ms(1),
+        ..HyperscaleConfig::quick(HyperScheme::PrioPlus)
+    };
+    let r = hyperscale_run(&cfg);
+    *stats.borrow_mut() = [
+        r.flows_total,
+        r.finished,
+        r.flow_live_peak,
+        r.flow_slab_slots,
+        r.flows_reclaimed,
+        r.mem_budget_bytes,
+    ];
+    r.events
+}
+
 fn bench_hybrid(name: &'static str, sc: &HybridScenario) -> Scenario {
     let mut packet_wall = f64::INFINITY;
     let mut fluid_wall = f64::INFINITY;
@@ -386,6 +414,21 @@ fn main() {
          {fault_link_drops} data drops, {fault_ctrl_drops} control drops"
     );
     scenarios.push(faults);
+    let hyper_stats = std::cell::RefCell::new([0u64; 6]);
+    let mut hyper = scenario("hyperscale_incast", || bench_hyperscale(&hyper_stats));
+    let [hflows, hdone, hpeak, hslots, hreclaimed, hbudget] = *hyper_stats.borrow();
+    hyper.extra = format!(
+        ", \"flows_total\": {hflows}, \"flows_finished\": {hdone}, \
+         \"flow_live_peak\": {hpeak}, \"flow_slab_slots\": {hslots}, \
+         \"flows_reclaimed\": {hreclaimed}, \"mem_budget_bytes\": {hbudget}"
+    );
+    println!(
+        "  hyperscale_incast counters: {hflows} flows ({hdone} finished), \
+         peak live {hpeak} over {hslots} slab slots, {hreclaimed} reclaimed, \
+         {:.2} MB peak budget",
+        hbudget as f64 / 1e6
+    );
+    scenarios.push(hyper);
     scenarios.push(bench_hybrid("incast_hybrid", &HybridScenario::incast(0.5)));
     scenarios.push(bench_hybrid(
         "websearch_hybrid",

@@ -1,0 +1,87 @@
+//! Hyperscale scenario: PrioPlus vs DCTCP tail FCT on large fabrics with
+//! open-loop streamed arrivals and streaming-sketch statistics.
+//!
+//! Quick (default): k=8 fat-tree (128 hosts), 2 ms trace. `--full`: k=16
+//! fat-tree (1024 hosts) plus the 3-tier+WAN fabric, 20 ms trace. Both
+//! schemes share one physical queue — the comparison isolates what virtual
+//! priority buys at scale — and every quantile comes from the streaming
+//! sketches; no per-flow record vectors are kept.
+//!
+//! Also reports the memory-scaling counters: peak live flows vs total flow
+//! lifetimes, and the peak resident budget (flow slab + packet arena).
+//!
+//! Usage: `fig_hyperscale [--full]`
+
+use experiments::hyperscale::{run_many, HyperScheme, HyperTopo, HyperscaleConfig};
+use experiments::report::f3;
+use experiments::{Scale, Table};
+use netsim::ThreeTierWanSpec;
+use simcore::Time;
+
+fn main() {
+    let scale = Scale::from_args();
+    let jobs = experiments::sweep::default_jobs();
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
+    for scheme in [HyperScheme::PrioPlus, HyperScheme::Dctcp] {
+        let base = match scale {
+            Scale::Quick => HyperscaleConfig::quick(scheme),
+            Scale::Full => HyperscaleConfig::full(scheme),
+        };
+        labels.push(base.topo.name());
+        cfgs.push(base);
+        if scale == Scale::Full {
+            // Second fabric: a small multi-DC 3-tier+WAN slice (2 DCs,
+            // 1024 hosts) exercising the compressed routing mode and the
+            // WAN hierarchy with the same trace parameters.
+            let spec = ThreeTierWanSpec {
+                dcs: 2,
+                pods_per_dc: 4,
+                tors_per_pod: 8,
+                hosts_per_tor: 16,
+                aggs_per_pod: 4,
+                cores_per_dc: 8,
+                wan_routers: 4,
+                ..Default::default()
+            };
+            let cfg = HyperscaleConfig {
+                topo: HyperTopo::ThreeTierWan(spec),
+                duration: Time::from_ms(5),
+                ..HyperscaleConfig::full(scheme)
+            };
+            labels.push(cfg.topo.name());
+            cfgs.push(cfg);
+        }
+    }
+    let results = run_many(&cfgs, jobs);
+    let mut t = Table::new(
+        "Hyperscale: PrioPlus vs DCTCP, single physical queue, open-loop WebSearch + incast",
+        &[
+            "cc",
+            "topo",
+            "flows",
+            "done",
+            "fct p50us",
+            "fct p99us",
+            "top-class p99us",
+            "sld p99",
+            "peak live",
+            "peak MB",
+        ],
+    );
+    for ((cfg, label), r) in cfgs.iter().zip(&labels).zip(&results) {
+        t.row(vec![
+            cfg.scheme.name().to_string(),
+            label.clone(),
+            r.flows_total.to_string(),
+            format!("{:.0}%", r.finished as f64 / r.flows_total.max(1) as f64 * 100.0),
+            f3(r.fct_us.p50),
+            f3(r.fct_us.p99),
+            f3(r.fct_top_class_us.p99),
+            f3(r.slowdown.p99),
+            r.flow_live_peak.to_string(),
+            f3(r.mem_budget_bytes as f64 / 1e6),
+        ]);
+    }
+    t.emit("fig_hyperscale");
+}

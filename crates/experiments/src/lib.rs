@@ -14,6 +14,9 @@
 //!   traffic against a packet-level reference from one shared trace;
 //! - [`faults`]: the fault-regime comparison (link flaps and PFC pause
 //!   storms vs the fault-free reference, FCT + priority inversions);
+//! - [`hyperscale`]: the hyperscale scenario — large fat-tree / 3-tier+WAN
+//!   fabrics, open-loop streamed arrivals, slab-reclaimed flow state, and
+//!   streaming quantile sketches instead of per-flow records;
 //! - [`report`]: plain-text table + JSON emission so EXPERIMENTS.md entries
 //!   can be regenerated and diffed;
 //! - [`sweep`]: the parallel sweep runner (`--jobs N` / `PRIOPLUS_JOBS`)
@@ -31,6 +34,7 @@ pub mod faults;
 pub mod flowsched;
 pub mod golden;
 pub mod hybrid;
+pub mod hyperscale;
 pub mod micro;
 pub mod mltrain;
 pub mod report;

@@ -114,6 +114,12 @@ pub enum ViolationKind {
     /// ([`crate::faults::detect_pause_cycle`]). Reported once per deadlock
     /// episode; re-armed when the cycle clears.
     PfcDeadlock,
+    /// A completed, deactivated flow still holds a live slot in the
+    /// flow-state slab: reclamation was skipped, so transport + reassembly
+    /// state is leaking. Checked by the deep scan's flow sweep — the sweep
+    /// is O(flows) by design (deep scans are periodic), while the per-event
+    /// audit state stays O(ports).
+    FlowStateLeak,
 }
 
 /// One recorded invariant violation.

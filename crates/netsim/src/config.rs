@@ -37,6 +37,12 @@ pub enum Buggify {
     /// to the audit's conservation tallies, breaking the
     /// `drops + fault_link_drops == audited drops` identity.
     FaultDropUnaccounted,
+    /// Flow completion skips releasing the flow's live-state slab slot
+    /// (transport + reassembly state), leaking per-flow memory that the
+    /// hyperscale scenarios depend on reclaiming. Caught by the audit deep
+    /// scan's flow-state sweep
+    /// ([`crate::audit::ViolationKind::FlowStateLeak`]).
+    FlowReclaimLeak,
 }
 
 /// Shared-buffer and scheduling configuration of a switch.
@@ -155,6 +161,12 @@ pub struct SimConfig {
     /// every fault hook to one branch; an installed schedule also arms the
     /// PFC deadlock monitor in the audit deep scan.
     pub faults: Option<crate::faults::FaultSchedule>,
+    /// Streaming-statistics mode (hyperscale runs): fold each completed
+    /// flow's FCT/slowdown into integer-bucketed quantile sketches
+    /// ([`crate::record::StreamingStats`]) at completion and return *empty*
+    /// per-flow records in [`crate::record::SimResult`], so result assembly
+    /// stays O(1) per flow instead of cloning an O(flows) record vector.
+    pub streaming_stats: bool,
 }
 
 impl Default for SimConfig {
@@ -171,6 +183,7 @@ impl Default for SimConfig {
             sched: SchedKind::from_env(),
             background: None,
             faults: None,
+            streaming_stats: false,
         }
     }
 }

@@ -52,8 +52,8 @@ pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
 pub use noise::NoiseModel;
 pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktKind};
-pub use record::{FlowRecord, SimCounters, SimResult};
+pub use record::{FlowRecord, SimCounters, SimResult, StreamingStats};
 pub use simcore::SchedKind;
-pub use sim::{FlowSpec, Sim};
-pub use topology::Topology;
+pub use sim::{ArrivalSource, FlowSpec, Sim};
+pub use topology::{ThreeTierWanSpec, Topology};
 pub use transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};

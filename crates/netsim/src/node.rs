@@ -318,6 +318,8 @@ pub struct Host {
     /// The single NIC.
     pub port: EgressPort,
     /// Active (not finished) flows per data priority, pulled round-robin.
+    /// Bounded by *concurrent* flows on this host (deactivated at
+    /// completion), not total flow lifetimes — safe at hyperscale.
     pub active: Vec<Vec<FlowId>>,
     /// Round-robin cursor per priority.
     pub rr: Vec<usize>,

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use simcore::stats::{ThroughputMeter, TimeSeries};
+use simcore::stats::{QuantileSketch, ThroughputMeter, TimeSeries};
 use simcore::{Rate, Time};
 
 use crate::packet::{FlowId, NodeId};
@@ -114,6 +114,74 @@ pub struct SimCounters {
     /// link was down at arrival. PFC frames are never dropped (out-of-band
     /// reliable control plane).
     pub fault_ctrl_drops: u64,
+    /// Flows registered over the whole run (open-loop injections included).
+    /// In streaming mode this is the only total-flow count — `records` is
+    /// empty.
+    pub flows_total: u64,
+    /// Peak number of flows with live state (transport + reassembly)
+    /// resident in the flow slab at once. The hyperscale memory budget is
+    /// proportional to this, not to the total flow count.
+    pub flow_live_peak: u64,
+    /// Flow-slab slots ever allocated (== peak live flows; slot reuse means
+    /// completed flows' slots are recycled, not leaked).
+    pub flow_slab_slots: u64,
+    /// Flows whose live state was reclaimed on completion.
+    pub flows_reclaimed: u64,
+    /// Peak bytes of live flow state (slab slots + transport boxes; the
+    /// reassembly map's heap nodes are not counted — empty at completion).
+    pub flow_live_bytes_peak: u64,
+}
+
+/// Streaming run statistics ([`crate::SimConfig::streaming_stats`]):
+/// integer-bucketed quantile sketches folded at flow completion, replacing
+/// the per-flow sample vectors experiments otherwise build from
+/// [`SimResult::records`]. All fields are order-independent integer state,
+/// so a run's `StreamingStats` is bit-identical across scheduler backends
+/// (pinned by the sketch differential fleet).
+#[derive(Clone, Debug, Default)]
+pub struct StreamingStats {
+    /// FCT sketch over all completed flows, in picoseconds.
+    pub fct_ps: QuantileSketch,
+    /// FCT slowdown (vs each flow's own ideal) in milli-units
+    /// (`slowdown * 1000` truncated), over all completed flows.
+    pub slowdown_milli: QuantileSketch,
+    /// Per-virtual-priority FCT sketches (ps), indexed by `virt_prio`;
+    /// grown on demand.
+    pub fct_ps_by_virt: Vec<QuantileSketch>,
+    /// Flows completed (== total sketch sample count).
+    pub finished: u64,
+    /// Payload bytes delivered by completed flows.
+    pub finished_bytes: u64,
+}
+
+impl StreamingStats {
+    /// Fold one completed flow.
+    pub fn on_complete(&mut self, record: &FlowRecord, finish: Time) {
+        let fct = (finish - record.start).as_ps();
+        self.fct_ps.add(fct);
+        let ideal = record.ideal_fct(record.line_rate, record.base_rtt);
+        let slowdown_milli = (fct as u128 * 1000 / ideal.as_ps().max(1) as u128) as u64;
+        self.slowdown_milli.add(slowdown_milli);
+        let v = record.virt_prio as usize;
+        if v >= self.fct_ps_by_virt.len() {
+            self.fct_ps_by_virt.resize_with(v + 1, QuantileSketch::new);
+        }
+        self.fct_ps_by_virt[v].add(fct);
+        self.finished += 1;
+        self.finished_bytes += record.size;
+    }
+
+    /// Order-independent fingerprint of the whole streaming state, for
+    /// cross-scheduler bit-identity assertions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.fct_ps.fingerprint() ^ self.finished.rotate_left(17);
+        h ^= self.slowdown_milli.fingerprint().rotate_left(31);
+        h ^= self.finished_bytes.rotate_left(47);
+        for (i, s) in self.fct_ps_by_virt.iter().enumerate() {
+            h ^= s.fingerprint().rotate_left((i % 63) as u32 + 1);
+        }
+        h
+    }
 }
 
 /// Per-flow time-series traces (only populated when
@@ -145,6 +213,10 @@ pub struct SimResult {
     /// Invariant-audit report; `Some` when the audit layer was enabled for
     /// the run ([`crate::sim::Sim::enable_audit`]).
     pub audit: Option<crate::audit::AuditReport>,
+    /// Streaming statistics; `Some` when
+    /// [`crate::SimConfig::streaming_stats`] was on (then `records` is
+    /// empty — quantiles come from the sketches instead).
+    pub streaming: Option<Box<StreamingStats>>,
 }
 
 impl SimResult {

@@ -4,15 +4,61 @@
 //! every port that lies on a shortest path. Per-flow ECMP picks one port by
 //! hashing the flow id with the node id, so a flow is pinned to one path
 //! (no reordering from multipathing) while flows spread across paths.
+//!
+//! Two table representations share one query interface:
+//!
+//! - **Exact**: a dense `next[node][dst]` table, built by one reverse BFS
+//!   per destination host. O(nodes × hosts) storage — fine up to a few
+//!   hundred nodes, and the historical representation, so its candidate
+//!   *order* is load-bearing (golden traces pin ECMP picks).
+//! - **ToR-compressed**: for hyperscale topologies (above
+//!   [`RoutingTable::COMPRESS_THRESHOLD`] nodes), exploit that every host
+//!   has a single NIC: routes to a host equal routes to its attachment
+//!   (ToR) switch plus the ToR's down-port. One BFS per *ToR* over the
+//!   switch-only graph gives O(switches × ToRs) storage — at a k=16
+//!   fat-tree that is 320×128 rows instead of 1344×1024, and at the 3-tier
+//!   WAN topology ~0.4M rows instead of ~1.1G.
+//!
+//! Both builders expand the frontier in the same (node-ascending,
+//! port-ascending) order, so the per-(node, dst) candidate lists — and
+//! therefore every ECMP pick — are identical between representations
+//! (pinned by `compressed_matches_exact_*` tests below).
 
 use crate::packet::{FlowId, NodeId};
 
 /// Precomputed next-hop table.
 #[derive(Clone, Debug)]
 pub struct RoutingTable {
-    /// `next[node][dst]` = ports on shortest paths from `node` to host `dst`.
-    next: Vec<Vec<Vec<u16>>>,
+    table: Table,
     salt: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Table {
+    /// `next[node][dst]` = ports on shortest paths from `node` to host `dst`.
+    Exact(Vec<Vec<Vec<u16>>>),
+    Compressed(Compressed),
+}
+
+/// ToR-compressed representation: per-switch rows keyed by dense ToR index,
+/// plus O(hosts) attachment metadata.
+#[derive(Clone, Debug)]
+struct Compressed {
+    n: usize,
+    is_host: Vec<bool>,
+    /// Host -> its single egress port (valid only at host indices).
+    host_up: Vec<u16>,
+    /// Host -> its attachment (ToR) switch (valid only at host indices).
+    tor_of: Vec<NodeId>,
+    /// Host -> the ToR's down-port to this host (valid only at host indices).
+    tor_down: Vec<u16>,
+    /// Node -> dense switch index (`u32::MAX` for hosts).
+    sw_idx: Vec<u32>,
+    /// Node -> dense ToR index (`u32::MAX` unless a host attaches here).
+    tor_idx: Vec<u32>,
+    num_tors: usize,
+    /// `next[sw_dense * num_tors + tor_dense]` = candidate ports.
+    next: Vec<Vec<u16>>,
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -23,13 +69,41 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 33)
 }
 
+/// Reverse adjacency: `radj[peer]` = `(node, port)` pairs such that
+/// `adj[node]` contains `(port, peer)`, in (node-ascending, port-order)
+/// order — exactly the order the original O(V·E) builder scanned them in,
+/// which the candidate lists (and golden traces) depend on.
+fn reverse_adj(adj: &[Vec<(u16, NodeId)>]) -> Vec<Vec<(NodeId, u16)>> {
+    let mut radj = vec![Vec::new(); adj.len()];
+    for (node, ports) in adj.iter().enumerate() {
+        for &(port, peer) in ports {
+            radj[peer as usize].push((node as NodeId, port));
+        }
+    }
+    radj
+}
+
 impl RoutingTable {
+    /// Node count above which the ToR-compressed representation is used.
+    /// Everything at or below stays on the exact dense table (all golden
+    /// and e2e topologies are far below this).
+    pub const COMPRESS_THRESHOLD: usize = 512;
+
     /// Build from an adjacency list: `adj[node]` = `(port, peer)` pairs.
     /// `is_host[node]` marks hosts (BFS roots; hosts never forward).
     pub fn build(adj: &[Vec<(u16, NodeId)>], is_host: &[bool], salt: u64) -> Self {
+        if adj.len() > Self::COMPRESS_THRESHOLD {
+            Self::build_compressed(adj, is_host, salt)
+        } else {
+            Self::build_exact(adj, is_host, salt)
+        }
+    }
+
+    /// Dense-table builder (the historical representation).
+    fn build_exact(adj: &[Vec<(u16, NodeId)>], is_host: &[bool], salt: u64) -> Self {
         let n = adj.len();
+        let radj = reverse_adj(adj);
         let mut next = vec![vec![Vec::new(); n]; n];
-        // Reverse adjacency for BFS from each destination.
         for (dst, _) in is_host.iter().enumerate().filter(|(_, h)| **h) {
             let mut dist = vec![u32::MAX; n];
             dist[dst] = 0;
@@ -42,36 +116,158 @@ impl RoutingTable {
                     if u != dst && is_host[u] {
                         continue;
                     }
-                    for (node, ports) in adj.iter().enumerate() {
-                        for &(port, peer) in ports {
-                            if peer as usize == u {
-                                let cand = dist[u] + 1;
-                                if dist[node] > cand {
-                                    // First time reached: record distance.
-                                    if dist[node] == u32::MAX {
-                                        nf.push(node);
-                                    }
-                                    dist[node] = cand;
-                                    next[node][dst].clear();
-                                    next[node][dst].push(port);
-                                } else if dist[node] == cand
-                                    && !next[node][dst].contains(&port)
-                                {
-                                    next[node][dst].push(port);
-                                }
+                    for &(node, port) in &radj[u] {
+                        let node = node as usize;
+                        let cand = dist[u] + 1;
+                        if dist[node] > cand {
+                            // First time reached: record distance.
+                            if dist[node] == u32::MAX {
+                                nf.push(node);
                             }
+                            dist[node] = cand;
+                            next[node][dst].clear();
+                            next[node][dst].push(port);
+                        } else if dist[node] == cand && !next[node][dst].contains(&port) {
+                            next[node][dst].push(port);
                         }
                     }
                 }
                 frontier = nf;
             }
         }
-        RoutingTable { next, salt }
+        RoutingTable {
+            table: Table::Exact(next),
+            salt,
+        }
+    }
+
+    /// ToR-compressed builder. Requires every host to have exactly one NIC
+    /// (already asserted by `Sim::new`) and a connected switch fabric.
+    fn build_compressed(adj: &[Vec<(u16, NodeId)>], is_host: &[bool], salt: u64) -> Self {
+        let n = adj.len();
+        let radj = reverse_adj(adj);
+
+        let mut host_up = vec![0u16; n];
+        let mut tor_of = vec![0 as NodeId; n];
+        let mut tor_down = vec![0u16; n];
+        let mut tor_idx = vec![u32::MAX; n];
+        let mut sw_idx = vec![u32::MAX; n];
+        let mut num_tors = 0usize;
+        let mut num_sw = 0usize;
+        for (node, h) in is_host.iter().enumerate() {
+            if !*h {
+                sw_idx[node] = num_sw as u32;
+                num_sw += 1;
+            }
+        }
+        for (node, h) in is_host.iter().enumerate() {
+            if !*h {
+                continue;
+            }
+            assert_eq!(
+                adj[node].len(),
+                1,
+                "compressed routing requires single-NIC hosts (host {node} has {} ports)",
+                adj[node].len()
+            );
+            let (up_port, tor) = adj[node][0];
+            assert!(
+                !is_host[tor as usize],
+                "host {node} attaches to host {tor}"
+            );
+            host_up[node] = up_port;
+            tor_of[node] = tor;
+            // The ToR's port back down to this host.
+            let down = adj[tor as usize]
+                .iter()
+                .find(|&&(_, peer)| peer as usize == node)
+                .map(|&(port, _)| port)
+                .expect("host link must be bidirectional");
+            tor_down[node] = down;
+            if tor_idx[tor as usize] == u32::MAX {
+                tor_idx[tor as usize] = num_tors as u32;
+                num_tors += 1;
+            }
+        }
+
+        // One BFS per ToR over the switch-only graph, expanding in the same
+        // (node-ascending, port-order) sequence as the exact builder so the
+        // candidate lists come out identical.
+        let mut next = vec![Vec::new(); num_sw * num_tors];
+        let mut dist = vec![u32::MAX; n];
+        for (tor, _) in is_host.iter().enumerate() {
+            let ti = tor_idx[tor];
+            if ti == u32::MAX {
+                continue;
+            }
+            let ti = ti as usize;
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[tor] = 0;
+            let mut frontier = vec![tor];
+            while !frontier.is_empty() {
+                let mut nf = Vec::new();
+                for &u in &frontier {
+                    for &(node, port) in &radj[u] {
+                        let node = node as usize;
+                        if is_host[node] {
+                            continue;
+                        }
+                        let slot = sw_idx[node] as usize * num_tors + ti;
+                        let cand = dist[u] + 1;
+                        if dist[node] > cand {
+                            if dist[node] == u32::MAX {
+                                nf.push(node);
+                            }
+                            dist[node] = cand;
+                            next[slot].clear();
+                            next[slot].push(port);
+                        } else if dist[node] == cand && !next[slot].contains(&port) {
+                            next[slot].push(port);
+                        }
+                    }
+                }
+                frontier = nf;
+            }
+        }
+
+        RoutingTable {
+            table: Table::Compressed(Compressed {
+                n,
+                is_host: is_host.to_vec(),
+                host_up,
+                tor_of,
+                tor_down,
+                sw_idx,
+                tor_idx,
+                num_tors,
+                next,
+            }),
+            salt,
+        }
     }
 
     /// All ECMP candidate ports at `node` toward host `dst`.
     pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[u16] {
-        &self.next[node as usize][dst as usize]
+        match &self.table {
+            Table::Exact(next) => &next[node as usize][dst as usize],
+            Table::Compressed(c) => {
+                let node_u = node as usize;
+                let dst_u = dst as usize;
+                if node == dst || !c.is_host[dst_u] {
+                    return &[];
+                }
+                if c.is_host[node_u] {
+                    // Single-NIC host: its only port is the route to
+                    // everything else.
+                    return std::slice::from_ref(&c.host_up[node_u]);
+                }
+                let tor = c.tor_of[dst_u];
+                if node == tor {
+                    return std::slice::from_ref(&c.tor_down[dst_u]);
+                }
+                &c.next[c.sw_idx[node_u] as usize * c.num_tors + c.tor_idx[tor as usize] as usize]
+            }
+        }
     }
 
     /// The ECMP-selected port for `flow` at `node` toward `dst`.
@@ -90,7 +286,15 @@ impl RoutingTable {
 
     /// Number of nodes the table was built for.
     pub fn num_nodes(&self) -> usize {
-        self.next.len()
+        match &self.table {
+            Table::Exact(next) => next.len(),
+            Table::Compressed(c) => c.n,
+        }
+    }
+
+    /// True when the ToR-compressed representation is in use.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.table, Table::Compressed(_))
     }
 }
 
@@ -260,5 +464,73 @@ mod tests {
             .map(|f| rt.port_for(pod0_edge, remote_host, f))
             .collect();
         assert_eq!(used.len(), 2, "both edge uplinks carry traffic");
+    }
+
+    /// Ordered candidate-list equality between the exact and compressed
+    /// builders on every (node, host-dst) pair of a topology.
+    fn assert_modes_agree(t: &crate::topology::Topology, salt: u64) {
+        let adj = t.adjacency();
+        let is_host: Vec<bool> = t
+            .kinds
+            .iter()
+            .map(|k| *k == crate::topology::NodeKind::Host)
+            .collect();
+        let exact = RoutingTable::build_exact(&adj, &is_host, salt);
+        let comp = RoutingTable::build_compressed(&adj, &is_host, salt);
+        assert!(!exact.is_compressed() && comp.is_compressed());
+        let n = adj.len();
+        for dst in (0..n).filter(|&d| is_host[d]) {
+            for node in 0..n {
+                assert_eq!(
+                    exact.candidates(node as NodeId, dst as NodeId),
+                    comp.candidates(node as NodeId, dst as NodeId),
+                    "candidate order diverged at node {node} -> dst {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_matches_exact_fat_tree() {
+        let t = crate::topology::Topology::fat_tree(
+            4,
+            simcore::Rate::from_gbps(100),
+            simcore::Time::from_us(1),
+        );
+        assert_modes_agree(&t, 0x5EED);
+    }
+
+    #[test]
+    fn compressed_matches_exact_leaf_spine() {
+        let t = crate::topology::Topology::leaf_spine(
+            4,
+            3,
+            4,
+            simcore::Rate::from_gbps(100),
+            simcore::Rate::from_gbps(400),
+            simcore::Time::from_us(1),
+        );
+        assert_modes_agree(&t, 0xB0B);
+    }
+
+    #[test]
+    fn compressed_matches_exact_testbed_tree() {
+        let t = crate::topology::Topology::testbed_tree();
+        assert_modes_agree(&t, 7);
+    }
+
+    #[test]
+    fn compressed_matches_exact_three_tier_wan_tiny() {
+        let t = crate::topology::Topology::three_tier_wan(
+            &crate::topology::ThreeTierWanSpec::tiny(),
+        );
+        assert_modes_agree(&t, 0xDC);
+    }
+
+    #[test]
+    fn exact_mode_used_below_threshold() {
+        let (adj, is_host) = fan(8);
+        let rt = RoutingTable::build(&adj, &is_host, 0);
+        assert!(!rt.is_compressed(), "small topologies stay on exact mode");
     }
 }

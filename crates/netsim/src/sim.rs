@@ -18,7 +18,7 @@ use crate::packet::{
     AckInfo, FlowId, IntHop, NodeId, Packet, PacketArena, PacketId, PktKind, CONTROL_BYTES,
     HEADER_BYTES,
 };
-use crate::record::{FlowRecord, FlowTrace, SimCounters, SimResult};
+use crate::record::{FlowRecord, FlowTrace, SimCounters, SimResult, StreamingStats};
 use crate::routing::RoutingTable;
 use crate::topology::{NodeKind, Topology};
 use crate::transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};
@@ -29,6 +29,19 @@ use crate::transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCt
 pub trait App {
     /// `flow` just completed at `sim.now()`.
     fn on_flow_complete(&mut self, flow: FlowId, sim: &mut Sim);
+}
+
+/// An open-loop arrival source, driven by [`Event::Inject`] during the run.
+/// Instead of registering an entire trace of flows up front (O(total flows)
+/// resident before the first event fires), the source is called back to
+/// register the next chunk, so hyperscale runs sustain millions of flow
+/// lifetimes with memory proportional to the look-ahead window.
+pub trait ArrivalSource {
+    /// Register flows starting at or after `now` (chunk size is the
+    /// source's choice; every registered spec must start `>= now`). Return
+    /// the time of the next injection — strictly after `now` — or `None`
+    /// when the trace is exhausted (the source is then dropped).
+    fn inject(&mut self, sim: &mut Sim, now: Time) -> Option<Time>;
 }
 
 /// Simulation events.
@@ -91,6 +104,10 @@ pub enum Event {
         /// Index into the installed schedule's event list.
         idx: u32,
     },
+    /// Call the installed [`ArrivalSource`] to register the next chunk of
+    /// open-loop flows. At most one is pending at a time; never scheduled
+    /// when no source is installed.
+    Inject,
     /// End of simulation.
     End,
 }
@@ -176,13 +193,89 @@ impl RecvState {
     }
 }
 
+/// The permanent per-flow core: spec, derived parameters, and the outcome
+/// record. Intentionally O(total flows) — results need every record. The
+/// heavyweight state (transport + reassembly) lives in the [`FlowSlab`]
+/// behind `live` and is reclaimed at completion.
 struct Flow {
     spec: FlowSpec,
     params: FlowParams,
-    transport: Box<dyn Transport>,
-    recv: RecvState,
     record: FlowRecord,
     active: bool,
+    /// Slab slot of the flow's live state; `u32::MAX` once reclaimed.
+    live: u32,
+}
+
+/// Per-flow state that exists only while the flow is in flight: the
+/// sender-side transport and the receiver reassembly state.
+struct FlowLive {
+    transport: Box<dyn Transport>,
+    recv: RecvState,
+}
+
+/// Slab of live flow state with LIFO slot reuse — the same determinism
+/// argument as the packet arena: the slot sequence is a pure function of
+/// event order, so it is bit-identical across scheduler backends. Slots are
+/// released explicitly at flow completion, which is what makes resident
+/// memory scale with *concurrent* flows rather than total flows.
+#[derive(Default)]
+struct FlowSlab {
+    slots: Vec<Option<FlowLive>>,
+    free: Vec<u32>,
+    occupancy: u64,
+    peak: u64,
+    reclaimed: u64,
+    bytes: u64,
+    peak_bytes: u64,
+}
+
+impl FlowSlab {
+    fn alloc(&mut self, fl: FlowLive) -> u32 {
+        self.bytes += Self::entry_bytes(&fl);
+        self.occupancy += 1;
+        self.peak = self.peak.max(self.occupancy);
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(fl);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                // simlint::allow(hot-path-alloc, slab growth only at a new peak of concurrent flows)
+                self.slots.push(Some(fl));
+                slot
+            }
+        }
+    }
+
+    fn get(&self, slot: u32) -> &FlowLive {
+        // simlint::allow(hot-path-unwrap, callers check `live != u32::MAX` before indexing)
+        self.slots[slot as usize].as_ref().expect("live flow slot")
+    }
+
+    fn get_mut(&mut self, slot: u32) -> &mut FlowLive {
+        // simlint::allow(hot-path-unwrap, callers check `live != u32::MAX` before indexing)
+        self.slots[slot as usize].as_mut().expect("live flow slot")
+    }
+
+    fn release(&mut self, slot: u32) -> FlowLive {
+        // simlint::allow(hot-path-unwrap, release is only reached through a valid live slot)
+        let fl = self.slots[slot as usize].take().expect("double release");
+        self.bytes -= Self::entry_bytes(&fl);
+        self.occupancy -= 1;
+        self.reclaimed += 1;
+        self.free.push(slot);
+        fl
+    }
+
+    /// Approximate resident bytes of one entry: the slab slot itself plus
+    /// the boxed transport's state. The reassembly map's heap nodes are not
+    /// counted — the map is empty by the time a flow completes.
+    fn entry_bytes(fl: &FlowLive) -> u64 {
+        (std::mem::size_of::<Option<FlowLive>>() + std::mem::size_of_val(&*fl.transport)) as u64
+    }
 }
 
 enum Node {
@@ -198,7 +291,12 @@ pub struct Sim {
     /// (peer, peer_port, rate, prop) per (node, port), aligned with routing.
     port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>>,
     routes: RoutingTable,
+    /// Per-flow cores, indexed by [`FlowId`]. Intentionally O(total flows)
+    /// (results need every record); the heavyweight live state is in `live`.
     flows: Vec<Flow>,
+    /// Slab of live (transport + reassembly) flow state, reclaimed at flow
+    /// completion so memory tracks concurrent — not total — flows.
+    live: FlowSlab,
     /// Slab holding every in-flight packet; events and port queues refer to
     /// packets by [`PacketId`]. LIFO slot reuse keeps the id sequence a pure
     /// function of the event order (deterministic across backends).
@@ -206,12 +304,20 @@ pub struct Sim {
     queue: EventQueue<Event>,
     counters: SimCounters,
     monitors: Vec<Monitor>,
+    /// Opt-in ([`SimConfig::trace_flows`]) per-flow time series — O(total
+    /// flows) when enabled, so hyperscale runs leave it off.
     traces: BTreeMap<FlowId, FlowTrace>,
     noise_rng: SimRng,
     ecn_rng: SimRng,
     nc_rng: SimRng,
     lossy: bool,
     app: Option<Box<dyn App>>,
+    /// Open-loop arrival source ([`Event::Inject`]); `None` between the
+    /// final injection and the end of the run, and for closed workloads.
+    arrivals: Option<Box<dyn ArrivalSource>>,
+    /// Streaming-statistics accumulator ([`SimConfig::streaming_stats`]):
+    /// completed flows fold into quantile sketches at completion time.
+    streaming: Option<Box<StreamingStats>>,
     completed_buf: Vec<FlowId>,
     /// Fluid background-traffic solver (hybrid model); `None` — the pure
     /// packet simulator — keeps every coupling hook to one branch.
@@ -277,6 +383,10 @@ impl Sim {
         let seed = cfg.seed;
         let sched = cfg.sched;
         let lossy = !switch_cfg.pfc_enabled;
+        let streaming = cfg
+            .streaming_stats
+            // simlint::allow(hot-path-alloc, one streaming box per run at construction, not per event)
+            .then(|| Box::new(StreamingStats::default()));
         let fluid = cfg.background.as_ref().map(|bg| {
             for &(node, port) in &bg.ports {
                 assert!(
@@ -335,6 +445,7 @@ impl Sim {
             port_specs,
             routes,
             flows: Vec::new(),
+            live: FlowSlab::default(),
             arena: PacketArena::new(),
             queue: EventQueue::with_sched(sched),
             counters: SimCounters::default(),
@@ -345,6 +456,8 @@ impl Sim {
             nc_rng: SimRng::new(seed).split(3),
             lossy,
             app: None,
+            arrivals: None,
+            streaming,
             completed_buf: Vec::new(),
             fluid,
             fluid_epoch: None,
@@ -394,6 +507,18 @@ impl Sim {
     /// Install a closed-loop application driver.
     pub fn set_app(&mut self, app: Box<dyn App>) {
         self.app = Some(app);
+    }
+
+    /// Install an open-loop arrival source; the first [`Event::Inject`] is
+    /// scheduled at run start.
+    pub fn set_arrivals(&mut self, src: Box<dyn ArrivalSource>) {
+        self.arrivals = Some(src);
+    }
+
+    /// Live flow-slab occupancy (flows whose transport + reassembly state is
+    /// still resident). Exposed for reclamation tests and progress logging.
+    pub fn live_flows(&self) -> u64 {
+        self.live.occupancy
     }
 
     /// Current simulated time.
@@ -504,13 +629,16 @@ impl Sim {
         }
         self.queue
             .schedule(spec.start, Event::FlowStart { flow: id });
+        let live = self.live.alloc(FlowLive {
+            transport,
+            recv: RecvState::default(),
+        });
         self.flows.push(Flow {
             spec,
             params,
-            transport,
-            recv: RecvState::default(),
             record,
             active: false,
+            live,
         });
         id
     }
@@ -536,6 +664,9 @@ impl Sim {
     /// Run to completion (all events drained or `end_time` reached).
     pub fn run(mut self) -> SimResult {
         self.queue.schedule(self.cfg.end_time, Event::End);
+        if self.arrivals.is_some() {
+            self.queue.schedule(Time::ZERO, Event::Inject);
+        }
         for i in 0..self.monitors.len() {
             let period = self.monitors[i].period;
             self.queue
@@ -571,6 +702,7 @@ impl Sim {
                     Event::Sample { monitor } => ("sample", *monitor),
                     Event::FluidEpoch => ("fluid_epoch", 0),
                     Event::Fault { idx } => ("fault", *idx),
+                    Event::Inject => ("inject", 0),
                     Event::End => ("end", 0),
                 };
                 a.on_event(now, kind, id);
@@ -590,6 +722,7 @@ impl Sim {
                 Event::Sample { monitor } => self.on_sample(monitor, now),
                 Event::FluidEpoch => self.on_fluid_epoch(now),
                 Event::Fault { idx } => self.on_fault(idx, now),
+                Event::Inject => self.on_inject(now),
             }
             if !self.completed_buf.is_empty() && self.app.is_some() {
                 // simlint::allow(hot-path-unwrap, guarded by the is_some() check one line up)
@@ -621,21 +754,38 @@ impl Sim {
         self.counters.arena_peak_live = astats.peak_live;
         self.counters.arena_int_allocs = astats.int_allocs;
         self.counters.arena_int_recycled = astats.int_recycled;
+        self.counters.flows_total = self.flows.len() as u64;
+        self.counters.flow_live_peak = self.live.peak;
+        self.counters.flow_slab_slots = self.live.slots.len() as u64;
+        self.counters.flows_reclaimed = self.live.reclaimed;
+        self.counters.flow_live_bytes_peak = self.live.peak_bytes;
         #[cfg(feature = "audit")]
         let audit = self.audit.take().map(|a| a.into_report());
         #[cfg(not(feature = "audit"))]
         let audit = None;
-        SimResult {
-            records: self
-                .flows
+        // Streaming mode returns empty records: quantiles come from the
+        // sketches, and cloning O(total flows) records would defeat the
+        // point of streaming at hyperscale.
+        let records = if self.streaming.is_some() {
+            Vec::new()
+        } else {
+            self.flows
                 .iter()
                 .map(|f| {
                     // simlint::allow(hot-path-alloc, result assembly after the event loop has ended)
                     let mut r = f.record.clone();
-                    r.retransmits = f.transport.retransmits();
+                    if f.live != u32::MAX {
+                        // Unreclaimed (censored or leaked) flows still hold a
+                        // transport; reclaimed ones snapshotted retransmits
+                        // into the record at release time.
+                        r.retransmits = self.live.get(f.live).transport.retransmits();
+                    }
                     r
                 })
-                .collect(),
+                .collect()
+        };
+        SimResult {
+            records,
             counters: self.counters,
             traces: self.traces,
             monitors: self
@@ -645,6 +795,21 @@ impl Sim {
                 .collect(),
             end_time,
             audit,
+            streaming: self.streaming,
+        }
+    }
+
+    /// Handle [`Event::Inject`]: hand the simulator to the arrival source
+    /// (take/put-back, same pattern as [`App`] delivery) and reschedule at
+    /// the time it asks for.
+    fn on_inject(&mut self, now: Time) {
+        let Some(mut src) = self.arrivals.take() else {
+            return;
+        };
+        if let Some(next) = src.inject(self, now) {
+            assert!(next > now, "arrival source must make progress");
+            self.queue.schedule(next, Event::Inject);
+            self.arrivals = Some(src);
         }
     }
 
@@ -659,11 +824,13 @@ impl Sim {
         };
         while let Some(fid) = a.pop_touched() {
             let f = &self.flows[fid as usize];
-            if let Err(msg) = f.transport.check_invariants() {
-                a.flow_violation(ViolationKind::TransportSanity, now, fid, msg);
+            if f.live != u32::MAX {
+                if let Err(msg) = self.live.get(f.live).transport.check_invariants() {
+                    a.flow_violation(ViolationKind::TransportSanity, now, fid, msg);
+                }
             }
-            if f.recv.delivered > f.spec.size {
-                let (got, size) = (f.recv.delivered, f.spec.size);
+            if f.record.delivered > f.spec.size {
+                let (got, size) = (f.record.delivered, f.spec.size);
                 a.flow_violation(
                     ViolationKind::PacketConservation,
                     now,
@@ -710,6 +877,39 @@ impl Sim {
             }
             if let Err(msg) = self.queue.check_invariants() {
                 a.queue_violation(now, msg);
+            }
+            // Flow-state reclamation sweep: a completed flow must have
+            // released its slab slot — `Buggify::FlowReclaimLeak` proves
+            // this sweep notices when it doesn't. O(flows) by design: deep
+            // scans are periodic; the per-event audit state stays O(ports).
+            let mut resident = 0u64;
+            for f in &self.flows {
+                if f.live == u32::MAX {
+                    continue;
+                }
+                resident += 1;
+                if let (false, Some(finish)) = (f.active, f.record.finish) {
+                    a.flow_violation(
+                        ViolationKind::FlowStateLeak,
+                        now,
+                        f.record.flow,
+                        format!(
+                            "flow {} finished at {} but still holds slab slot {}",
+                            f.record.flow,
+                            finish.as_ps(),
+                            f.live
+                        ),
+                    );
+                }
+            }
+            if resident != self.live.occupancy {
+                let occ = self.live.occupancy;
+                a.flow_violation(
+                    ViolationKind::FlowStateLeak,
+                    now,
+                    0,
+                    format!("flow slab occupancy {occ} != {resident} resident live slots"),
+                );
             }
             // Arena accounting: every live slot must be referenced exactly
             // once — by one port queue or one pending Arrive event — and
@@ -775,9 +975,10 @@ impl Sim {
         let src = f.spec.src;
         let prio = f.spec.phys_prio;
         f.active = true;
+        let live = f.live;
         {
             let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, flow);
-            f.transport.on_start(&mut ctx);
+            self.live.get_mut(live).transport.on_start(&mut ctx);
         }
         if let Node::Host(h) = &mut self.nodes[src as usize] {
             h.activate(prio, flow);
@@ -796,12 +997,13 @@ impl Sim {
         if let Some(a) = self.audit.as_deref_mut() {
             a.touch_flow(flow);
         }
-        let f = &mut self.flows[flow as usize];
+        let f = &self.flows[flow as usize];
+        let live = f.live;
+        let src = f.spec.src;
         {
             let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, flow);
-            f.transport.on_timer(token, &mut ctx);
+            self.live.get_mut(live).transport.on_timer(token, &mut ctx);
         }
-        let src = f.spec.src;
         self.host_poke(src, now);
     }
 
@@ -1359,23 +1561,37 @@ impl Sim {
                 pkt.prio,
             )
         };
-        let flow = &mut self.flows[fid as usize];
-        let (new_bytes, nack) = flow.recv.on_data(seq, payload as u64, self.lossy);
-        flow.record.delivered = flow.recv.delivered;
-        if new_bytes > 0 {
-            if let Some(t) = self.traces.get_mut(&fid) {
-                if let Some(m) = &mut t.throughput {
-                    m.record(now, new_bytes);
+        let live = self.flows[fid as usize].live;
+        let (cum_bytes, nack) = if live == u32::MAX {
+            // The sender already finished and its state was reclaimed: this
+            // packet is a stale duplicate (a retransmission racing the final
+            // ACK). Reproduce exactly the ACK the live path would emit — the
+            // receiver had every byte (`cum == size`) and a duplicate below
+            // `cum` delivers no new bytes and never NACKs — so the event
+            // sequence is bit-identical whether or not reclamation happened.
+            (self.flows[fid as usize].spec.size, None)
+        } else {
+            let flow = &mut self.flows[fid as usize];
+            let fl = self.live.get_mut(live);
+            let (new_bytes, nack) = fl.recv.on_data(seq, payload as u64, self.lossy);
+            flow.record.delivered = fl.recv.delivered;
+            if new_bytes > 0 {
+                if let Some(t) = self.traces.get_mut(&fid) {
+                    if let Some(m) = &mut t.throughput {
+                        m.record(now, new_bytes);
+                    }
                 }
             }
-        }
-        let flow = &mut self.flows[fid as usize];
-        if !flow.recv.done && flow.recv.cum >= flow.spec.size {
-            flow.recv.done = true;
-            flow.record.finish = Some(now);
-            self.completed_buf.push(fid);
-        }
-        let cum_bytes = flow.recv.cum;
+            if !fl.recv.done && fl.recv.cum >= flow.spec.size {
+                fl.recv.done = true;
+                flow.record.finish = Some(now);
+                if let Some(st) = self.streaming.as_deref_mut() {
+                    st.on_complete(&flow.record, now);
+                }
+                self.completed_buf.push(fid);
+            }
+            (fl.recv.cum, nack)
+        };
         // Detach the INT record (it rides the ACK back to the sender), then
         // retire the data packet before allocating the ACK so the ACK reuses
         // the same cache-hot slot.
@@ -1408,7 +1624,8 @@ impl Sim {
         if let Some(a) = self.audit.as_deref_mut() {
             a.touch_flow(fid);
         }
-        let f = &mut self.flows[fid as usize];
+        let f = &self.flows[fid as usize];
+        let live = f.live;
         // Take the AckInfo out of the slot (leaving an inert Data kind
         // behind) so the slot can be retired before the transport runs.
         let taken = std::mem::replace(&mut self.arena.get_mut(pid).kind, PktKind::Data);
@@ -1440,21 +1657,41 @@ impl Sim {
         };
         {
             let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
-            f.transport.on_ack(&ack, &mut ctx);
+            self.live.get_mut(live).transport.on_ack(&ack, &mut ctx);
         }
         // The transport only borrows the AckEvent, so the INT box comes
         // back here — return it to the pool instead of freeing it.
         if let Some(boxed) = ack.int {
             self.arena.recycle_int(boxed);
         }
-        if f.transport.is_finished() {
+        if self.live.get(live).transport.is_finished() {
+            let f = &mut self.flows[fid as usize];
             f.active = false;
             let (src, prio) = (f.spec.src, f.spec.phys_prio);
             if let Node::Host(h) = &mut self.nodes[src as usize] {
                 h.deactivate(prio, fid);
             }
+            self.release_flow_state(fid);
         }
         self.host_poke(node, now);
+    }
+
+    /// Release a finished flow's live-state slab slot, snapshotting the
+    /// transport's retransmit count into the record first. The
+    /// [`Buggify::FlowReclaimLeak`] self-test skips the release so the audit
+    /// deep scan's flow-state sweep can prove it notices the leak.
+    fn release_flow_state(&mut self, fid: FlowId) {
+        if self.switch_cfg.buggify == Some(Buggify::FlowReclaimLeak) {
+            return;
+        }
+        let f = &mut self.flows[fid as usize];
+        if f.live == u32::MAX {
+            return;
+        }
+        let slot = f.live;
+        f.live = u32::MAX;
+        let fl = self.live.release(slot);
+        f.record.retransmits = fl.transport.retransmits();
     }
 
     /// Queue a locally generated control packet (ACK/probe echo) on the
@@ -1508,11 +1745,12 @@ impl Sim {
             for k in 0..len {
                 let idx = (h.rr[q] + k) % len;
                 let fid = h.active[q][idx];
-                let f = &mut self.flows[fid as usize];
-                match f.transport.try_send(now) {
+                let f = &self.flows[fid as usize];
+                let fl = self.live.get_mut(f.live);
+                match fl.transport.try_send(now) {
                     TrySend::Data { seq, bytes } => {
                         let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
-                        f.transport.on_sent(TrySend::Data { seq, bytes }, &mut ctx);
+                        fl.transport.on_sent(TrySend::Data { seq, bytes }, &mut ctx);
                         let mut pkt = Packet::data(
                             fid,
                             node,
@@ -1533,7 +1771,7 @@ impl Sim {
                     }
                     TrySend::Probe => {
                         let mut ctx = Self::ctx(&mut self.queue, &mut self.traces, now, fid);
-                        f.transport.on_sent(TrySend::Probe, &mut ctx);
+                        fl.transport.on_sent(TrySend::Probe, &mut ctx);
                         self.counters.probes += 1;
                         let pkt = Packet::probe(fid, node, f.spec.dst, f.spec.phys_prio, now);
                         h.rr[q] = (idx + 1) % len;
@@ -1551,6 +1789,17 @@ impl Sim {
                 let f = &mut self.flows[fid as usize];
                 f.active = false;
                 h.deactivate(q as u8, fid);
+                // Inline slab release (mirrors `release_flow_state`; `h`
+                // still borrows `self.nodes`, so the method can't be called
+                // here — the disjoint field accesses can).
+                if f.live != u32::MAX
+                    && self.switch_cfg.buggify != Some(Buggify::FlowReclaimLeak)
+                {
+                    let slot = f.live;
+                    f.live = u32::MAX;
+                    let fl = self.live.release(slot);
+                    f.record.retransmits = fl.transport.retransmits();
+                }
             }
             if selected.is_some() {
                 break 'prio;

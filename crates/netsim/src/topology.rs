@@ -7,12 +7,103 @@
 //! - [`Topology::fat_tree`]: the standard k-ary fat-tree (flow scheduling,
 //!   §6.2);
 //! - [`Topology::leaf_spine`]: 2-tier leaf–spine with configurable
-//!   oversubscription (coflow fabric, CASSINI-style ML cluster).
+//!   oversubscription (coflow fabric, CASSINI-style ML cluster);
+//! - [`Topology::three_tier_wan`]: the hyperscale multi-datacenter fabric —
+//!   per-DC ToR/agg/core tiers joined by WAN routers, tens of thousands of
+//!   hosts at the default [`ThreeTierWanSpec`].
 
 use simcore::{Rate, Time};
 
 use crate::config::LinkSpec;
 use crate::packet::NodeId;
+
+/// Parameters for [`Topology::three_tier_wan`].
+///
+/// The default spec is the hyperscale evaluation fabric: 4 datacenters ×
+/// 8 pods × 16 ToRs × 64 hosts = 32 768 hosts behind 840 switches.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeTierWanSpec {
+    /// Number of datacenters.
+    pub dcs: usize,
+    /// Pods per datacenter.
+    pub pods_per_dc: usize,
+    /// ToR switches per pod (hosts attach here).
+    pub tors_per_pod: usize,
+    /// Hosts per ToR.
+    pub hosts_per_tor: usize,
+    /// Aggregation switches per pod (every ToR connects to all of them).
+    pub aggs_per_pod: usize,
+    /// Core switches per datacenter (every agg connects to all of them).
+    pub cores_per_dc: usize,
+    /// WAN routers (every core in every DC connects to all of them).
+    pub wan_routers: usize,
+    /// Host NIC rate.
+    pub host_rate: Rate,
+    /// ToR–agg and agg–core link rate.
+    pub fabric_rate: Rate,
+    /// Core–WAN link rate.
+    pub wan_rate: Rate,
+    /// Intra-DC one-way propagation.
+    pub prop: Time,
+    /// Core–WAN one-way propagation (inter-DC distance).
+    pub wan_prop: Time,
+}
+
+impl Default for ThreeTierWanSpec {
+    fn default() -> Self {
+        ThreeTierWanSpec {
+            dcs: 4,
+            pods_per_dc: 8,
+            tors_per_pod: 16,
+            hosts_per_tor: 64,
+            aggs_per_pod: 8,
+            cores_per_dc: 16,
+            wan_routers: 8,
+            host_rate: Rate::from_gbps(100),
+            fabric_rate: Rate::from_gbps(400),
+            wan_rate: Rate::from_gbps(1600),
+            prop: Time::from_us(1),
+            wan_prop: Time::from_us(500),
+        }
+    }
+}
+
+impl ThreeTierWanSpec {
+    /// A downscaled spec (16 hosts, 22 switches) for unit tests and the
+    /// exact-vs-compressed routing differential.
+    pub fn tiny() -> Self {
+        ThreeTierWanSpec {
+            dcs: 2,
+            pods_per_dc: 2,
+            tors_per_pod: 2,
+            hosts_per_tor: 2,
+            aggs_per_pod: 2,
+            cores_per_dc: 2,
+            wan_routers: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Total host count.
+    pub fn num_hosts(&self) -> usize {
+        self.dcs * self.pods_per_dc * self.tors_per_pod * self.hosts_per_tor
+    }
+
+    /// Total switch count (ToRs + aggs + cores + WAN routers).
+    pub fn num_switches(&self) -> usize {
+        self.dcs * self.pods_per_dc * (self.tors_per_pod + self.aggs_per_pod)
+            + self.dcs * self.cores_per_dc
+            + self.wan_routers
+    }
+
+    /// Total full-duplex link count.
+    pub fn num_links(&self) -> usize {
+        self.num_hosts()
+            + self.dcs * self.pods_per_dc * self.tors_per_pod * self.aggs_per_pod
+            + self.dcs * self.pods_per_dc * self.aggs_per_pod * self.cores_per_dc
+            + self.dcs * self.cores_per_dc * self.wan_routers
+    }
+}
 
 /// Role of a node in the topology.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,6 +327,93 @@ impl Topology {
         }
         t
     }
+
+    /// Hyperscale 3-tier + WAN fabric: per datacenter, `pods_per_dc` pods
+    /// of `tors_per_pod` ToRs (each serving `hosts_per_tor` hosts) fully
+    /// meshed to `aggs_per_pod` aggregation switches, aggs fully meshed to
+    /// `cores_per_dc` DC cores, and every core connected to every WAN
+    /// router. Node order: all hosts (dc, pod, tor, host), then ToRs, then
+    /// aggs, then cores, then WAN routers — hosts first, matching every
+    /// other constructor, so host ids are contiguous from 0.
+    pub fn three_tier_wan(spec: &ThreeTierWanSpec) -> Self {
+        let mut t = Topology::new();
+        let n_tors = spec.dcs * spec.pods_per_dc * spec.tors_per_pod;
+        let mut hosts = Vec::with_capacity(spec.num_hosts());
+        for _ in 0..spec.num_hosts() {
+            hosts.push(t.add_host());
+        }
+        let tors: Vec<_> = (0..n_tors).map(|_| t.add_switch()).collect();
+        let n_aggs = spec.dcs * spec.pods_per_dc * spec.aggs_per_pod;
+        let aggs: Vec<_> = (0..n_aggs).map(|_| t.add_switch()).collect();
+        let n_cores = spec.dcs * spec.cores_per_dc;
+        let cores: Vec<_> = (0..n_cores).map(|_| t.add_switch()).collect();
+        let wans: Vec<_> = (0..spec.wan_routers).map(|_| t.add_switch()).collect();
+
+        // Hosts to their ToR.
+        for (h, &host) in hosts.iter().enumerate() {
+            t.connect(host, tors[h / spec.hosts_per_tor], spec.host_rate, spec.prop);
+        }
+        // ToRs to every agg in their pod.
+        for (ti, &tor) in tors.iter().enumerate() {
+            let pod = ti / spec.tors_per_pod; // global pod index
+            for a in 0..spec.aggs_per_pod {
+                t.connect(
+                    tor,
+                    aggs[pod * spec.aggs_per_pod + a],
+                    spec.fabric_rate,
+                    spec.prop,
+                );
+            }
+        }
+        // Aggs to every core in their DC.
+        for (ai, &agg) in aggs.iter().enumerate() {
+            let dc = ai / (spec.pods_per_dc * spec.aggs_per_pod);
+            for c in 0..spec.cores_per_dc {
+                t.connect(
+                    agg,
+                    cores[dc * spec.cores_per_dc + c],
+                    spec.fabric_rate,
+                    spec.prop,
+                );
+            }
+        }
+        // Every core to every WAN router.
+        for &core in &cores {
+            for &wan in &wans {
+                t.connect(core, wan, spec.wan_rate, spec.wan_prop);
+            }
+        }
+        t
+    }
+
+    /// Order-sensitive structural fingerprint over node kinds and links
+    /// (endpoints, rate, propagation). Constructor regression tests pin
+    /// this to a literal so accidental changes to build order — which the
+    /// ECMP candidate order and therefore the golden traces depend on —
+    /// fail loudly.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            x ^ (x >> 33)
+        }
+        let mut h = mix(self.kinds.len() as u64 ^ 0x9E37_79B9_7F4A_7C15);
+        for (i, k) in self.kinds.iter().enumerate() {
+            let tag = match k {
+                NodeKind::Host => 1u64,
+                NodeKind::Switch => 2u64,
+            };
+            h = mix(h ^ (i as u64) << 8 ^ tag);
+        }
+        for &(a, b, spec) in &self.links {
+            h = mix(h ^ (a as u64) << 32 ^ b as u64);
+            h = mix(h ^ spec.rate.as_bps());
+            h = mix(h ^ spec.prop.as_ps());
+        }
+        h
+    }
 }
 
 impl Default for Topology {
@@ -425,6 +603,132 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn fat_tree_k16_counts() {
+        // k=16: k^3/4 = 1024 hosts, k^2/2 = 128 edge + 128 agg,
+        // (k/2)^2 = 64 cores; each tier contributes k^3/4 = 1024 links.
+        let t = Topology::fat_tree(16, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.hosts.len(), 1024);
+        assert_eq!(t.num_nodes(), 1024 + 128 + 128 + 64);
+        assert_eq!(t.links.len(), 3 * 1024);
+        let adj = t.adjacency();
+        for (n, kind) in t.kinds.iter().enumerate() {
+            match kind {
+                NodeKind::Host => assert_eq!(adj[n].len(), 1, "host {n}"),
+                NodeKind::Switch => assert_eq!(adj[n].len(), 16, "switch {n}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_k16_ecmp_widths() {
+        // Closed-form ECMP path counts at k=16 (compressed routing table):
+        // an edge switch reaches a remote-pod host through its k/2 = 8
+        // uplinks, an agg through its 8 core uplinks, and a core has
+        // exactly one path down (one agg per pod).
+        let t = Topology::fat_tree(16, Rate::from_gbps(100), Time::from_us(1));
+        let adj = t.adjacency();
+        let is_host: Vec<bool> = t.kinds.iter().map(|k| *k == NodeKind::Host).collect();
+        let rt = crate::routing::RoutingTable::build(&adj, &is_host, 0);
+        assert!(rt.is_compressed(), "k=16 must use the compressed table");
+        // 1024 hosts, then per pod 8 edges + 8 aggs; cores last.
+        let pod0_edge = 1024 as NodeId;
+        let pod0_agg = (1024 + 8) as NodeId;
+        let core0 = (1024 + 256) as NodeId;
+        let local_host = 0 as NodeId;
+        let remote_host = 1023 as NodeId; // last host, pod 15
+        assert_eq!(rt.candidates(pod0_edge, local_host).len(), 1);
+        assert_eq!(rt.candidates(pod0_edge, remote_host).len(), 8);
+        assert_eq!(rt.candidates(pod0_agg, remote_host).len(), 8);
+        assert_eq!(rt.candidates(core0, remote_host).len(), 1);
+    }
+
+    #[test]
+    fn three_tier_wan_tiny_counts_and_degrees() {
+        let spec = ThreeTierWanSpec::tiny();
+        let t = Topology::three_tier_wan(&spec);
+        assert_eq!(t.hosts.len(), spec.num_hosts());
+        assert_eq!(t.hosts.len(), 16);
+        assert_eq!(t.num_nodes(), spec.num_hosts() + spec.num_switches());
+        assert_eq!(t.links.len(), spec.num_links());
+        let adj = t.adjacency();
+        for &h in &t.hosts {
+            assert_eq!(adj[h as usize].len(), 1, "host {h}");
+        }
+        // ToRs: hosts_per_tor + aggs_per_pod ports.
+        let tor0 = spec.num_hosts();
+        assert_eq!(adj[tor0].len(), spec.hosts_per_tor + spec.aggs_per_pod);
+    }
+
+    #[test]
+    fn three_tier_wan_default_counts() {
+        // The hyperscale fabric: 32 768 hosts, 840 switches.
+        let spec = ThreeTierWanSpec::default();
+        assert_eq!(spec.num_hosts(), 32_768);
+        assert_eq!(spec.num_switches(), 4 * 8 * (16 + 8) + 4 * 16 + 8);
+        assert_eq!(spec.num_switches(), 840);
+        let t = Topology::three_tier_wan(&spec);
+        assert_eq!(t.hosts.len(), 32_768);
+        assert_eq!(t.num_nodes(), 32_768 + 840);
+        // Links: 32768 host + 4*8*16*8 tor-agg + 4*8*8*16 agg-core
+        // + 4*16*8 core-wan.
+        assert_eq!(t.links.len(), 32_768 + 4_096 + 4_096 + 512);
+        assert_eq!(t.links.len(), spec.num_links());
+    }
+
+    #[test]
+    fn three_tier_wan_ecmp_widths() {
+        // Closed-form ECMP path counts on the default hyperscale fabric:
+        // ToR up = aggs_per_pod, agg up = cores_per_dc, core up (inter-DC)
+        // = wan_routers, WAN router down = cores of the destination DC,
+        // core down = aggs of the destination pod.
+        let spec = ThreeTierWanSpec::default();
+        let t = Topology::three_tier_wan(&spec);
+        let adj = t.adjacency();
+        let is_host: Vec<bool> = t.kinds.iter().map(|k| *k == NodeKind::Host).collect();
+        let rt = crate::routing::RoutingTable::build(&adj, &is_host, 0);
+        assert!(rt.is_compressed());
+        let h = spec.num_hosts();
+        let n_tors = spec.dcs * spec.pods_per_dc * spec.tors_per_pod;
+        let n_aggs = spec.dcs * spec.pods_per_dc * spec.aggs_per_pod;
+        let tor0 = h as NodeId;
+        let agg0 = (h + n_tors) as NodeId;
+        let core0 = (h + n_tors + n_aggs) as NodeId;
+        let wan0 = (h + n_tors + n_aggs + spec.dcs * spec.cores_per_dc) as NodeId;
+        let local_host = 0 as NodeId; // dc 0, pod 0, tor 0
+        let same_dc_other_pod = (spec.pods_per_dc - 1) as NodeId
+            * (spec.tors_per_pod * spec.hosts_per_tor) as NodeId; // dc 0, last pod
+        let other_dc_host = (h - 1) as NodeId; // last host, dc 3
+        assert_eq!(rt.candidates(tor0, local_host).len(), 1);
+        assert_eq!(
+            rt.candidates(tor0, same_dc_other_pod).len(),
+            spec.aggs_per_pod
+        );
+        assert_eq!(rt.candidates(agg0, same_dc_other_pod).len(), spec.cores_per_dc);
+        assert_eq!(rt.candidates(core0, other_dc_host).len(), spec.wan_routers);
+        assert_eq!(rt.candidates(wan0, other_dc_host).len(), spec.cores_per_dc);
+        assert_eq!(
+            rt.candidates(core0, same_dc_other_pod).len(),
+            spec.aggs_per_pod,
+            "core down to a same-DC pod fans over the pod's aggs"
+        );
+    }
+
+    #[test]
+    fn fat_tree_k6_fingerprint_regression() {
+        // Pins the exact construction (node order, link order, rates,
+        // props) of the largest pre-hyperscale topology: the golden traces
+        // were recorded against this build order, so any change here is a
+        // golden-invalidating event and must be deliberate.
+        let t = Topology::fat_tree(6, Rate::from_gbps(100), Time::from_us(1));
+        assert_eq!(t.fingerprint(), FAT_TREE_6_FINGERPRINT);
+    }
+
+    /// Recorded from the construction order at the time the hyperscale
+    /// layer landed (which itself reproduced the original seed order —
+    /// verified by the goldens staying green).
+    const FAT_TREE_6_FINGERPRINT: u64 = 11144305777346292389;
 
     #[test]
     fn all_link_rates_and_props_are_recorded() {

@@ -31,4 +31,5 @@ pub use sched::{Entry, SchedKind, Scheduler};
 pub use rate::Rate;
 pub use ringlog::RingLog;
 pub use rng::SimRng;
+pub use stats::QuantileSketch;
 pub use time::{Time, TimeDelta};

@@ -115,6 +115,203 @@ impl Summary {
     }
 }
 
+/// Streaming quantile sketch over non-negative integer samples.
+///
+/// A DDSketch-style log-bucketed histogram specialized for deterministic
+/// simulation: samples are `u64` (picosecond FCTs, milli-unit slowdowns),
+/// buckets are fixed by value alone (no collapsing, no adaptive layout),
+/// and all state is integer counts. Insertion is commutative and
+/// associative, so the sketch state is bit-identical regardless of sample
+/// arrival order — and therefore across scheduler backends, which permute
+/// only same-timestamp event order.
+///
+/// Layout: values below `2^m` (m = [`QuantileSketch::SUB_BITS`] = 7) get
+/// one exact bucket each. A value `v >= 2^m` with bit length `e+1` lands in
+/// the bucket keyed by its top `m+1` bits, which spans
+/// `[(128+sub) << (e-m), (129+sub) << (e-m))` — width `2^(e-m)` at
+/// magnitude `>= 128 * 2^(e-m)`, so reporting the bucket midpoint
+/// guarantees relative error at most `1/256` ([`QuantileSketch::REL_ERROR_INV`]).
+///
+/// Quantiles use the same nearest-rank convention as [`Summary`]: the
+/// reported value is the midpoint of the bucket containing the sample of
+/// rank `clamp(ceil(p/100 * n), 1, n)`.
+#[derive(Clone, Debug, Default)]
+pub struct QuantileSketch {
+    /// Bucket counts, indexed densely; grown on demand (max 7424 buckets
+    /// for the full u64 range, ~58 KB).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// Sub-bucket resolution bits: each power-of-two decade is split into
+    /// `2^SUB_BITS` buckets.
+    pub const SUB_BITS: u32 = 7;
+    /// Guaranteed relative error bound, as an inverse: the reported
+    /// quantile `q` satisfies `|q - exact| * REL_ERROR_INV <= exact`.
+    pub const REL_ERROR_INV: u64 = 1 << (Self::SUB_BITS + 1);
+
+    const SUBS: u64 = 1 << Self::SUB_BITS;
+
+    /// Empty sketch.
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for value `v`. Monotone in `v`.
+    fn bucket(v: u64) -> usize {
+        if v < Self::SUBS {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+        let shift = e - Self::SUB_BITS as u64;
+        let sub = (v >> shift) & (Self::SUBS - 1);
+        (Self::SUBS + shift * Self::SUBS + sub) as usize
+    }
+
+    /// Midpoint (representative value) of bucket `idx`.
+    fn representative(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < Self::SUBS {
+            return idx;
+        }
+        let b = idx - Self::SUBS;
+        let shift = b / Self::SUBS;
+        let sub = b % Self::SUBS;
+        let lo = (Self::SUBS + sub) << shift;
+        let width = 1u64 << shift;
+        lo + width / 2
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: u64) {
+        let idx = Self::bucket(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.sum as f64 / self.count as f64)
+    }
+
+    /// Exact minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile, `p` in `[0, 100]`, within relative error
+    /// `1 / REL_ERROR_INV` of the exact nearest-rank sample.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count;
+        let rank = ((p / 100.0 * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::representative(idx));
+            }
+        }
+        // Unreachable when counts/count are consistent; return the max
+        // bucket to stay total.
+        Some(Self::representative(self.counts.len().saturating_sub(1)))
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(50.0)
+    }
+
+    /// p99.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99.0)
+    }
+
+    /// Merge another sketch into this one; equivalent to having added all
+    /// of `other`'s samples (commutative, associative).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Order-independent fingerprint of the full sketch state, for
+    /// bit-identity assertions across scheduler backends.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            x ^ (x >> 33)
+        }
+        let mut h = mix(self.count ^ 0x9E37_79B9_7F4A_7C15);
+        h = mix(h ^ self.sum as u64);
+        h = mix(h ^ (self.sum >> 64) as u64);
+        h = mix(h ^ self.min.wrapping_add(1));
+        h = mix(h ^ self.max);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                h = mix(h ^ (idx as u64) << 40 ^ c);
+            }
+        }
+        h
+    }
+
+    /// Bucket counts (dense, index order), for differential tests.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
 /// A time series sampled at fixed intervals, used by rate/delay-over-time
 /// figures (Fig 3, 8, 9, 10).
 #[derive(Clone, Debug, Default)]
@@ -280,6 +477,120 @@ mod tests {
         assert!((s.v[0] - 10.0).abs() < 1e-9);
         assert!((s.v[1] - 10.0).abs() < 1e-9);
         assert_eq!(m.total_bytes(), 25_000);
+    }
+
+    #[test]
+    fn sketch_exact_below_subs() {
+        // Values below 2^SUB_BITS each get an exact bucket.
+        let mut s = QuantileSketch::new();
+        for v in 0..128u64 {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 128);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), Some(127));
+        assert_eq!(s.quantile(50.0), Some(63));
+        assert_eq!(s.quantile(100.0), Some(127));
+        assert_eq!(s.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn sketch_bucket_is_monotone_and_rep_in_range() {
+        // Probe values across the full u64 range: the bucket index must be
+        // monotone in the value, and the representative must sit within
+        // the guaranteed relative-error band.
+        let mut last_idx = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v.saturating_mul(2) - 1] {
+                let idx = QuantileSketch::bucket(probe);
+                assert!(idx >= last_idx || probe < v, "bucket not monotone");
+                last_idx = last_idx.max(idx);
+                let rep = QuantileSketch::representative(idx);
+                let diff = rep.abs_diff(probe);
+                assert!(
+                    diff as u128 * QuantileSketch::REL_ERROR_INV as u128 <= probe as u128,
+                    "rep {rep} too far from {probe}"
+                );
+            }
+            v = v.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn sketch_quantile_tracks_exact_oracle() {
+        // Deterministic pseudo-random stream vs the exact sorted oracle.
+        let mut s = QuantileSketch::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 1_000_000_007;
+            s.add(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9] {
+            let n = exact.len();
+            let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+            let want = exact[rank - 1];
+            let got = s.quantile(p).unwrap();
+            let diff = got.abs_diff(want);
+            assert!(
+                diff as u128 * QuantileSketch::REL_ERROR_INV as u128 <= want as u128,
+                "p{p}: sketch {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_merge_equals_combined_stream() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for i in 0..500u64 {
+            let v = i * i + 17;
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            all.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.fingerprint(), all.fingerprint());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.quantile(99.0), all.quantile(99.0));
+    }
+
+    #[test]
+    fn sketch_fingerprint_is_order_independent() {
+        let vals: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(2654435761) % 77777).collect();
+        let mut fwd = QuantileSketch::new();
+        let mut rev = QuantileSketch::new();
+        for &v in &vals {
+            fwd.add(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.add(v);
+        }
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        // And sensitive to content.
+        let mut other = fwd.clone();
+        other.add(1);
+        assert_ne!(fwd.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn sketch_empty_is_none() {
+        let s = QuantileSketch::new();
+        assert!(s.quantile(50.0).is_none());
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.is_empty());
     }
 
     #[test]

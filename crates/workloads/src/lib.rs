@@ -12,6 +12,9 @@
 //!   cluster scenario (ResNet/VGG data-parallel jobs, §6.2);
 //! - [`faults`]: seed-driven link-outage plans (alternating MTBF/MTTR
 //!   renewal windows) the harness turns into `netsim` fault schedules;
+//! - [`openloop`]: lazy O(1)-state open-loop arrival streams (Poisson +
+//!   periodic incast) for the hyperscale scenarios, consumed chunk-by-chunk
+//!   through `netsim`'s `ArrivalSource` instead of materialized up front;
 //! - [`priomap`]: size-class → priority assignment helpers (smaller flows
 //!   get higher priorities, approximating pFabric-style scheduling).
 //!
@@ -26,6 +29,7 @@ pub mod allreduce;
 pub mod background;
 pub mod coflow;
 pub mod faults;
+pub mod openloop;
 pub mod priomap;
 pub mod websearch;
 
@@ -33,5 +37,6 @@ pub use allreduce::RingJob;
 pub use background::BackgroundSpec;
 pub use faults::FaultPlanSpec;
 pub use coflow::{Coflow, CoflowGen};
+pub use openloop::{IncastMix, OpenLoopGen};
 pub use priomap::SizeClassifier;
 pub use websearch::{FlowArrival, PoissonArrivals, SizeDist, WEBSEARCH_CDF};

@@ -86,6 +86,26 @@ if [[ -n "$PREV" ]]; then
         }'
       done
   fi
+  # Hyperscale scenario (hyperscale_incast): the memory-budget counters
+  # are the headline — peak live flows and resident bytes must track
+  # concurrency, not total flow lifetimes. flows_reclaimed drifting below
+  # flows_finished means completion-time slab reclamation is eroding.
+  extract_hyper() {
+    sed -n 's/.*"name": "\(hyperscale_incast\)".*"flows_total": \([0-9]*\), "flows_finished": \([0-9]*\), "flow_live_peak": \([0-9]*\).*"flows_reclaimed": \([0-9]*\), "mem_budget_bytes": \([0-9]*\).*/\1 \2 \3 \4 \5 \6/p' "$1"
+  }
+  if [[ -n "$(extract_hyper "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== hyperscale_incast memory budget vs previous $BENCH_FILE ==="
+    join <(extract_hyper "$PREV" | sort) <(extract_hyper "$BENCH_FILE" | sort) |
+      while read -r name ot of op orc om nt nf np nrc nm; do
+        awk -v ot="$ot" -v nt="$nt" -v nf="$nf" -v op="$op" -v np="$np" \
+            -v orc="$orc" -v nrc="$nrc" -v om="$om" -v nm="$nm" 'BEGIN {
+          drift = (om > 0) ? (nm - om) / om * 100.0 : 0.0
+          printf "  hyperscale_incast  flows %s -> %s (finished %s, reclaimed %s)  live_peak %s -> %s  mem %.2f MB -> %.2f MB (%+.1f%%)\n", \
+            ot, nt, nf, nrc, op, np, om / 1e6, nm / 1e6, drift
+        }'
+      done
+  fi
   rm -f "$PREV"
 else
   echo "(no previous $BENCH_FILE; baseline written)"

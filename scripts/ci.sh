@@ -27,18 +27,24 @@
 #      event — conservation under failure at maximum granularity (the
 #      detector tests install their own non-panicking audit, so expected
 #      violations don't trip the panic switch);
-#   8. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
+#   8. hyperscale smoke: the downscaled (k=8 fat-tree) open-loop
+#      hyperscale suite rerun with the audit force-enabled, panicking on
+#      violations, and the deep scan forced to a tight cadence — the
+#      flow-slab reclamation sweep (FlowStateLeak) and occupancy
+#      cross-check run thousands of times over streamed arrivals;
+#   9. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
 #      and =quad, so every code path pinned on the calendar-queue default
 #      (unit, e2e, golden) also runs — and stays bit-identical — on the
 #      alternative event schedulers;
-#   9. bench drift: scripts/bench.sh prints events/sec deltas against the
+#  10. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
 #      per-backend rows cover event-queue drift for all three backends,
 #      the arena_churn row carries the allocation counters that pin the
 #      zero-steady-state-allocation contract, the hybrid rows carry the
 #      event_reduction factors that pin the fluid model's speedup, and
 #      the incast_faults row carries the wall-time cost of the fault
-#      overlay on the hot paths).
+#      overlay on the hot paths, and the hyperscale_incast row carries
+#      the flow-slab memory-budget counters).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -60,11 +66,11 @@ if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
   esac
 fi
 
-echo "=== [1/9] simlint: workspace static analysis ==="
+echo "=== [1/10] simlint: workspace static analysis ==="
 cargo run --release -q -p simlint
 
 echo
-echo "=== [2/9] clippy (-D warnings) ==="
+echo "=== [2/10] clippy (-D warnings) ==="
 if cargo clippy --version >/dev/null 2>&1; then
   cargo clippy --workspace --all-targets -- -D warnings
 else
@@ -72,16 +78,16 @@ else
 fi
 
 echo
-echo "=== [3/9] tier-1: release build + tests ==="
+echo "=== [3/10] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 
 echo
-echo "=== [4/9] audit compiles out (netsim --no-default-features) ==="
+echo "=== [4/10] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 
 echo
-echo "=== [5/9] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [5/10] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 echo "--- arena accounting at every event boundary (deep scan forced) ---"
@@ -89,22 +95,32 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_arena --test e2e_audit
 
 echo
-echo "=== [6/9] hybrid packet/fluid e2e (fluid conservation forced) ==="
+echo "=== [6/10] hybrid packet/fluid e2e (fluid conservation forced) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_hybrid
 
 echo
-echo "=== [7/9] fault-regime e2e (deadlock monitor, conservation under failure) ==="
+echo "=== [7/10] fault-regime e2e (deadlock monitor, conservation under failure) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_faults
 
 echo
-echo "=== [8/9] scheduler-backend matrix (binary, quad) ==="
+echo "=== [8/10] hyperscale smoke (k=8 open-loop, slab reclamation audited) ==="
+# Deep cadence 256, not 1: the deep scan's flow sweep is O(flows), and the
+# hyperscale suite runs thousands of streamed flows over millions of
+# events — an every-event sweep is quadratic and takes >10 min. 256 still
+# sweeps the slab thousands of times per run (vs the default 64 it's a
+# 4x-tighter *forced* floor independent of local env).
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=256 \
+  cargo test -q --release -p experiments --test e2e_hyperscale
+
+echo
+echo "=== [9/10] scheduler-backend matrix (binary, quad) ==="
 PRIOPLUS_SCHED=binary cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
 
 echo
-echo "=== [9/9] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [10/10] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 
 echo
