@@ -39,13 +39,13 @@
 //! whole layer compiles out with `--no-default-features` and costs one
 //! `Option` check per event when compiled in but disabled.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use simcore::{RingLog, Time};
 
 use crate::node::Switch;
 use crate::packet::{FlowId, NodeId, PacketArena};
-use crate::record::SimCounters;
+use crate::counters::SimCounters;
 
 /// Configuration of the audit layer.
 #[derive(Clone, Debug)]
@@ -111,7 +111,7 @@ pub enum ViolationKind {
     FluidConservation,
     /// The PFC wait-for graph over paused ports contains a cycle — a
     /// circular buffer dependency that cannot drain
-    /// ([`crate::faults::detect_pause_cycle`]). Reported once per deadlock
+    /// ([`detect_pause_cycle`]). Reported once per deadlock
     /// episode; re-armed when the cycle clears.
     PfcDeadlock,
     /// A completed, deactivated flow still holds a live slot in the
@@ -884,7 +884,8 @@ impl Audit {
 /// set to anything but `0`, or a literal `--audit` CLI argument. Cached, so
 /// the per-run cost is one relaxed load.
 pub fn env_enabled() -> bool {
-    use std::sync::OnceLock;
+    // Process-wide env caches: write-once before any sim state exists.
+    use std::sync::OnceLock; // simlint::allow(shared-state, process-wide env cache - write-once before any sim state exists)
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
         std::env::var("PRIOPLUS_AUDIT")
@@ -899,7 +900,8 @@ pub fn env_enabled() -> bool {
 /// `0`. Only consulted for audits enabled via [`env_enabled`]; explicit
 /// [`crate::Sim::enable_audit_with`] calls carry their own config.
 pub fn env_panic() -> bool {
-    use std::sync::OnceLock;
+    // Process-wide env caches: write-once before any sim state exists.
+    use std::sync::OnceLock; // simlint::allow(shared-state, process-wide env cache - write-once before any sim state exists)
     static PANIC: OnceLock<bool> = OnceLock::new();
     *PANIC.get_or_init(|| {
         std::env::var("PRIOPLUS_AUDIT_PANIC")
@@ -914,7 +916,8 @@ pub fn env_panic() -> bool {
 /// per event regardless. Explicit [`crate::Sim::enable_audit_with`] calls
 /// carry their own config.
 pub fn env_deep_every() -> u64 {
-    use std::sync::OnceLock;
+    // Process-wide env caches: write-once before any sim state exists.
+    use std::sync::OnceLock; // simlint::allow(shared-state, process-wide env cache - write-once before any sim state exists)
     static DEEP: OnceLock<u64> = OnceLock::new();
     *DEEP.get_or_init(|| {
         std::env::var("PRIOPLUS_AUDIT_DEEP")
@@ -923,6 +926,102 @@ pub fn env_deep_every() -> u64 {
             .filter(|&n| n > 0)
             .unwrap_or(64)
     })
+}
+
+/// Detect a PFC wait-for cycle (circular buffer dependency) over the
+/// current pause state. See [`crate::faults`]'s module docs for the graph construction.
+/// Returns the first cycle found — deterministic: vertices are visited in
+/// sorted `(node, port, queue)` order — as the list of its vertices, or
+/// `None` when the wait-for graph is acyclic.
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+pub(crate) fn detect_pause_cycle(
+    switches: &[(NodeId, &Switch)],
+    arena: &PacketArena,
+) -> Option<Vec<(NodeId, u16, u8)>> {
+    // Vertices: every paused data-priority egress on a switch. The control
+    // queue (index nq-1) is never PFC-paused.
+    let mut verts: Vec<(NodeId, u16, u8)> = Vec::new();
+    let mut sw_of: BTreeMap<NodeId, &Switch> = BTreeMap::new();
+    for &(id, s) in switches {
+        sw_of.insert(id, s);
+        for (pi, p) in s.ports.iter().enumerate() {
+            for q in 0..p.queues.len().saturating_sub(1) {
+                if p.is_paused(q) {
+                    verts.push((id, pi as u16, q as u8));
+                }
+            }
+        }
+    }
+    if verts.len() < 2 {
+        return None;
+    }
+    verts.sort_unstable();
+    // Per vertex: the set of ingress ports whose packets occupy its queue.
+    // One pass over paused queues only, so edge tests below are set lookups
+    // instead of per-edge queue scans.
+    let ins: BTreeMap<(NodeId, u16, u8), BTreeSet<u16>> = verts
+        .iter()
+        .map(|&(id, pi, q)| {
+            let set: BTreeSet<u16> = sw_of[&id].ports[pi as usize].queues[q as usize]
+                .iter()
+                .map(|&pid| arena.get(pid).cur_in_port)
+                .collect();
+            ((id, pi, q), set)
+        })
+        .collect();
+    // Edge (A,p,q) -> (B,p2,q): A waits on peer B's resume for link (A,p);
+    // that resume is blocked while B's paused egress (p2,q) holds a packet
+    // that entered B through this very link.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); verts.len()];
+    for (i, &(a, p, q)) in verts.iter().enumerate() {
+        let ep = &sw_of[&a].ports[p as usize];
+        let (b, b_in) = (ep.peer, ep.peer_port);
+        for (j, &(vb, p2, q2)) in verts.iter().enumerate() {
+            if vb == b && q2 == q && ins[&(vb, p2, q2)].contains(&b_in) {
+                adj[i].push(j);
+            }
+        }
+    }
+    // DFS cycle detection in sorted vertex order (deterministic result).
+    // 0 = unvisited, 1 = on the current path, 2 = done.
+    let mut color = vec![0u8; verts.len()];
+    let mut path: Vec<usize> = Vec::new();
+    for start in 0..verts.len() {
+        if color[start] == 0 {
+            if let Some(cycle) = dfs_cycle(start, &adj, &mut color, &mut path) {
+                return Some(cycle.into_iter().map(|i| verts[i]).collect());
+            }
+        }
+    }
+    None
+}
+
+/// Depth-first search step for [`detect_pause_cycle`]; returns the vertex
+/// indices of the first back-edge cycle found. Recursion depth is bounded
+/// by the number of paused (port, priority) pairs.
+fn dfs_cycle(
+    v: usize,
+    adj: &[Vec<usize>],
+    color: &mut [u8],
+    path: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    color[v] = 1;
+    path.push(v);
+    for &w in &adj[v] {
+        if color[w] == 1 {
+            // Back edge: the cycle is the path suffix starting at `w`.
+            let from = path.iter().position(|&x| x == w).unwrap_or(0);
+            return Some(path[from..].to_vec());
+        }
+        if color[w] == 0 {
+            if let Some(c) = dfs_cycle(w, adj, color, path) {
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    color[v] = 2;
+    None
 }
 
 #[cfg(test)]

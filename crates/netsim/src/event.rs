@@ -1,0 +1,77 @@
+//! The simulation event vocabulary, split from the event loop
+//! ([`crate::sim`]) so that modules which only *name* events — transports
+//! via [`crate::transport_api`], a future PDES partition layer — depend on
+//! this leaf module instead of the whole simulator. The `layering` lint
+//! (simlint R9) keeps it that way: `event` must never grow an import back
+//! into `sim`.
+
+use crate::packet::{FlowId, NodeId, PacketId};
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at `node` through ingress `in_port` (propagation
+    /// finished).
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port index at the receiving node.
+        in_port: u16,
+        /// Handle of the packet in the simulator's
+        /// [`crate::packet::PacketArena`]. Carrying the 4-byte id (instead
+        /// of the packet) keeps `Event` at a few machine words, so
+        /// scheduler sift/percolate stays cheap — see the
+        /// `event_stays_slim` size pin in `crate::sim`'s tests.
+        pkt: PacketId,
+    },
+    /// `node`'s egress `port` finished serializing its current packet.
+    PortFree {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: u16,
+    },
+    /// A flow begins.
+    FlowStart {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A transport timer fires.
+    FlowTimer {
+        /// The flow whose transport scheduled the timer.
+        flow: FlowId,
+        /// Opaque token chosen by the transport.
+        token: u64,
+    },
+    /// Wake a host NIC to re-poll its transports (pacing).
+    HostPoke {
+        /// The host.
+        node: NodeId,
+    },
+    /// Periodic monitor sample.
+    Sample {
+        /// Monitor index.
+        monitor: u32,
+    },
+    /// A fluid background rate-change epoch (hybrid model): the single
+    /// pending epoch the fluid solver keeps in the queue, rescheduled via
+    /// cancellable scheduling whenever a coupling hook changes the
+    /// piecewise-constant rates. Never scheduled when
+    /// [`crate::config::SimConfig::background`] is `None`.
+    FluidEpoch,
+    /// Apply fault-schedule transition `idx`
+    /// ([`crate::faults::FaultSchedule`]). Scheduled up-front at run start
+    /// — through the same scheduler backend as every other event — so
+    /// fault runs stay bit-identical across backends. Never scheduled when
+    /// [`crate::config::SimConfig::faults`] is `None`.
+    Fault {
+        /// Index into the installed schedule's event list.
+        idx: u32,
+    },
+    /// Call the installed [`crate::sim::ArrivalSource`] to register the
+    /// next chunk of open-loop flows. At most one is pending at a time;
+    /// never scheduled when no source is installed.
+    Inject,
+    /// End of simulation.
+    End,
+}

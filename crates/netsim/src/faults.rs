@@ -34,7 +34,7 @@
 //!   never emit pauses) — so a resume lost "inside" the storm cannot wedge
 //!   the port.
 //!
-//! The deadlock monitor ([`detect_pause_cycle`]) runs with the audit deep
+//! The deadlock monitor ([`crate::audit::detect_pause_cycle`]) runs with the audit deep
 //! scan whenever a fault schedule is installed. It builds the classic
 //! circular-buffer-dependency wait-for graph: vertex `(A, p, q)` for every
 //! paused switch egress, and an edge to `(B, p2, q)` when `B` is the peer
@@ -45,12 +45,11 @@
 //! [`crate::audit::ViolationKind::PfcDeadlock`] violation (latched: one
 //! report per deadlock episode, re-armed when the cycle clears).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use simcore::{SimRng, Time};
 
-use crate::node::Switch;
-use crate::packet::{NodeId, PacketArena};
+use crate::packet::NodeId;
 
 /// One fault transition. All variants name a link by one attachment
 /// (`node`, `port`); the simulator applies the transition to both
@@ -359,109 +358,15 @@ impl FaultRuntime {
     }
 }
 
-/// Detect a PFC wait-for cycle (circular buffer dependency) over the
-/// current pause state. See the module docs for the graph construction.
-/// Returns the first cycle found — deterministic: vertices are visited in
-/// sorted `(node, port, queue)` order — as the list of its vertices, or
-/// `None` when the wait-for graph is acyclic.
-#[cfg_attr(not(feature = "audit"), allow(dead_code))]
-pub(crate) fn detect_pause_cycle(
-    switches: &[(NodeId, &Switch)],
-    arena: &PacketArena,
-) -> Option<Vec<(NodeId, u16, u8)>> {
-    // Vertices: every paused data-priority egress on a switch. The control
-    // queue (index nq-1) is never PFC-paused.
-    let mut verts: Vec<(NodeId, u16, u8)> = Vec::new();
-    let mut sw_of: BTreeMap<NodeId, &Switch> = BTreeMap::new();
-    for &(id, s) in switches {
-        sw_of.insert(id, s);
-        for (pi, p) in s.ports.iter().enumerate() {
-            for q in 0..p.queues.len().saturating_sub(1) {
-                if p.is_paused(q) {
-                    verts.push((id, pi as u16, q as u8));
-                }
-            }
-        }
-    }
-    if verts.len() < 2 {
-        return None;
-    }
-    verts.sort_unstable();
-    // Per vertex: the set of ingress ports whose packets occupy its queue.
-    // One pass over paused queues only, so edge tests below are set lookups
-    // instead of per-edge queue scans.
-    let ins: BTreeMap<(NodeId, u16, u8), BTreeSet<u16>> = verts
-        .iter()
-        .map(|&(id, pi, q)| {
-            let set: BTreeSet<u16> = sw_of[&id].ports[pi as usize].queues[q as usize]
-                .iter()
-                .map(|&pid| arena.get(pid).cur_in_port)
-                .collect();
-            ((id, pi, q), set)
-        })
-        .collect();
-    // Edge (A,p,q) -> (B,p2,q): A waits on peer B's resume for link (A,p);
-    // that resume is blocked while B's paused egress (p2,q) holds a packet
-    // that entered B through this very link.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); verts.len()];
-    for (i, &(a, p, q)) in verts.iter().enumerate() {
-        let ep = &sw_of[&a].ports[p as usize];
-        let (b, b_in) = (ep.peer, ep.peer_port);
-        for (j, &(vb, p2, q2)) in verts.iter().enumerate() {
-            if vb == b && q2 == q && ins[&(vb, p2, q2)].contains(&b_in) {
-                adj[i].push(j);
-            }
-        }
-    }
-    // DFS cycle detection in sorted vertex order (deterministic result).
-    // 0 = unvisited, 1 = on the current path, 2 = done.
-    let mut color = vec![0u8; verts.len()];
-    let mut path: Vec<usize> = Vec::new();
-    for start in 0..verts.len() {
-        if color[start] == 0 {
-            if let Some(cycle) = dfs_cycle(start, &adj, &mut color, &mut path) {
-                return Some(cycle.into_iter().map(|i| verts[i]).collect());
-            }
-        }
-    }
-    None
-}
-
-/// Depth-first search step for [`detect_pause_cycle`]; returns the vertex
-/// indices of the first back-edge cycle found. Recursion depth is bounded
-/// by the number of paused (port, priority) pairs.
-fn dfs_cycle(
-    v: usize,
-    adj: &[Vec<usize>],
-    color: &mut [u8],
-    path: &mut Vec<usize>,
-) -> Option<Vec<usize>> {
-    color[v] = 1;
-    path.push(v);
-    for &w in &adj[v] {
-        if color[w] == 1 {
-            // Back edge: the cycle is the path suffix starting at `w`.
-            let from = path.iter().position(|&x| x == w).unwrap_or(0);
-            return Some(path[from..].to_vec());
-        }
-        if color[w] == 0 {
-            if let Some(c) = dfs_cycle(w, adj, color, path) {
-                return Some(c);
-            }
-        }
-    }
-    path.pop();
-    color[v] = 2;
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::detect_pause_cycle;
     use crate::config::SwitchConfig;
-    use crate::node::EgressPort;
-    use crate::packet::Packet;
+    use crate::node::{EgressPort, Switch};
+    use crate::packet::{Packet, PacketArena};
     use simcore::Rate;
+    use std::collections::BTreeSet;
 
     #[test]
     fn schedule_builders_emit_paired_transitions() {

@@ -34,6 +34,8 @@
 
 pub mod audit;
 pub mod config;
+pub mod counters;
+pub mod event;
 pub mod faults;
 pub mod fluid;
 pub mod monitor;
@@ -48,6 +50,7 @@ pub mod transport_api;
 
 pub use audit::{AuditConfig, AuditReport, Violation, ViolationKind};
 pub use config::{AckPriority, Buggify, SimConfig, SwitchConfig};
+pub use event::Event;
 pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
 pub use noise::NoiseModel;

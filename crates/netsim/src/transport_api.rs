@@ -10,7 +10,7 @@ use simcore::event::ScheduledId;
 use simcore::{EventQueue, Time};
 
 use crate::packet::{FlowId, IntPath};
-use crate::sim::Event;
+use crate::event::Event;
 
 /// Static per-flow parameters handed to the transport at creation.
 #[derive(Clone, Debug)]

@@ -3,13 +3,20 @@
 //! Every figure this repro produces depends on bit-identical deterministic
 //! replay. The runtime audit (`netsim::audit`) and the differential
 //! scheduler tests catch violations *dynamically*; simlint refuses them at
-//! build time. It walks every first-party Rust source in the workspace
-//! with a small hand-rolled lexer (no `syn` — the workspace builds
-//! offline) and applies the eight rules documented in [`rules`].
+//! build time. Two analysis layers, both dependency-free (no `syn` — the
+//! workspace builds offline):
+//!
+//! * **token rules** ([`rules`] R1–R8) over the hand-rolled [`lexer`];
+//! * **semantic passes** (R9–R11) over an item-level [`parse`] of every
+//!   file plus the workspace-wide crate/module graphs in [`index`], which
+//!   certify the PDES-sharding preconditions: one-way layering, no
+//!   interior-mutability side channels, no silently-ignored event
+//!   variants.
 //!
 //! Used three ways:
 //!
-//! * `cargo run -p simlint` — the CI gate (`scripts/ci.sh` leg 1);
+//! * `cargo run -p simlint` — the CI gate (`scripts/ci.sh` leg 1), with
+//!   `--json FILE` for the machine-readable artifact;
 //! * `tests/lint_clean.rs` — runs [`lint_workspace`] inside `cargo test`
 //!   so a regression fails the test suite, not just the CI script;
 //! * `cargo run -p simlint -- --fix-allowlist` — writes a baseline file so
@@ -17,17 +24,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod index;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
+pub use index::Workspace;
 pub use rules::{Finding, Rule};
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Lint one source file. `path` is the workspace-relative path (forward
 /// slashes) and selects which rules apply; `src` is the file contents.
+/// Covers every single-file rule (R1–R8, R10, R11); the cross-file half
+/// of R9 needs a [`Workspace`].
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     rules::check(path, &lexer::lex(src))
 }
@@ -99,10 +111,17 @@ impl Baseline {
 #[derive(Debug)]
 pub struct Report {
     /// `(workspace-relative path, finding)` for every finding, allowed or
-    /// not, in deterministic path order.
+    /// not, globally sorted by `(path, line, col, rule)`.
     pub findings: Vec<(String, Finding)>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// First-party crates discovered from manifests (0 for single-file
+    /// lints: the crate graph needs a [`Workspace`]).
+    pub crates_indexed: usize,
+    /// File modules indexed across the module-cycle scope.
+    pub modules_indexed: usize,
+    /// Match expressions indexed across all parsed files.
+    pub matches_indexed: usize,
 }
 
 impl Report {
@@ -117,6 +136,73 @@ impl Report {
     pub fn allowed_count(&self) -> usize {
         self.findings.iter().filter(|(_, f)| f.allowed.is_some()).count()
     }
+
+    /// Machine-readable report: one JSON object with the findings in the
+    /// same deterministic order as the text output, plus summary counts.
+    /// Hand-emitted (no serde) and covered by an ordering regression test.
+    pub fn to_json(&self, baseline: &Baseline) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"crates_indexed\": {},\n", self.crates_indexed));
+        out.push_str(&format!("  \"modules_indexed\": {},\n", self.modules_indexed));
+        out.push_str(&format!("  \"matches_indexed\": {},\n", self.matches_indexed));
+        out.push_str("  \"findings\": [");
+        let mut fatal = 0usize;
+        let mut baselined = 0usize;
+        for (i, (path, f)) in self.findings.iter().enumerate() {
+            let covered = baseline.covers(path, f);
+            if covered {
+                baselined += 1;
+            } else if f.allowed.is_none() {
+                fatal += 1;
+            }
+            let allowed = match &f.allowed {
+                Some(reason) => format!("\"{}\"", json_escape(reason)),
+                None => "null".into(),
+            };
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\", \"allowed\": {}, \"baselined\": {}}}",
+                json_escape(path),
+                f.line,
+                f.col,
+                f.rule.name(),
+                json_escape(&f.message),
+                allowed,
+                covered
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"total\": {}, \"fatal\": {}, \"allowed\": {}, \"baselined\": {}}}\n",
+            self.findings.len(),
+            fatal,
+            self.allowed_count(),
+            baselined
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Report {
@@ -163,7 +249,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         }
         if path.is_dir() {
             walk(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
+        } else if path.extension().is_some_and(|e| e == "rs")
+            || path.file_name().is_some_and(|n| n == "Cargo.toml")
+        {
             out.push(path);
         }
     }
@@ -189,7 +277,8 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Lint every first-party source file under `root`.
+/// Lint every first-party source file under `root`: all single-file rules
+/// plus the workspace-wide crate/module graph passes.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
@@ -198,22 +287,82 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             walk(&dir, &mut files)?;
         }
     }
-    let mut findings = Vec::new();
+    let mut ws = Workspace::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(file)?;
-        for f in lint_source(&rel, &src) {
-            findings.push((rel.clone(), f));
+        ws.add(&rel, &std::fs::read_to_string(file)?);
+    }
+    Ok(ws.lint())
+}
+
+/// The full workspace pass over in-memory sources and manifests: per-file
+/// rules (allow annotations deferred), then the cross-file R9 passes, then
+/// allows applied to everything so a `simlint::allow(layering, ...)` on a
+/// flagged `use` works exactly like the token rules.
+pub(crate) fn lint_workspace_data(
+    sources: &BTreeMap<String, String>,
+    manifests: &BTreeMap<String, String>,
+) -> Report {
+    let mut parsed: BTreeMap<String, parse::ParsedFile> = BTreeMap::new();
+    let mut allows: BTreeMap<String, Vec<rules::Allow>> = BTreeMap::new();
+    let mut findings: Vec<(String, Finding)> = Vec::new();
+    let mut matches_indexed = 0usize;
+    for (path, src) in sources {
+        let lexed = lexer::lex(src);
+        let pf = parse::parse(&lexed);
+        let (file_allows, mut fs) = rules::collect_allows(&lexed);
+        fs.retain(|_| Rule::AllowWithoutReason.applies_to(path));
+        let regions = rules::effective_regions(path, &pf);
+        fs.extend(rules::token_findings(path, &lexed, &regions));
+        fs.extend(rules::file_semantic_findings(path, &pf, &regions));
+        findings.extend(fs.into_iter().map(|f| (path.clone(), f)));
+        matches_indexed += pf.matches.len();
+        parsed.insert(path.clone(), pf);
+        allows.insert(path.clone(), file_allows);
+    }
+
+    let crates = index::discover_crates(manifests);
+    let crate_of = index::crate_of_files(manifests, &crates, sources);
+    findings.extend(index::crate_edge_findings(&crates, &crate_of, &parsed));
+    let (module_findings, modules_indexed) = index::module_cycle_findings(&crates, &parsed);
+    findings.extend(module_findings);
+
+    // Apply allow annotations per file (manifest findings have no comment
+    // tokens, so layering violations in Cargo.toml can only be fixed, not
+    // annotated — deliberate).
+    let mut by_path: BTreeMap<&str, Vec<&mut Finding>> = BTreeMap::new();
+    for (path, f) in &mut findings {
+        by_path.entry(path.as_str()).or_default().push(f);
+    }
+    for (path, fs) in by_path {
+        if let Some(file_allows) = allows.get(path) {
+            for f in fs {
+                if f.allowed.is_none() {
+                    if let Some(a) = file_allows
+                        .iter()
+                        .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+                    {
+                        f.allowed = Some(a.reason.clone());
+                    }
+                }
+            }
         }
     }
-    Ok(Report {
+
+    findings.sort_by(|(pa, fa), (pb, fb)| {
+        (pa, fa.line, fa.col, fa.rule).cmp(&(pb, fb.line, fb.col, fb.rule))
+    });
+    Report {
         findings,
-        files_scanned: files.len(),
-    })
+        files_scanned: sources.len(),
+        crates_indexed: crates.len(),
+        modules_indexed,
+        matches_indexed,
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,11 @@
 //! cargo run -p simlint                       # lint the workspace, exit 1 on findings
 //! cargo run -p simlint -- --fix-allowlist    # write simlint.baseline and exit 0
 //! cargo run -p simlint -- --root DIR         # lint a different workspace
+//! cargo run -p simlint -- --json FILE        # also write the JSON report to FILE
 //! ```
 //!
 //! Exit codes: 0 clean (or everything baselined/allowed), 1 unallowed
-//! findings, 2 usage or I/O error.
+//! findings or a stale baseline, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
@@ -21,23 +22,27 @@ const BASELINE_FILE: &str = "simlint.baseline";
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
     fix_allowlist: bool,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: simlint [--root DIR] [--baseline FILE] [--fix-allowlist] [--quiet]\n\
+    "usage: simlint [--root DIR] [--baseline FILE] [--json FILE] [--fix-allowlist] [--quiet]\n\
      \n\
-     Walks the workspace and enforces the determinism/time-unit/RNG rule set\n\
-     (see crates/simlint/src/rules.rs). Exit 1 on any finding that is neither\n\
-     annotated with // simlint::allow(rule, reason) nor listed in the baseline.\n\
-     --fix-allowlist rewrites the baseline to tolerate the current findings."
+     Walks the workspace and enforces the determinism/layering/shared-state\n\
+     rule set (see crates/simlint/src/rules.rs). Exit 1 on any finding that is\n\
+     neither annotated with // simlint::allow(rule, reason) nor listed in the\n\
+     baseline, and on a stale baseline (file present but tree clean).\n\
+     --fix-allowlist rewrites the baseline to tolerate the current findings;\n\
+     --json also writes the machine-readable report to FILE."
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         baseline: None,
+        json: None,
         fix_allowlist: false,
         quiet: false,
     };
@@ -52,6 +57,11 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(
                     it.next().ok_or("--baseline requires a file path")?,
+                ))
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json requires a file path")?,
                 ))
             }
             "--fix-allowlist" => args.fix_allowlist = true,
@@ -140,6 +150,34 @@ fn main() -> ExitCode {
         Baseline::default()
     };
 
+    // Stale-ratchet guard: a baseline that tolerates nothing left to
+    // tolerate would silently mask the next regression (each entry pins a
+    // rule+path+line, and lines drift). Clean trees must not carry one.
+    if baseline_path.is_file() && report.unallowed(&Baseline::default()).count() == 0 {
+        eprintln!(
+            "simlint: STALE BASELINE — the workspace scan is clean, but {} still \
+             exists and would mask the next regression at its recorded lines; \
+             delete it (or run --fix-allowlist, which removes it when clean)",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(json_path) = &args.json {
+        if let Some(dir) = json_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("simlint: creating {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(json_path, report.to_json(&baseline)) {
+            eprintln!("simlint: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     let mut fatal = 0usize;
     let mut baselined = 0usize;
     for (path, f) in report.findings.iter() {
@@ -162,8 +200,12 @@ fn main() -> ExitCode {
     }
     if !args.quiet {
         eprintln!(
-            "simlint: {} files, {} finding(s): {} fatal, {} baselined, {} allowed by annotation",
+            "simlint: {} files, {} crates, {} modules, {} matches; {} finding(s): \
+             {} fatal, {} baselined, {} allowed by annotation",
             report.files_scanned,
+            report.crates_indexed,
+            report.modules_indexed,
+            report.matches_indexed,
             report.findings.len(),
             fatal,
             baselined,

@@ -1,7 +1,10 @@
 //! The simlint rule set.
 //!
-//! Eight rules, each guarding an invariant that the runtime audit (PR 2) and
-//! the differential scheduler tests (PR 3) can only check *dynamically*:
+//! Eleven rules, each guarding an invariant that the runtime audit (PR 2)
+//! and the differential scheduler tests (PR 3) can only check
+//! *dynamically*. R1–R8 are token-level; R9–R11 are semantic passes built
+//! on [`crate::parse`] and [`crate::index`] and exist to certify the
+//! PDES-sharding preconditions (see DESIGN.md § Static analysis):
 //!
 //! | rule                   | guards against                                      |
 //! |------------------------|-----------------------------------------------------|
@@ -13,6 +16,9 @@
 //! | `allow-without-reason` | `#[allow(...)]` with no justifying comment          |
 //! | `hot-path-alloc`       | `Box::new`/`vec![`/`.to_vec()`/`.clone()` per event |
 //! | `float-order`          | f64/f32 accumulation over iterated collections      |
+//! | `layering`             | upward crate edges / module cycles in the sim DAG   |
+//! | `shared-state`         | interior mutability & globals in sim-state crates   |
+//! | `event-exhaustiveness` | `_ =>` arms over sim-critical enums                 |
 //!
 //! Any finding can be silenced in place with an annotation comment:
 //!
@@ -25,8 +31,9 @@
 //! reported under `allow-without-reason`.
 
 use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parse::{in_test_region, ParsedFile};
 
-/// One of the eight lint rules.
+/// One of the eleven lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: no `HashMap`/`HashSet` in simulation-state crates.
@@ -54,11 +61,30 @@ pub enum Rule {
     /// u128 byte-picoseconds, `u64` byte counters) and convert to float at
     /// the edge, or annotate why the ordering is pinned.
     FloatOrder,
+    /// R9: the crate DAG is one-way (`simcore <- {netsim, prioplus} <-
+    /// transport <- workloads <- experiments <- bench`) and module graphs
+    /// inside sim-state crates are acyclic. Enforced from both `Cargo.toml`
+    /// dependencies and resolved `use`/path references (dev-dependency
+    /// cycles are legal to cargo; they are not legal here). A future
+    /// `partition` layer must be physically unable to reach back into
+    /// global `Sim` state.
+    Layering,
+    /// R10: no interior mutability (`RefCell`/`Cell`/`Mutex`/`RwLock`/
+    /// atomics), `static mut`, or `thread_local!` in sim-state crates —
+    /// all mutation goes through the `&mut` the event loop hands out, so
+    /// a partitioned run cannot race through a side channel. The driver
+    /// crates (`experiments`, `bench`) stay free to use them.
+    SharedState,
+    /// R11: no wildcard `_ =>` arm in a match over a sim-critical enum
+    /// (`Event`, `ViolationKind`, `Buggify`, `FaultKind`) in sim-state
+    /// crates — adding a variant (e.g. `Event::NullMessage` for PDES)
+    /// must force every dispatch site to handle it explicitly.
+    EventExhaustiveness,
 }
 
 impl Rule {
     /// Every rule, in diagnostic order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::NondeterministicMap,
         Rule::WallClock,
         Rule::UnseededRng,
@@ -67,6 +93,9 @@ impl Rule {
         Rule::AllowWithoutReason,
         Rule::HotPathAlloc,
         Rule::FloatOrder,
+        Rule::Layering,
+        Rule::SharedState,
+        Rule::EventExhaustiveness,
     ];
 
     /// The kebab-case name used in diagnostics and `simlint::allow(...)`.
@@ -80,6 +109,9 @@ impl Rule {
             Rule::AllowWithoutReason => "allow-without-reason",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::FloatOrder => "float-order",
+            Rule::Layering => "layering",
+            Rule::SharedState => "shared-state",
+            Rule::EventExhaustiveness => "event-exhaustiveness",
         }
     }
 
@@ -127,9 +159,38 @@ impl Rule {
             ]
             .iter()
             .any(|p| path.starts_with(p)),
+            // Layering applies everywhere: the crate DAG covers the whole
+            // workspace and the module-cycle scope is narrowed in
+            // `crate::index` itself.
+            Rule::Layering => true,
+            // The PDES-state crates: everything that holds or mutates
+            // simulation state, including the paper's algorithm crate
+            // (`crates/core` = prioplus). Driver crates stay free.
+            Rule::SharedState | Rule::EventExhaustiveness => PDES_STATE_CRATES
+                .iter()
+                .any(|p| path.starts_with(p)),
         }
     }
 }
+
+/// Crates whose state a sharded (PDES) run would partition: interior
+/// mutability and silently-ignored event variants are banned here.
+const PDES_STATE_CRATES: [&str; 5] = [
+    "crates/simcore/",
+    "crates/netsim/",
+    "crates/transport/",
+    "crates/workloads/",
+    "crates/core/",
+];
+
+/// Interior-mutability / shared-state type names banned by R10.
+const SHARED_STATE_TYPES: [&str; 10] = [
+    "RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell", "Mutex", "RwLock", "OnceLock",
+    "LazyLock", "Condvar",
+];
+
+/// Enums whose dispatch sites must stay exhaustive under R11.
+pub(crate) const CRITICAL_ENUMS: [&str; 4] = ["Event", "ViolationKind", "Buggify", "FaultKind"];
 
 /// A single diagnostic.
 #[derive(Clone, Debug)]
@@ -147,15 +208,15 @@ pub struct Finding {
 }
 
 /// A parsed `simlint::allow(rule, reason)` annotation.
-struct Allow {
-    line: u32,
-    rule: Rule,
-    reason: String,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) rule: Rule,
+    pub(crate) reason: String,
 }
 
 /// Scan comments for allow annotations. Malformed annotations (unknown rule
 /// or missing reason) are returned as findings instead of silently ignored.
-fn parse_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
+pub(crate) fn collect_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
     for c in &lexed.comments {
@@ -217,57 +278,20 @@ fn parse_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
     (allows, bad)
 }
 
-/// Line ranges (inclusive) of `#[cfg(test)]` modules and `#[test]` functions.
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
-    let mut regions = Vec::new();
-    let t = |i: usize| -> &str { &toks[i].text };
-    let mut i = 0usize;
-    while i < toks.len() {
-        let is_cfg_test = i + 4 < toks.len()
-            && t(i) == "#"
-            && t(i + 1) == "["
-            && t(i + 2) == "cfg"
-            && t(i + 3) == "("
-            && t(i + 4) == "test";
-        let is_test_attr =
-            i + 3 < toks.len() && t(i) == "#" && t(i + 1) == "[" && t(i + 2) == "test" && t(i + 3) == "]";
-        if is_cfg_test || is_test_attr {
-            // The region is the brace-block of the item the attribute
-            // decorates: skip to the first `{` after the attribute, then
-            // find its matching `}`.
-            let mut j = i + 3;
-            while j < toks.len() && t(j) != "{" {
-                j += 1;
-            }
-            if j < toks.len() {
-                let start = toks[i].line;
-                let mut depth = 1i32;
-                let mut k = j + 1;
-                while k < toks.len() && depth > 0 {
-                    match t(k) {
-                        "{" => depth += 1,
-                        "}" => depth -= 1,
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                let end = if k > 0 && k <= toks.len() {
-                    toks[k - 1].line
-                } else {
-                    u32::MAX
-                };
-                regions.push((start, end));
-                i = j + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    regions
+/// Whether the whole file is test code (integration tests, e2e drivers):
+/// these directories are compiled only under `cargo test`.
+pub(crate) fn whole_file_is_test(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
 }
 
-fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
-    regions.iter().any(|&(a, b)| line >= a && line <= b)
+/// The test regions to exempt for `path`: the whole file for test
+/// directories, else the parsed `#[cfg(test)]`/`#[test]` regions.
+pub(crate) fn effective_regions(path: &str, parsed: &ParsedFile) -> Vec<(u32, u32)> {
+    if whole_file_is_test(path) {
+        vec![(0, u32::MAX)]
+    } else {
+        parsed.test_regions.clone()
+    }
 }
 
 /// Unit accessors on `Time`/`Rate` whose result must not be cast with a
@@ -355,20 +379,117 @@ fn cast_operand_idents(toks: &[Tok], end: usize) -> Vec<String> {
 
 /// Run every applicable rule over one lexed file. `path` is
 /// workspace-relative with forward slashes; it selects which rules apply.
+/// The cross-file half of R9 needs the whole workspace and lives in
+/// [`crate::index`]; this entry point covers everything single-file.
 pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
-    let (allows, mut findings) = parse_allows(lexed);
+    let parsed = crate::parse::parse(lexed);
+    check_parsed(path, lexed, &parsed)
+}
+
+/// [`check`] with the parse already done (the workspace pass parses once
+/// and shares the [`ParsedFile`] with the cross-file passes).
+pub(crate) fn check_parsed(path: &str, lexed: &Lexed, parsed: &ParsedFile) -> Vec<Finding> {
+    let (allows, mut findings) = collect_allows(lexed);
     // allow-without-reason findings from malformed annotations only matter
     // where R6 applies (everywhere, in practice).
     findings.retain(|_| Rule::AllowWithoutReason.applies_to(path));
+    let regions = effective_regions(path, parsed);
+    findings.extend(token_findings(path, lexed, &regions));
+    findings.extend(file_semantic_findings(path, parsed, &regions));
+    apply_allows(&allows, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
 
+/// Apply allow annotations: an allow on line L covers findings for its
+/// rule on L (trailing comment) and L+1 (comment on its own line above).
+pub(crate) fn apply_allows(allows: &[Allow], findings: &mut [Finding]) {
+    for f in findings {
+        if let Some(a) = allows
+            .iter()
+            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        {
+            f.allowed = Some(a.reason.clone());
+        }
+    }
+}
+
+/// R10 (glob imports) + R11: the single-file semantic rules, driven by the
+/// item-level parse rather than raw tokens.
+pub(crate) fn file_semantic_findings(
+    path: &str,
+    parsed: &ParsedFile,
+    regions: &[(u32, u32)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // R10: a glob import of std::cell / std::sync smuggles every banned
+    // type in under its bare name; the token pass can't see it.
+    if Rule::SharedState.applies_to(path) {
+        for u in &parsed.uses {
+            if !u.glob || in_test_region(regions, u.line) {
+                continue;
+            }
+            let segs: Vec<&str> = u.segs.iter().map(|s| s.as_str()).collect();
+            if matches!(segs.as_slice(), ["std" | "core", "cell" | "sync", ..]) {
+                findings.push(Finding {
+                    rule: Rule::SharedState,
+                    line: u.line,
+                    col: 1,
+                    message: format!(
+                        "glob import of {}::{}::* pulls interior-mutability types into a \
+                         sim-state crate; import the specific items needed",
+                        segs[0], segs[1]
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+    // R11: wildcard arms over sim-critical enums.
+    if Rule::EventExhaustiveness.applies_to(path) {
+        for m in &parsed.matches {
+            if in_test_region(regions, m.line) {
+                continue;
+            }
+            let mut heads: Vec<&str> = m
+                .arms
+                .iter()
+                .flat_map(|a| a.enum_heads.iter().map(|h| h.as_str()))
+                .filter(|h| CRITICAL_ENUMS.contains(h))
+                .collect();
+            heads.sort_unstable();
+            heads.dedup();
+            if heads.is_empty() {
+                continue;
+            }
+            for arm in &m.arms {
+                // A guarded `_ if cond =>` arm is a deliberate catch-some,
+                // not a catch-all; only the bare wildcard is flagged.
+                if arm.wildcard && !arm.guarded {
+                    findings.push(Finding {
+                        rule: Rule::EventExhaustiveness,
+                        line: arm.line,
+                        col: 1,
+                        message: format!(
+                            "wildcard `_ =>` arm in a match dispatching {}: adding a \
+                             variant (e.g. Event::NullMessage for PDES) must force every \
+                             dispatch site to handle it; list the remaining variants \
+                             explicitly",
+                            heads.join("/")
+                        ),
+                        allowed: None,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The token-level rules (R1–R8 plus R10's named types), one linear scan.
+pub(crate) fn token_findings(path: &str, lexed: &Lexed, regions: &[(u32, u32)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let toks = &lexed.toks;
-    let whole_file_is_test = path.starts_with("tests/") || path.contains("/tests/");
-    let regions = if whole_file_is_test {
-        vec![(0, u32::MAX)]
-    } else {
-        test_regions(toks)
-    };
-
     let t = |i: usize| -> &str { &toks[i].text };
     for i in 0..toks.len() {
         let tok = &toks[i];
@@ -509,7 +630,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     && t(i + 1) == ":"
                     && t(i + 2) == ":"
                     && t(i + 3) == "new"
-                    && !in_test_region(&regions, tok.line) =>
+                    && !in_test_region(regions, tok.line) =>
             {
                 findings.push(Finding {
                     rule: Rule::HotPathAlloc,
@@ -526,7 +647,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                 if Rule::HotPathAlloc.applies_to(path)
                     && i + 1 < toks.len()
                     && t(i + 1) == "!"
-                    && !in_test_region(&regions, tok.line) =>
+                    && !in_test_region(regions, tok.line) =>
             {
                 findings.push(Finding {
                     rule: Rule::HotPathAlloc,
@@ -545,7 +666,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     && t(i + 1) == "("
                     && i >= 1
                     && t(i - 1) == "."
-                    && !in_test_region(&regions, tok.line) =>
+                    && !in_test_region(regions, tok.line) =>
             {
                 findings.push(Finding {
                     rule: Rule::HotPathAlloc,
@@ -568,7 +689,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                 if Rule::FloatOrder.applies_to(path)
                     && i >= 1
                     && t(i - 1) == "."
-                    && !in_test_region(&regions, tok.line)
+                    && !in_test_region(regions, tok.line)
                     && {
                         let turbofish_float = i + 4 < toks.len()
                             && t(i + 1) == ":"
@@ -619,7 +740,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     && (t(i + 2).contains('.')
                         || t(i + 2).ends_with("f64")
                         || t(i + 2).ends_with("f32"))
-                    && !in_test_region(&regions, tok.line) =>
+                    && !in_test_region(regions, tok.line) =>
             {
                 findings.push(Finding {
                     rule: Rule::FloatOrder,
@@ -640,7 +761,7 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     && t(i + 1) == "("
                     && i >= 1
                     && t(i - 1) == "."
-                    && !in_test_region(&regions, tok.line) =>
+                    && !in_test_region(regions, tok.line) =>
             {
                 findings.push(Finding {
                     rule: Rule::HotPathUnwrap,
@@ -654,20 +775,56 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
                     allowed: None,
                 });
             }
+            // R10: named interior-mutability / shared-state types, plus
+            // the macro and keyword forms.
+            name if Rule::SharedState.applies_to(path)
+                && !in_test_region(regions, tok.line)
+                && (SHARED_STATE_TYPES.contains(&name) || name.starts_with("Atomic")) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::SharedState,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "{name} is interior-mutability shared state; sim-state crates \
+                         route all mutation through the &mut the event loop hands out \
+                         so a partitioned run cannot race through a side channel",
+                    ),
+                    allowed: None,
+                });
+            }
+            "thread_local"
+                if Rule::SharedState.applies_to(path)
+                    && !in_test_region(regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::SharedState,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "thread_local! storage bypasses the event loop's ownership \
+                              of sim state and desynchronizes partitioned runs"
+                        .into(),
+                    allowed: None,
+                });
+            }
+            "static"
+                if Rule::SharedState.applies_to(path)
+                    && i + 1 < toks.len()
+                    && t(i + 1) == "mut"
+                    && !in_test_region(regions, tok.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::SharedState,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "static mut is global shared state; sim state lives in Sim \
+                              and is mutated only through the event loop's &mut"
+                        .into(),
+                    allowed: None,
+                });
+            }
             _ => {}
         }
     }
-
-    // Apply allow annotations: an allow on line L covers findings for its
-    // rule on L (trailing comment) and L+1 (comment on its own line above).
-    for f in &mut findings {
-        if let Some(a) = allows
-            .iter()
-            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
-        {
-            f.allowed = Some(a.reason.clone());
-        }
-    }
-    findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
 }

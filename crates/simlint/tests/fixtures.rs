@@ -249,3 +249,67 @@ fn r6_accepts_reason_comments() {
     let fs = lint_source(SIM_PATH, include_str!("fixtures/r6_allowed.rs"));
     assert!(fs.is_empty(), "unexpected findings: {fs:?}");
 }
+
+// --- R10: shared-state ----------------------------------------------------
+
+#[test]
+fn r10_fires_on_interior_mutability() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r10_bad.rs"));
+    assert_only_rule(&fs, Rule::SharedState);
+    // RefCell import + field, Mutex import + field, AtomicU64 import +
+    // field, the std::sync glob, static mut, thread_local!; the
+    // #[cfg(test)] module's Cell is exempt.
+    assert_eq!(unallowed(&fs, Rule::SharedState), 9);
+}
+
+#[test]
+fn r10_respects_allow_annotations() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r10_allowed.rs"));
+    assert_eq!(unallowed(&fs, Rule::SharedState), 0);
+    assert_eq!(allowed(&fs, Rule::SharedState), 2);
+}
+
+#[test]
+fn r10_only_applies_to_pdes_state_crates() {
+    let src = include_str!("fixtures/r10_bad.rs");
+    assert!(lint_source("crates/experiments/src/x.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    assert_eq!(
+        unallowed(&lint_source("crates/core/src/pp.rs", src), Rule::SharedState),
+        9,
+        "the prioplus algorithm crate holds sim state too"
+    );
+}
+
+// --- R11: event-exhaustiveness --------------------------------------------
+
+#[test]
+fn r11_fires_on_wildcard_critical_dispatch() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r11_bad.rs"));
+    assert_only_rule(&fs, Rule::EventExhaustiveness);
+    // The bare `_` in dispatch(), the trailing `_` after the guarded arm
+    // in guarded(), and the FaultKind wildcard; the exhaustive match, the
+    // Option match, the guarded `_ if` arm itself, and the #[cfg(test)]
+    // module are all exempt.
+    assert_eq!(unallowed(&fs, Rule::EventExhaustiveness), 3);
+}
+
+#[test]
+fn r11_respects_allow_annotations() {
+    let fs = lint_source(SIM_PATH, include_str!("fixtures/r11_allowed.rs"));
+    assert_eq!(unallowed(&fs, Rule::EventExhaustiveness), 0);
+    assert_eq!(allowed(&fs, Rule::EventExhaustiveness), 1);
+}
+
+#[test]
+fn r11_only_applies_to_pdes_state_crates() {
+    let src = include_str!("fixtures/r11_bad.rs");
+    assert!(lint_source("crates/experiments/src/x.rs", src).is_empty());
+    assert_eq!(
+        unallowed(
+            &lint_source("crates/core/src/pp.rs", src),
+            Rule::EventExhaustiveness
+        ),
+        3
+    );
+}

@@ -1,0 +1,14 @@
+//! R10 fixture: annotated interior mutability, plus plain &mut state that
+//! must not be reported at all.
+
+// simlint::allow(shared-state, fixture - memoized pure lookup table never observed by sim state)
+use std::cell::RefCell;
+
+pub struct Memo {
+    // simlint::allow(shared-state, fixture - memoized pure lookup table never observed by sim state)
+    table: RefCell<Vec<u64>>,
+}
+
+pub fn plain_counter(c: &mut u64) {
+    *c += 1;
+}

@@ -1,0 +1,29 @@
+//! R10 fixture: interior-mutability shared state in a sim-state crate.
+
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+use std::sync::*;
+
+static mut GLOBAL_TICKS: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+
+pub struct State {
+    cached: RefCell<u64>,
+    shared: Mutex<Vec<u64>>,
+    count: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+
+    #[test]
+    fn test_scratch_state_is_exempt() {
+        let c = Cell::new(1u8);
+        assert_eq!(c.get(), 1);
+    }
+}

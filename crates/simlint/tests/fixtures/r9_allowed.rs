@@ -1,0 +1,9 @@
+//! R9 fixture: the same upward reference, annotated for a migration
+//! window.
+
+// simlint::allow(layering, fixture - migration window while the report types move down a layer)
+use experiments::report::Tables;
+
+pub fn summarize() -> Tables {
+    experiments::report::tables()
+}

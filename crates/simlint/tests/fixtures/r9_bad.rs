@@ -1,0 +1,8 @@
+//! R9 fixture: an upward crate reference — a sim-state crate (this file is
+//! linted as netsim source) reaching into the experiments driver layer.
+
+use experiments::report::Tables;
+
+pub fn summarize() -> Tables {
+    experiments::report::tables()
+}

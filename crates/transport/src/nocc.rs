@@ -94,7 +94,7 @@ impl Transport for BlastTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::sim::Event;
+    use netsim::Event;
     use simcore::{EventQueue, Rate};
 
     fn params(size: u64) -> FlowParams {

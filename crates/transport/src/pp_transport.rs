@@ -220,7 +220,7 @@ impl<C: DelayCc> Transport for PrioPlusTransport<C> {
 mod tests {
     use super::*;
     use crate::sender::SenderBase;
-    use netsim::sim::Event;
+    use netsim::Event;
     use netsim::{AckKind, FlowParams};
     use prioplus::cc::SimpleAimd;
     use simcore::{EventQueue, Rate};

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full CI gauntlet, in escalating order of strictness:
 #
-#   1. simlint: the workspace static-analysis pass (determinism, wall-clock,
-#      RNG, time-cast, hot-path-unwrap, hot-path-alloc, and float-order
-#      invariants) must report zero unallowed findings;
+#   1. simlint: the workspace static-analysis pass (token rules R1-R8 plus
+#      the symbol-index semantic passes: crate/module layering,
+#      shared-state, event-exhaustiveness) must report zero unallowed
+#      findings; the machine-readable report lands in target/simlint.json
+#      as a CI artifact, and a stale simlint.baseline (file present, scan
+#      clean) fails the leg;
 #   2. clippy: `cargo clippy --workspace --all-targets -- -D warnings`
 #      (skipped with a warning if the toolchain has no clippy component);
 #   3. tier-1: release build + full test suite (includes the property
@@ -46,9 +49,17 @@
 #      overlay on the hot paths, and the hyperscale_incast row carries
 #      the flow-slab memory-budget counters).
 #
+# Each leg prints its wall time on completion.
+#
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+LEG_START=$SECONDS
+leg_done() {
+  echo "--- leg wall time: $(( SECONDS - LEG_START ))s ---"
+  LEG_START=$SECONDS
+}
 
 # Refuse to run the matrix with a typo'd scheduler override in the
 # environment: the library would warn and silently fall back to the binary
@@ -67,7 +78,9 @@ if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
 fi
 
 echo "=== [1/10] simlint: workspace static analysis ==="
-cargo run --release -q -p simlint
+cargo run --release -q -p simlint -- --json target/simlint.json
+echo "ci.sh: JSON report written to target/simlint.json"
+leg_done
 
 echo
 echo "=== [2/10] clippy (-D warnings) ==="
@@ -76,15 +89,18 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
   echo "ci.sh: WARNING: clippy not installed on this toolchain, skipping" >&2
 fi
+leg_done
 
 echo
 echo "=== [3/10] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
+leg_done
 
 echo
 echo "=== [4/10] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
+leg_done
 
 echo
 echo "=== [5/10] audit-enabled e2e suite (violations are fatal) ==="
@@ -93,16 +109,19 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
 echo "--- arena accounting at every event boundary (deep scan forced) ---"
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_arena --test e2e_audit
+leg_done
 
 echo
 echo "=== [6/10] hybrid packet/fluid e2e (fluid conservation forced) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_hybrid
+leg_done
 
 echo
 echo "=== [7/10] fault-regime e2e (deadlock monitor, conservation under failure) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_faults
+leg_done
 
 echo
 echo "=== [8/10] hyperscale smoke (k=8 open-loop, slab reclamation audited) ==="
@@ -113,15 +132,18 @@ echo "=== [8/10] hyperscale smoke (k=8 open-loop, slab reclamation audited) ==="
 # 4x-tighter *forced* floor independent of local env).
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=256 \
   cargo test -q --release -p experiments --test e2e_hyperscale
+leg_done
 
 echo
 echo "=== [9/10] scheduler-backend matrix (binary, quad) ==="
 PRIOPLUS_SCHED=binary cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
+leg_done
 
 echo
 echo "=== [10/10] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
+leg_done
 
 echo
-echo "ci.sh: all gates passed"
+echo "ci.sh: all gates passed (total: ${SECONDS}s)"

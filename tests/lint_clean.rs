@@ -65,6 +65,46 @@ fn workspace_has_no_unallowed_findings() {
 }
 
 #[test]
+fn semantic_passes_run_in_the_full_workspace_scan() {
+    // The symbol-index passes (R9–R11) must actually be exercising the
+    // tree, not silently indexing nothing: every first-party crate is
+    // discovered, the module graphs cover the sim-state crates, and the
+    // match index saw the event loop's dispatch sites.
+    let report = lint_workspace(workspace_root()).expect("lint pass reads the workspace");
+    assert!(
+        report.crates_indexed >= 8,
+        "expected all first-party crates in the index, got {}",
+        report.crates_indexed
+    );
+    assert!(
+        report.modules_indexed >= 20,
+        "suspiciously few modules in the cycle scope ({})",
+        report.modules_indexed
+    );
+    assert!(
+        report.matches_indexed >= 50,
+        "suspiciously few match expressions indexed ({})",
+        report.matches_indexed
+    );
+}
+
+#[test]
+fn no_stale_baseline_is_committed() {
+    // A baseline with nothing left to tolerate would silently mask the
+    // next regression (entries pin rule+path+line, and lines drift). The
+    // CLI refuses to run with one; the committed tree must not carry one.
+    let root = workspace_root();
+    let report = lint_workspace(root).expect("lint pass reads the workspace");
+    if report.unallowed(&Baseline::default()).count() == 0 {
+        assert!(
+            !root.join("simlint.baseline").exists(),
+            "the workspace scan is clean: delete simlint.baseline (a stale \
+             ratchet masks future regressions)"
+        );
+    }
+}
+
+#[test]
 fn allow_annotations_in_tree_all_carry_reasons() {
     // Defense in depth for the annotation grammar itself: every allow that
     // suppresses a finding must have parsed with a non-empty reason.
