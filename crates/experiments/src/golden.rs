@@ -9,7 +9,7 @@
 //! `GOLDEN_BLESS=1 cargo test -p experiments --test golden_traces`.
 
 use crate::micro::{testbed_env, Micro, MicroEnv};
-use netsim::{NoiseModel, SchedKind, SimResult, SwitchConfig};
+use netsim::{NoiseModel, SchedKind, Sim, SimResult, SwitchConfig};
 use simcore::Time;
 use transport::{CcSpec, PrioPlusPolicy};
 
@@ -23,15 +23,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Per-run switches for a pinned scenario. Neither may change the summary:
-/// the audit is observational and scheduler backends are order-identical —
-/// exactly what the golden suite pins.
+/// Per-run switches for a pinned scenario. None may change the summary:
+/// the audit is observational, scheduler backends are order-identical, and
+/// snapshot/resume is bit-exact — exactly what the golden suite pins.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GoldenOpts {
     /// Enable the invariant audit.
     pub audit: bool,
     /// Event-scheduler backend.
     pub sched: SchedKind,
+    /// Interrupt the run at this horizon, snapshot, restore, and finish on
+    /// the restored simulator ([`netsim::Sim::snapshot`] round-trip) —
+    /// instead of running straight through.
+    pub resume_at: Option<Time>,
 }
 
 impl GoldenOpts {
@@ -48,6 +52,32 @@ impl GoldenOpts {
         GoldenOpts {
             sched,
             ..Default::default()
+        }
+    }
+
+    /// Snapshot/resume round-trip at `at` on the default backend.
+    pub fn resumed(at: Time) -> Self {
+        GoldenOpts {
+            resume_at: Some(at),
+            ..Default::default()
+        }
+    }
+}
+
+/// Finish a fully-registered scenario according to `opts`: either run
+/// straight through, or — when [`GoldenOpts::resume_at`] is set — advance
+/// to the horizon, snapshot, rebuild from the snapshot, and run the
+/// restored simulator to completion. Golden cases route every run through
+/// this helper so the snapshot round-trip is pinned against the exact
+/// scenarios the suite already pins across backends.
+pub fn finish(mut sim: Sim, opts: GoldenOpts) -> SimResult {
+    match opts.resume_at {
+        None => sim.run(),
+        Some(at) => {
+            sim.run_until(at);
+            let snap = sim.snapshot();
+            drop(sim);
+            Sim::restore(&snap).run()
         }
     }
 }
@@ -103,7 +133,7 @@ fn staircase(opts: GoldenOpts) -> SimResult {
             m.add_flow(sender, 400_000 * (p as u64 + 1), start, 0, p, &cc);
         }
     }
-    m.sim.run()
+    finish(m.sim, opts)
 }
 
 /// Fig 13 in miniature: the testbed environment with 10 µs of uniform
@@ -139,7 +169,7 @@ fn nc_delay(opts: GoldenOpts) -> SimResult {
             );
         }
     }
-    m.sim.run()
+    finish(m.sim, opts)
 }
 
 /// Lossy-mode incast: a small shared buffer forces Dynamic-Threshold drops
@@ -168,7 +198,7 @@ fn lossy_incast(opts: GoldenOpts) -> SimResult {
     for s in 1..=8 {
         m.add_flow(s, 500_000, Time::ZERO, 0, 0, &cc);
     }
-    m.sim.run()
+    finish(m.sim, opts)
 }
 
 /// Render the integer summary that gets pinned: one line per flow plus the

@@ -250,7 +250,7 @@ pub(crate) struct SwitchArrive {
 /// The (switch, ingress port, queue) an admission in the current event
 /// touched; checked against the Xoff invariant at the event boundary.
 #[cfg_attr(not(feature = "audit"), allow(dead_code))]
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Focus {
     pub(crate) node: NodeId,
     pub(crate) in_port: u16,
@@ -262,7 +262,7 @@ pub(crate) struct Focus {
 
 /// Live audit state held by the simulator while auditing is enabled.
 #[cfg_attr(not(feature = "audit"), allow(dead_code))]
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Audit {
     cfg: AuditConfig,
     ring: RingLog<EventRecord>,

@@ -69,4 +69,8 @@ pub struct SimCounters {
     /// Peak bytes of live flow state (slab slots + transport boxes; the
     /// reassembly map's heap nodes are not counted — empty at completion).
     pub flow_live_bytes_peak: u64,
+    /// Scheduler interactions (same-timestamp batch pops). `events /
+    /// sched_pops` is the average number of events dispatched per scheduler
+    /// interaction — the batching win batch dispatch is after.
+    pub sched_pops: u64,
 }

@@ -8,7 +8,12 @@
 use crate::packet::{FlowId, NodeId, PacketId};
 
 /// Simulation events.
-#[derive(Debug)]
+///
+/// `Copy` is deliberate: every variant is a few machine words of plain ids
+/// (see the `event_stays_slim` size pin in `crate::sim`'s tests), which is
+/// what lets [`crate::sim::Sim::snapshot`] clone the whole scheduler queue
+/// without touching packet or flow state.
+#[derive(Clone, Copy, Debug)]
 pub enum Event {
     /// A packet arrives at `node` through ingress `in_port` (propagation
     /// finished).
@@ -74,4 +79,51 @@ pub enum Event {
     Inject,
     /// End of simulation.
     End,
+}
+
+impl Event {
+    /// Fold this event into a state digest as a fixed sequence of `u64`
+    /// words: a variant discriminant followed by every payload field. Used
+    /// by [`crate::sim::Sim::state_digest`] to fingerprint pending queue
+    /// entries; the match is exhaustive on purpose (simlint R8) so a new
+    /// variant cannot silently escape the snapshot-completeness fleet.
+    pub fn fold_digest(&self, mut fold: impl FnMut(u64)) {
+        match *self {
+            Event::Arrive { node, in_port, pkt } => {
+                fold(1);
+                fold(node as u64);
+                fold(in_port as u64);
+                fold(pkt.index() as u64);
+            }
+            Event::PortFree { node, port } => {
+                fold(2);
+                fold(node as u64);
+                fold(port as u64);
+            }
+            Event::FlowStart { flow } => {
+                fold(3);
+                fold(flow as u64);
+            }
+            Event::FlowTimer { flow, token } => {
+                fold(4);
+                fold(flow as u64);
+                fold(token);
+            }
+            Event::HostPoke { node } => {
+                fold(5);
+                fold(node as u64);
+            }
+            Event::Sample { monitor } => {
+                fold(6);
+                fold(monitor as u64);
+            }
+            Event::FluidEpoch => fold(7),
+            Event::Fault { idx } => {
+                fold(8);
+                fold(idx as u64);
+            }
+            Event::Inject => fold(9),
+            Event::End => fold(10),
+        }
+    }
 }

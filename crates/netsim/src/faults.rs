@@ -278,7 +278,7 @@ impl PortFault {
 
 /// Runtime fault state owned by the simulator: the installed schedule
 /// (indexed by `Event::Fault { idx }`) plus the current per-port overlay.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct FaultRuntime {
     /// The installed schedule.
     pub(crate) schedule: FaultSchedule,

@@ -246,7 +246,7 @@ pub struct FluidAudit {
 }
 
 /// Fluid state for one switch egress port.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct FluidPort {
     node: NodeId,
     port: u16,
@@ -322,7 +322,7 @@ impl FluidPort {
 ///
 /// Owned by `Sim` when `SimConfig::background` is set; all methods are
 /// cheap no-ops once every port's trace is exhausted and drained.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FluidState {
     ports: Vec<FluidPort>,
     /// `(node, egress port) -> index into ports`.
@@ -726,6 +726,51 @@ impl FluidState {
     pub fn injected_bytes(&self) -> u64 {
         let units: u128 = self.ports.iter().map(|p| p.injected).sum();
         (units / UNITS_PER_BYTE) as u64
+    }
+
+    /// Fold every deterministic field of the fluid solver into a state
+    /// digest ([`crate::sim::Sim::state_digest`]): per-port mass accounting
+    /// (backlog, injected, drained, charged), the piecewise-constant rate
+    /// state, injector/stamp queues, and the settle clock.
+    pub(crate) fn fold_digest(&self, fold: &mut impl FnMut(u64)) {
+        fold(self.last.as_ps());
+        fold(self.flows_started);
+        fold(self.flows_completed);
+        fold(self.epochs);
+        for p in &self.ports {
+            fold(p.node as u64);
+            fold(p.port as u64);
+            fold(p.backlog as u64);
+            fold((p.backlog >> 64) as u64);
+            fold(p.injected as u64);
+            fold((p.injected >> 64) as u64);
+            fold(p.drained as u64);
+            fold((p.drained >> 64) as u64);
+            fold(p.charged as u64);
+            fold((p.charged >> 64) as u64);
+            fold(p.service_bps);
+            fold(p.presence as u64 | (p.paused as u64) << 1);
+            fold(p.arrivals.len() as u64);
+            fold(p.injectors.len() as u64);
+            for inj in &p.injectors {
+                fold(inj.end.as_ps());
+                fold(inj.remaining as u64);
+            }
+            fold(p.stamps.len() as u64);
+            for &s in &p.stamps {
+                fold(s as u64);
+            }
+        }
+    }
+
+    /// Test hook for the snapshot-completeness fleet: leak one unit of
+    /// backlog mass on the first fluid-loaded port. A correct
+    /// [`crate::sim::Sim::state_digest`] must notice.
+    #[doc(hidden)]
+    pub fn tamper_backlog(&mut self) {
+        if let Some(p) = self.ports.first_mut() {
+            p.backlog += 1;
+        }
     }
 }
 

@@ -45,6 +45,7 @@ pub mod packet;
 pub mod record;
 pub mod routing;
 pub mod sim;
+pub mod snapshot;
 pub mod topology;
 pub mod transport_api;
 
@@ -54,9 +55,10 @@ pub use event::Event;
 pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use fluid::{BackgroundLoad, FluidFlowSpec, FluidState};
 pub use noise::NoiseModel;
-pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktKind};
+pub use packet::{ArenaStats, FlowId, NodeId, Packet, PacketArena, PacketId, PktHeader, PktKind, PktTag};
 pub use record::{FlowRecord, SimCounters, SimResult, StreamingStats};
 pub use simcore::SchedKind;
 pub use sim::{ArrivalSource, FlowSpec, Sim};
+pub use snapshot::{SimSnapshot, StateTamper};
 pub use topology::{ThreeTierWanSpec, Topology};
 pub use transport_api::{AckEvent, AckKind, FlowParams, Transport, TransportCtx, TrySend};

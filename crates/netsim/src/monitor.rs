@@ -39,7 +39,7 @@ pub enum MonitorKind {
 }
 
 /// A periodic sampler registered with the simulator.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Monitor {
     /// Human-readable label for result reporting.
     pub label: String,

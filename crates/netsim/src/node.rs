@@ -10,10 +10,10 @@ use std::collections::VecDeque;
 use simcore::{Rate, SimRng, Time};
 
 use crate::config::{Buggify, SwitchConfig};
-use crate::packet::{FlowId, NodeId, Packet, PacketArena, PacketId};
+use crate::packet::{FlowId, NodeId, PacketArena, PacketId, PktHeader};
 
 /// One directional egress attachment (switch port or host NIC).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EgressPort {
     /// Node on the other end of the link.
     pub peer: NodeId,
@@ -76,7 +76,7 @@ impl EgressPort {
     /// Push a packet (by handle) into its priority queue.
     pub fn enqueue(&mut self, id: PacketId, arena: &PacketArena) {
         let pkt = arena.get(id);
-        let q = queue_index(pkt, self.queues.len());
+        let q = queue_index(pkt.prio, self.queues.len());
         self.queued_bytes_q[q] += pkt.size as u64;
         self.queued_bytes += pkt.size as u64;
         self.queues[q].push_back(id);
@@ -107,13 +107,14 @@ impl EgressPort {
     }
 }
 
-/// Map a packet to its queue index: control packets (ACKs when running in
-/// `AckPriority::Control` mode get `prio == ctrl` already) go by their
-/// `prio` field; the caller sets `prio` appropriately, so this is just a
-/// clamp guard.
+/// Map a packet's `prio` field to its queue index: control packets (ACKs
+/// when running in `AckPriority::Control` mode get `prio == ctrl` already)
+/// go by their `prio`; the caller sets it appropriately, so this is just a
+/// clamp guard. Takes the bare priority so callers holding either a full
+/// [`Packet`](crate::packet::Packet) or just a hot [`PktHeader`] can use it.
 #[inline]
-pub fn queue_index(pkt: &Packet, nq: usize) -> usize {
-    (pkt.prio as usize).min(nq - 1)
+pub fn queue_index(prio: u8, nq: usize) -> usize {
+    (prio as usize).min(nq - 1)
 }
 
 /// Result of offering a packet to a switch.
@@ -126,7 +127,7 @@ pub enum Admission {
 }
 
 /// A shared-buffer output-queued switch.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Switch {
     /// Switch configuration.
     pub cfg: SwitchConfig,
@@ -249,7 +250,7 @@ impl Switch {
         let nq = self.ports[port as usize].queues.len();
         let (q, size, is_data) = {
             let pkt = arena.get(id);
-            (queue_index(pkt, nq), pkt.size as u64, pkt.kind.is_data())
+            (queue_index(pkt.prio, nq), pkt.size as u64, pkt.kind.is_data())
         };
         if !self.cfg.pfc_enabled && is_data {
             // Lossy: Dynamic-Threshold admission on the egress queue.
@@ -287,13 +288,13 @@ impl Switch {
     /// resume frames to emit as `(ingress_port, prio)`. `fluid_occ` as in
     /// [`Self::dt_limit`] (shrinks the resume threshold symmetrically with
     /// the pause threshold).
-    pub fn on_dequeue(&mut self, pkt: &Packet, fluid_occ: u64, resumes: &mut Vec<(u16, u8)>) {
+    pub fn on_dequeue(&mut self, pkt: &PktHeader, fluid_occ: u64, resumes: &mut Vec<(u16, u8)>) {
         if self.cfg.buggify == Some(Buggify::DequeueLeak) {
             // Injected fault: departure accounting is skipped entirely.
             return;
         }
         let nq = self.ports[0].queues.len();
-        let q = queue_index(pkt, nq);
+        let q = queue_index(pkt.prio, nq);
         let size = pkt.size as u64;
         debug_assert!(self.total_buffered >= size);
         self.total_buffered -= size;
@@ -313,7 +314,7 @@ impl Switch {
 }
 
 /// Per-host sender-side scheduling state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Host {
     /// The single NIC.
     pub port: EgressPort,
@@ -361,7 +362,7 @@ impl Host {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::PktKind;
+    use crate::packet::{Packet, PktTag};
 
     fn port(nq: usize) -> EgressPort {
         EgressPort::new(1, 0, Rate::from_gbps(100), Time::from_us(1), nq)
@@ -396,7 +397,7 @@ mod tests {
         let ack = a.alloc(ack);
         p.enqueue(ack, &a);
         let first = p.dequeue(&a).unwrap();
-        assert!(matches!(a.get(first).kind, PktKind::Pfc { .. }));
+        assert!(matches!(a.get(first).kind, PktTag::Pfc { .. }));
     }
 
     #[test]

@@ -192,7 +192,114 @@ impl PktKind {
     }
 }
 
-/// A packet in flight.
+/// Discriminant-only packet kind stored in the hot header plane.
+///
+/// The structure-of-arrays arena splits each packet into a hot
+/// [`PktHeader`] (read on every hop) and a cold plane holding the bulky
+/// kind-specific payloads ([`AckInfo`], the INT box). `PktTag` is the
+/// `Copy` discriminant that stays in the header: forwarding, queue
+/// selection, and PFC classification branch on it without ever touching
+/// the cold plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PktTag {
+    /// A data segment.
+    Data,
+    /// A minimal-size delay probe (PrioPlus §4.2.1).
+    Probe,
+    /// Acknowledgment of a data segment (payload in the cold plane).
+    Ack,
+    /// Echo of a probe (payload in the cold plane).
+    ProbeAck,
+    /// PFC pause/resume control frame for one priority, handled out-of-band
+    /// at the MAC layer (never queued).
+    Pfc {
+        /// Priority (queue index) being paused or resumed.
+        prio: u8,
+        /// `true` = pause, `false` = resume.
+        pause: bool,
+    },
+}
+
+impl PktTag {
+    /// True for PFC control frames.
+    #[inline]
+    pub fn is_pfc(&self) -> bool {
+        matches!(self, PktTag::Pfc { .. })
+    }
+
+    /// True for data segments (the only packets subject to ECN marking,
+    /// non-congestive delay, and drops).
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self, PktTag::Data)
+    }
+
+    /// True for end-to-end control packets (ACKs, probes, probe echoes):
+    /// everything that is neither a data segment nor a link-local PFC frame.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        !self.is_data() && !self.is_pfc()
+    }
+}
+
+/// The hot plane of a packet: every field the forwarding path touches on
+/// every hop (routing, queue selection, byte accounting, ECN, PFC
+/// classification), and nothing else.
+///
+/// [`PacketArena`] stores these contiguously, separate from the cold
+/// kind-specific payloads, so a hop's working set is one small header per
+/// packet instead of a header plus an [`AckInfo`]-sized tail it never
+/// reads. The `hot_header_fits_budget` size pin holds this to ≤ 48 bytes —
+/// grow it past that and the test will ask you to justify the cache cost.
+#[derive(Clone, Debug)]
+pub struct PktHeader {
+    /// Owning flow (undefined for PFC frames, set to `u32::MAX`).
+    pub flow: FlowId,
+    /// Origin host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Total wire size in bytes (header included).
+    pub size: u32,
+    /// Payload bytes (0 for control packets).
+    pub payload: u32,
+    /// Byte-offset sequence number of the first payload byte.
+    pub seq: u64,
+    /// Timestamp when the sender put the packet on the wire.
+    pub ts_tx: Time,
+    /// Transient: ingress port at the switch currently holding the packet
+    /// (for PFC ingress accounting).
+    pub cur_in_port: u16,
+    /// Physical priority queue index this packet travels in.
+    pub prio: u8,
+    /// DSCP code point carrying the flow's *virtual* priority; used by the
+    /// priority-scaled ECN extension (Appendix B) where switches vary the
+    /// marking threshold by DSCP.
+    pub dscp: u8,
+    /// ECN congestion-experienced mark.
+    pub ecn_ce: bool,
+    /// Packet kind discriminant; the kind-specific payload lives in the
+    /// arena's cold plane.
+    pub kind: PktTag,
+}
+
+/// The cold plane of a packet: bulky state only the endpoints touch
+/// (once per packet, not once per hop).
+#[derive(Clone, Debug, Default)]
+struct PktCold {
+    /// INT telemetry collected along the path (HPCC mode).
+    int: Option<Box<IntPath>>,
+    /// ACK payload for [`PktTag::Ack`] / [`PktTag::ProbeAck`].
+    ack: Option<AckInfo>,
+}
+
+/// A packet in flight, in its construction-side (array-of-structs) form.
+///
+/// Endpoints build a `Packet` with the constructors below and hand it to
+/// [`PacketArena::alloc`], which splits it into the hot [`PktHeader`] plane
+/// and the cold payload plane. Code holding a [`PacketId`] reads the header
+/// via [`PacketArena::get`] and the cold parts via
+/// [`PacketArena::take_ack`] / [`PacketArena::take_int`].
 #[derive(Clone, Debug)]
 pub struct Packet {
     /// Owning flow (undefined for PFC frames, set to `u32::MAX`).
@@ -369,25 +476,30 @@ pub struct ArenaStats {
     pub int_recycled: u64,
 }
 
-/// Deterministic slab allocator for in-flight [`Packet`]s.
+/// Deterministic structure-of-arrays slab allocator for in-flight packets.
 ///
-/// A `Vec<Packet>` plus a strictly LIFO free list of `u32` slot indices:
-/// releasing slot `i` makes `i` the *next* slot handed out, so the mapping
-/// from packet-creation order to slot index is a pure function of the event
-/// sequence — identical across runs, scheduler backends, and platforms.
-/// (A FIFO free list would be equally deterministic but touch cold slots;
-/// LIFO reuses the cache-hot one. What matters for replay is only that the
-/// policy is fixed.)
+/// Two parallel planes plus a strictly LIFO free list of `u32` slot
+/// indices: the hot plane (`Vec<PktHeader>`) holds the fields the
+/// forwarding path reads on every hop; the cold plane holds the bulky
+/// endpoint-only payloads (INT box, [`AckInfo`]). A slot index names the
+/// same packet in both planes. Releasing slot `i` makes `i` the *next*
+/// slot handed out, so the mapping from packet-creation order to slot
+/// index is a pure function of the event sequence — identical across
+/// runs, scheduler backends, and platforms. (A FIFO free list would be
+/// equally deterministic but touch cold slots; LIFO reuses the
+/// cache-hot one. What matters for replay is only that the policy is
+/// fixed.)
 ///
 /// Retired packets donate their `Box<IntPath>` to a recycle stack, so in
 /// steady state neither the slab nor INT telemetry touches the global
 /// allocator: forwarding a packet costs zero heap allocations.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PacketArena {
-    slots: Vec<Packet>,
+    hot: Vec<PktHeader>,
+    cold: Vec<PktCold>,
     live: Vec<bool>,
     free: Vec<u32>,
-    // The boxes themselves are the pooled resource: `Packet.int` and
+    // The boxes themselves are the pooled resource: the cold plane and
     // `AckEvent.int` hold `Box<IntPath>`, and recycling must hand back the
     // exact allocation, not re-box a by-value copy.
     #[allow(clippy::vec_box)]
@@ -401,43 +513,95 @@ impl PacketArena {
         Self::default()
     }
 
-    /// Store `pkt`, returning its handle. Reuses the most recently freed
-    /// slot (LIFO) or grows the slab when none is free.
+    /// Store `pkt`, returning its handle. Splits the packet into the hot
+    /// header plane and the cold payload plane, and reuses the most
+    /// recently freed slot (LIFO) or grows the slab when none is free.
     pub fn alloc(&mut self, pkt: Packet) -> PacketId {
         self.stats.allocs += 1;
+        let (tag, ack) = match pkt.kind {
+            PktKind::Data => (PktTag::Data, None),
+            PktKind::Probe => (PktTag::Probe, None),
+            PktKind::Ack(info) => (PktTag::Ack, Some(info)),
+            PktKind::ProbeAck(info) => (PktTag::ProbeAck, Some(info)),
+            PktKind::Pfc { prio, pause } => (PktTag::Pfc { prio, pause }, None),
+        };
+        let header = PktHeader {
+            flow: pkt.flow,
+            src: pkt.src,
+            dst: pkt.dst,
+            size: pkt.size,
+            payload: pkt.payload,
+            seq: pkt.seq,
+            ts_tx: pkt.ts_tx,
+            cur_in_port: pkt.cur_in_port,
+            prio: pkt.prio,
+            dscp: pkt.dscp,
+            ecn_ce: pkt.ecn_ce,
+            kind: tag,
+        };
+        let cold = PktCold { int: pkt.int, ack };
         let id = match self.free.pop() {
             Some(i) => {
-                self.slots[i as usize] = pkt;
+                self.hot[i as usize] = header;
+                self.cold[i as usize] = cold;
                 self.live[i as usize] = true;
                 PacketId(i)
             }
             None => {
-                let i = self.slots.len() as u32;
+                let i = self.hot.len() as u32;
                 self.stats.slot_allocs += 1;
-                self.slots.push(pkt);
+                self.hot.push(header);
+                self.cold.push(cold);
                 self.live.push(true);
                 PacketId(i)
             }
         };
-        let live_now = (self.slots.len() - self.free.len()) as u64;
+        let live_now = (self.hot.len() - self.free.len()) as u64;
         if live_now > self.stats.peak_live {
             self.stats.peak_live = live_now;
         }
         id
     }
 
-    /// Borrow the packet behind `id`.
+    /// Borrow the hot header behind `id`.
     #[inline]
-    pub fn get(&self, id: PacketId) -> &Packet {
+    pub fn get(&self, id: PacketId) -> &PktHeader {
         debug_assert!(self.live[id.index()], "get() on freed packet {id:?}");
-        &self.slots[id.index()]
+        &self.hot[id.index()]
     }
 
-    /// Mutably borrow the packet behind `id`.
+    /// Mutably borrow the hot header behind `id`.
     #[inline]
-    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+    pub fn get_mut(&mut self, id: PacketId) -> &mut PktHeader {
         debug_assert!(self.live[id.index()], "get_mut() on freed packet {id:?}");
-        &mut self.slots[id.index()]
+        &mut self.hot[id.index()]
+    }
+
+    /// Borrow the INT telemetry of the packet behind `id`, if it carries
+    /// any.
+    #[inline]
+    pub fn int(&self, id: PacketId) -> Option<&IntPath> {
+        debug_assert!(self.live[id.index()], "int() on freed packet {id:?}");
+        self.cold[id.index()].int.as_deref()
+    }
+
+    /// Detach the INT box of the packet behind `id` (the receiver moves it
+    /// onto the ACK it emits). The caller owns the box; return it with
+    /// [`recycle_int`](Self::recycle_int) when done.
+    #[inline]
+    pub fn take_int(&mut self, id: PacketId) -> Option<Box<IntPath>> {
+        debug_assert!(self.live[id.index()], "take_int() on freed packet {id:?}");
+        self.cold[id.index()].int.take()
+    }
+
+    /// Detach the ACK payload of the packet behind `id`. `Some` exactly
+    /// when the header tag is [`PktTag::Ack`] / [`PktTag::ProbeAck`] and
+    /// the payload has not been taken yet; the header tag is left in
+    /// place.
+    #[inline]
+    pub fn take_ack(&mut self, id: PacketId) -> Option<AckInfo> {
+        debug_assert!(self.live[id.index()], "take_ack() on freed packet {id:?}");
+        self.cold[id.index()].ack.take()
     }
 
     /// Retire `id`: its slot becomes the next one [`alloc`](Self::alloc)
@@ -449,11 +613,15 @@ impl PacketArena {
         assert!(self.live[i], "double free of packet arena slot {}", id.0);
         self.live[i] = false;
         self.stats.frees += 1;
-        if let Some(mut boxed) = self.slots[i].int.take() {
+        if let Some(mut boxed) = self.cold[i].int.take() {
             boxed.clear();
             self.stats.int_recycled += 1;
             self.int_recycle.push(boxed);
         }
+        // An untaken ACK payload (e.g. an ACK dropped by a fault) is
+        // discarded, matching the pre-split behavior where the payload sat
+        // in the slot until overwritten by the next alloc.
+        self.cold[i].ack = None;
         self.free.push(id.0);
     }
 
@@ -465,7 +633,7 @@ impl PacketArena {
     pub fn append_int(&mut self, id: PacketId, hop: IntHop) -> bool {
         let i = id.index();
         debug_assert!(self.live[i], "append_int() on freed packet {id:?}");
-        if self.slots[i].int.is_none() {
+        if self.cold[i].int.is_none() {
             let boxed = match self.int_recycle.pop() {
                 Some(b) => {
                     self.stats.int_recycled += 1;
@@ -477,9 +645,9 @@ impl PacketArena {
                     Box::new(IntPath::new())
                 }
             };
-            self.slots[i].int = Some(boxed);
+            self.cold[i].int = Some(boxed);
         }
-        match self.slots[i].int.as_mut() {
+        match self.cold[i].int.as_mut() {
             Some(path) => path.push(hop),
             None => unreachable!("int box installed above"),
         }
@@ -495,12 +663,12 @@ impl PacketArena {
 
     /// Number of currently live packets.
     pub fn live_count(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.hot.len() - self.free.len()
     }
 
     /// Total slots ever created (live + free).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.hot.len()
     }
 
     /// Whether slot `id` is live. Used by the audit's reference scan.
@@ -513,21 +681,83 @@ impl PacketArena {
         self.stats
     }
 
+    /// Fold every deterministic field of the arena into a state digest
+    /// ([`crate::sim::Sim::state_digest`]): the full free list (slot-reuse
+    /// order is part of determinism), allocation counters, and every live
+    /// packet's hot header and cold-plane shape. The recycle stack is
+    /// folded by depth only — recycled boxes are cleared, so depth is the
+    /// only state they carry.
+    pub(crate) fn fold_digest(&self, fold: &mut impl FnMut(u64)) {
+        fold(self.hot.len() as u64);
+        fold(self.free.len() as u64);
+        for &i in &self.free {
+            fold(i as u64);
+        }
+        fold(self.int_recycle.len() as u64);
+        fold(self.stats.allocs);
+        fold(self.stats.frees);
+        fold(self.stats.slot_allocs);
+        fold(self.stats.peak_live);
+        fold(self.stats.int_allocs);
+        fold(self.stats.int_recycled);
+        for (i, live) in self.live.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            let h = &self.hot[i];
+            fold(i as u64);
+            fold(h.flow as u64);
+            fold((h.src as u64) << 32 | h.dst as u64);
+            fold((h.size as u64) << 32 | h.payload as u64);
+            fold(h.seq);
+            fold(h.ts_tx.as_ps());
+            let mut tagged: u64 = (h.cur_in_port as u64) << 32
+                | (h.prio as u64) << 24
+                | (h.dscp as u64) << 16
+                | (h.ecn_ce as u64) << 8;
+            tagged |= match h.kind {
+                PktTag::Data => 1,
+                PktTag::Probe => 2,
+                PktTag::Ack => 3,
+                PktTag::ProbeAck => 4,
+                PktTag::Pfc { prio, pause } => {
+                    0x80 | (prio as u64) << 40 | (pause as u64) << 48
+                }
+            };
+            fold(tagged);
+            let c = &self.cold[i];
+            fold(c.int.as_deref().map_or(0, |p| p.len() as u64 + 1));
+            if let Some(a) = &c.ack {
+                fold(1 + a.cum_bytes);
+                fold(a.acked_seq);
+            } else {
+                fold(0);
+            }
+        }
+    }
+
     /// Internal-consistency check used by the invariant audit: the free
     /// list must be duplicate-free, in bounds, and exactly the complement
     /// of the live set; counters must balance.
     pub fn check(&self) -> Result<(), String> {
-        if self.live.len() != self.slots.len() {
+        if self.cold.len() != self.hot.len() {
+            return Err(format!(
+                "cold plane length {} != hot plane length {}",
+                self.cold.len(),
+                self.hot.len()
+            ));
+        }
+        if self.live.len() != self.hot.len() {
             return Err(format!(
                 "live-flag vector length {} != slab length {}",
                 self.live.len(),
-                self.slots.len()
+                self.hot.len()
             ));
         }
-        let mut on_free_list = vec![false; self.slots.len()];
+        let mut on_free_list = vec![false; self.hot.len()];
         for &i in &self.free {
             let i = i as usize;
-            if i >= self.slots.len() {
+            if i >= self.hot.len() {
                 return Err(format!("free-list entry {i} out of bounds"));
             }
             if on_free_list[i] {
@@ -539,8 +769,15 @@ impl PacketArena {
             on_free_list[i] = true;
         }
         for (i, &live) in self.live.iter().enumerate() {
-            if !live && !on_free_list[i] {
-                return Err(format!("slot {i} is neither live nor on the free list"));
+            if !live {
+                if !on_free_list[i] {
+                    return Err(format!("slot {i} is neither live nor on the free list"));
+                }
+                // Release must have harvested the INT box into the recycle
+                // stack and dropped any untaken ACK payload.
+                if self.cold[i].int.is_some() || self.cold[i].ack.is_some() {
+                    return Err(format!("freed slot {i} still owns cold-plane state"));
+                }
             }
         }
         if self.stats.allocs - self.stats.frees != self.live_count() as u64 {
@@ -551,11 +788,11 @@ impl PacketArena {
                 self.live_count()
             ));
         }
-        if self.stats.slot_allocs != self.slots.len() as u64 {
+        if self.stats.slot_allocs != self.hot.len() as u64 {
             return Err(format!(
                 "slot_allocs {} != slab capacity {}",
                 self.stats.slot_allocs,
-                self.slots.len()
+                self.hot.len()
             ));
         }
         Ok(())
@@ -682,7 +919,7 @@ mod tests {
         let id = a.alloc(pkt(0));
         a.append_int(id, hop);
         a.append_int(id, hop);
-        assert_eq!(a.get(id).int.as_ref().unwrap().len(), 2);
+        assert_eq!(a.int(id).unwrap().len(), 2);
         assert_eq!(a.stats().int_allocs, 1);
         // Release returns the (cleared) box to the recycle stack...
         a.release(id);
@@ -691,14 +928,115 @@ mod tests {
         // ...so the second packet's INT path is served without a fresh box
         // and starts empty.
         assert_eq!(a.stats().int_allocs, 1);
-        assert_eq!(a.get(id2).int.as_ref().unwrap().len(), 1);
+        assert_eq!(a.int(id2).unwrap().len(), 1);
         // A detached box (the ack-echo path) recycles the same way.
-        let boxed = a.get_mut(id2).int.take().unwrap();
+        let boxed = a.take_int(id2).unwrap();
         a.recycle_int(boxed);
         a.release(id2);
         let id3 = a.alloc(pkt(2));
         a.append_int(id3, hop);
         assert_eq!(a.stats().int_allocs, 1, "steady state allocates no boxes");
         a.check().expect("arena internally consistent");
+    }
+
+    #[test]
+    fn alloc_splits_planes_and_take_ack_detaches_payload() {
+        let mut a = PacketArena::new();
+        let info = AckInfo {
+            cum_bytes: 4096,
+            acked_seq: 3072,
+            acked_bytes: 1024,
+            ts_echo: Time::from_us(5),
+            ecn_echo: true,
+            nack: Some((1024, 2048)),
+            int: None,
+        };
+        let id = a.alloc(Packet::ack(7, 1, 2, 3, info, false, Time::from_us(9)));
+        // Hot header carries the tag and wire fields only.
+        assert_eq!(a.get(id).kind, PktTag::Ack);
+        assert!(a.get(id).kind.is_control());
+        assert_eq!(a.get(id).size, CONTROL_BYTES);
+        // The payload comes out of the cold plane exactly once.
+        let taken = a.take_ack(id).expect("ack tag implies ack payload");
+        assert_eq!(taken.cum_bytes, 4096);
+        assert_eq!(taken.nack, Some((1024, 2048)));
+        assert!(a.take_ack(id).is_none(), "payload detaches only once");
+        a.release(id);
+        // A probe echo maps to the ProbeAck tag; data/probe/PFC carry none.
+        let info2 = AckInfo {
+            cum_bytes: 0,
+            acked_seq: 0,
+            acked_bytes: 0,
+            ts_echo: Time::ZERO,
+            ecn_echo: false,
+            nack: None,
+            int: None,
+        };
+        let pa = a.alloc(Packet::ack(7, 1, 2, 3, info2, true, Time::ZERO));
+        assert_eq!(a.get(pa).kind, PktTag::ProbeAck);
+        assert!(a.take_ack(pa).is_some());
+        let d = a.alloc(pkt(0));
+        assert!(a.take_ack(d).is_none());
+        assert_eq!(a.get(d).kind, PktTag::Data);
+        let f = a.alloc(Packet::pfc(1, 2, 4, true));
+        assert_eq!(a.get(f).kind, PktTag::Pfc { prio: 4, pause: true });
+        a.release(pa);
+        a.release(d);
+        a.release(f);
+        a.check().expect("arena internally consistent");
+    }
+
+    #[test]
+    fn release_discards_untaken_ack_payload() {
+        // An ACK dropped in flight (fault / lossy mode) is released without
+        // `take_ack`; the slot must come back clean for its next tenant.
+        let mut a = PacketArena::new();
+        let info = AckInfo {
+            cum_bytes: 1,
+            acked_seq: 2,
+            acked_bytes: 3,
+            ts_echo: Time::ZERO,
+            ecn_echo: false,
+            nack: None,
+            int: None,
+        };
+        let id = a.alloc(Packet::ack(0, 1, 2, 0, info, false, Time::ZERO));
+        a.release(id);
+        a.check().expect("freed slot owns no cold state");
+        let id2 = a.alloc(pkt(0));
+        assert_eq!(id2, id, "LIFO reuse of the freed slot");
+        assert!(a.take_ack(id2).is_none(), "no payload leaks across tenants");
+    }
+
+    /// Size pins for the split planes. The hot header is the per-hop
+    /// working set: 5×u32 + 2×u64 + u16 + 2×u8 + bool + 3-byte tag = 44
+    /// bytes, padded to 48 — one 64-byte line holds a header with room to
+    /// spare, and two headers straddle at most two lines. The pin fails
+    /// loudly if a field addition silently fattens every queue entry.
+    #[test]
+    fn hot_header_fits_budget() {
+        assert!(
+            std::mem::size_of::<PktHeader>() <= 48,
+            "PktHeader grew to {} bytes (budget 48); move cold fields to PktCold",
+            std::mem::size_of::<PktHeader>()
+        );
+        assert!(
+            std::mem::size_of::<PktTag>() <= 4,
+            "PktTag grew to {} bytes (budget 4)",
+            std::mem::size_of::<PktTag>()
+        );
+        assert_eq!(std::mem::size_of::<PacketId>(), 4);
+    }
+
+    /// The cold plane holds the ACK payload inline (boxing it would cost a
+    /// heap allocation per ACK — one per delivered data packet). Pin its
+    /// size so AckInfo growth is a conscious decision, not drift.
+    #[test]
+    fn cold_plane_fits_budget() {
+        assert!(
+            std::mem::size_of::<PktCold>() <= 88,
+            "PktCold grew to {} bytes (budget 88)",
+            std::mem::size_of::<PktCold>()
+        );
     }
 }

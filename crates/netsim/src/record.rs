@@ -121,7 +121,7 @@ impl StreamingStats {
 
 /// Per-flow time-series traces (only populated when
 /// [`crate::SimConfig::trace_flows`] is on).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowTrace {
     /// Receiver goodput meter.
     pub throughput: Option<ThroughputMeter>,

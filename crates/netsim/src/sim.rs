@@ -15,7 +15,7 @@ use crate::monitor::{Monitor, MonitorKind};
 use crate::node::queue_index;
 use crate::node::{Admission, EgressPort, Host, Switch};
 use crate::packet::{
-    AckInfo, FlowId, IntHop, NodeId, Packet, PacketArena, PacketId, PktKind, CONTROL_BYTES,
+    AckInfo, FlowId, IntHop, NodeId, Packet, PacketArena, PacketId, PktTag, CONTROL_BYTES,
     HEADER_BYTES,
 };
 use crate::record::{FlowRecord, FlowTrace, SimCounters, SimResult, StreamingStats};
@@ -81,13 +81,13 @@ impl FlowSpec {
     }
 }
 
-#[derive(Debug, Default)]
-struct RecvState {
-    cum: u64,
-    ooo: BTreeMap<u64, u64>,
-    delivered: u64,
-    done: bool,
-    nack_for_cum: u64,
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RecvState {
+    pub(crate) cum: u64,
+    pub(crate) ooo: BTreeMap<u64, u64>,
+    pub(crate) delivered: u64,
+    pub(crate) done: bool,
+    pub(crate) nack_for_cum: u64,
 }
 
 impl RecvState {
@@ -131,20 +131,31 @@ impl RecvState {
 /// record. Intentionally O(total flows) — results need every record. The
 /// heavyweight state (transport + reassembly) lives in the [`FlowSlab`]
 /// behind `live` and is reclaimed at completion.
-struct Flow {
-    spec: FlowSpec,
-    params: FlowParams,
-    record: FlowRecord,
-    active: bool,
+#[derive(Clone)]
+pub(crate) struct Flow {
+    pub(crate) spec: FlowSpec,
+    pub(crate) params: FlowParams,
+    pub(crate) record: FlowRecord,
+    pub(crate) active: bool,
     /// Slab slot of the flow's live state; `u32::MAX` once reclaimed.
-    live: u32,
+    pub(crate) live: u32,
 }
 
 /// Per-flow state that exists only while the flow is in flight: the
 /// sender-side transport and the receiver reassembly state.
-struct FlowLive {
-    transport: Box<dyn Transport>,
-    recv: RecvState,
+pub(crate) struct FlowLive {
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) recv: RecvState,
+}
+
+impl Clone for FlowLive {
+    fn clone(&self) -> Self {
+        FlowLive {
+            // simlint::allow(hot-path-alloc, cloning happens only at snapshot/restore, not per event)
+            transport: self.transport.clone_box(),
+            recv: self.recv.clone(), // simlint::allow(hot-path-alloc, snapshot/restore only, not per event)
+        }
+    }
 }
 
 /// Slab of live flow state with LIFO slot reuse — the same determinism
@@ -152,15 +163,15 @@ struct FlowLive {
 /// event order, so it is bit-identical across scheduler backends. Slots are
 /// released explicitly at flow completion, which is what makes resident
 /// memory scale with *concurrent* flows rather than total flows.
-#[derive(Default)]
-struct FlowSlab {
-    slots: Vec<Option<FlowLive>>,
-    free: Vec<u32>,
-    occupancy: u64,
-    peak: u64,
-    reclaimed: u64,
-    bytes: u64,
-    peak_bytes: u64,
+#[derive(Clone, Default)]
+pub(crate) struct FlowSlab {
+    pub(crate) slots: Vec<Option<FlowLive>>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) occupancy: u64,
+    pub(crate) peak: u64,
+    pub(crate) reclaimed: u64,
+    pub(crate) bytes: u64,
+    pub(crate) peak_bytes: u64,
 }
 
 impl FlowSlab {
@@ -212,60 +223,68 @@ impl FlowSlab {
     }
 }
 
-enum Node {
+#[derive(Clone)]
+pub(crate) enum Node {
     Host(Host),
     Switch(Switch),
 }
 
 /// The simulator.
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can capture and rebuild
+/// the full deterministic state by exhaustive struct literal (the
+/// forget-a-field compile guard).
 pub struct Sim {
-    cfg: SimConfig,
-    switch_cfg: SwitchConfig,
-    nodes: Vec<Node>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) switch_cfg: SwitchConfig,
+    pub(crate) nodes: Vec<Node>,
     /// (peer, peer_port, rate, prop) per (node, port), aligned with routing.
-    port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>>,
-    routes: RoutingTable,
+    pub(crate) port_specs: Vec<Vec<(NodeId, u16, Rate, Time)>>,
+    pub(crate) routes: RoutingTable,
     /// Per-flow cores, indexed by [`FlowId`]. Intentionally O(total flows)
     /// (results need every record); the heavyweight live state is in `live`.
-    flows: Vec<Flow>,
+    pub(crate) flows: Vec<Flow>,
     /// Slab of live (transport + reassembly) flow state, reclaimed at flow
     /// completion so memory tracks concurrent — not total — flows.
-    live: FlowSlab,
+    pub(crate) live: FlowSlab,
     /// Slab holding every in-flight packet; events and port queues refer to
     /// packets by [`PacketId`]. LIFO slot reuse keeps the id sequence a pure
     /// function of the event order (deterministic across backends).
-    arena: PacketArena,
-    queue: EventQueue<Event>,
-    counters: SimCounters,
-    monitors: Vec<Monitor>,
+    pub(crate) arena: PacketArena,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) counters: SimCounters,
+    pub(crate) monitors: Vec<Monitor>,
     /// Opt-in ([`SimConfig::trace_flows`]) per-flow time series — O(total
     /// flows) when enabled, so hyperscale runs leave it off.
-    traces: BTreeMap<FlowId, FlowTrace>,
-    noise_rng: SimRng,
-    ecn_rng: SimRng,
-    nc_rng: SimRng,
-    lossy: bool,
-    app: Option<Box<dyn App>>,
+    pub(crate) traces: BTreeMap<FlowId, FlowTrace>,
+    pub(crate) noise_rng: SimRng,
+    pub(crate) ecn_rng: SimRng,
+    pub(crate) nc_rng: SimRng,
+    pub(crate) lossy: bool,
+    pub(crate) app: Option<Box<dyn App>>,
     /// Open-loop arrival source ([`Event::Inject`]); `None` between the
     /// final injection and the end of the run, and for closed workloads.
-    arrivals: Option<Box<dyn ArrivalSource>>,
+    pub(crate) arrivals: Option<Box<dyn ArrivalSource>>,
     /// Streaming-statistics accumulator ([`SimConfig::streaming_stats`]):
     /// completed flows fold into quantile sketches at completion time.
-    streaming: Option<Box<StreamingStats>>,
-    completed_buf: Vec<FlowId>,
+    pub(crate) streaming: Option<Box<StreamingStats>>,
+    pub(crate) completed_buf: Vec<FlowId>,
     /// Fluid background-traffic solver (hybrid model); `None` — the pure
     /// packet simulator — keeps every coupling hook to one branch.
-    fluid: Option<Box<FluidState>>,
+    pub(crate) fluid: Option<Box<FluidState>>,
     /// The single pending [`Event::FluidEpoch`], if any. Cancellable so a
     /// coupling hook can pull the epoch earlier without stale events.
-    fluid_epoch: Option<ScheduledId>,
+    pub(crate) fluid_epoch: Option<ScheduledId>,
     /// Fault-schedule runtime state; `None` — the fault-free default —
     /// keeps every fault hook to one branch.
-    faults: Option<Box<FaultRuntime>>,
+    pub(crate) faults: Option<Box<FaultRuntime>>,
+    /// Whether the run-level bootstrap events ([`Self::ensure_started`])
+    /// have been scheduled. Restored snapshots carry `true`.
+    pub(crate) started: bool,
     /// Invariant-audit state; `None` keeps the hot path to one branch per
     /// hook. Boxed so the disabled case costs a single word.
     #[cfg(feature = "audit")]
-    audit: Option<Box<Audit>>,
+    pub(crate) audit: Option<Box<Audit>>,
 }
 
 impl Sim {
@@ -396,6 +415,7 @@ impl Sim {
             fluid,
             fluid_epoch: None,
             faults,
+            started: false,
             #[cfg(feature = "audit")]
             audit: if crate::audit::env_enabled() {
                 // simlint::allow(hot-path-alloc, one audit box per run at construction, not per event)
@@ -595,8 +615,16 @@ impl Sim {
         self.routes.port_for(node, dst, flow)
     }
 
-    /// Run to completion (all events drained or `end_time` reached).
-    pub fn run(mut self) -> SimResult {
+    /// Schedule the run-level bootstrap events (End, first Inject, monitor
+    /// samples, the first fluid epoch, the fault schedule). Runs once, on
+    /// whichever of [`Self::run`] / [`Self::run_until`] is called first; a
+    /// restored simulation carries `started = true`, so the bootstrap is
+    /// never re-applied to forked state.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         self.queue.schedule(self.cfg.end_time, Event::End);
         if self.arrivals.is_some() {
             self.queue.schedule(Time::ZERO, Event::Inject);
@@ -623,7 +651,25 @@ impl Sim {
         for (i, at) in fault_times.into_iter().enumerate() {
             self.queue.schedule(at, Event::Fault { idx: i as u32 });
         }
-        while let Some((now, ev)) = self.queue.pop() {
+    }
+
+    /// Dispatch the next same-timestamp batch of events: one scheduler
+    /// interaction, clock advanced once, events served in `(time, seq)`
+    /// order — the per-event semantics (audit hooks, app delivery, boundary
+    /// checks) are identical to sequential dispatch. Returns `false` when
+    /// the run is over (queue drained or [`Event::End`] fired) or, with a
+    /// horizon, when the next batch would be at or past it.
+    fn pump(&mut self, until: Option<Time>) -> bool {
+        if let Some(horizon) = until {
+            match self.queue.peek_time() {
+                Some(at) if at < horizon => {}
+                _ => return false,
+            }
+        }
+        let Some(now) = self.queue.pop_batch() else {
+            return false;
+        };
+        while let Some(ev) = self.queue.batch_next() {
             self.counters.events += 1;
             #[cfg(feature = "audit")]
             if let Some(a) = self.audit.as_deref_mut() {
@@ -642,7 +688,7 @@ impl Sim {
                 a.on_event(now, kind, id);
             }
             match ev {
-                Event::End => break,
+                Event::End => return false,
                 Event::FlowStart { flow } => self.on_flow_start(flow, now),
                 Event::FlowTimer { flow, token } => self.on_flow_timer(flow, token, now),
                 Event::HostPoke { node } => {
@@ -663,13 +709,38 @@ impl Sim {
                 let mut app = self.app.take().expect("checked");
                 let done = std::mem::take(&mut self.completed_buf);
                 for f in done {
-                    app.on_flow_complete(f, &mut self);
+                    app.on_flow_complete(f, self);
                 }
                 self.app = Some(app);
             }
             #[cfg(feature = "audit")]
             self.audit_boundary(now);
         }
+        true
+    }
+
+    /// Advance the simulation up to (but not into) `horizon`: every batch
+    /// with timestamp strictly before `horizon` is dispatched, then the
+    /// clock rests at the last dispatched batch. Used to simulate a shared
+    /// warmup prefix before [`Self::snapshot`](crate::snapshot)ing.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is past `end_time` (the run would consume its
+    /// `End` event and a later `run()` could not terminate at `end_time`).
+    pub fn run_until(&mut self, horizon: Time) {
+        assert!(
+            horizon <= self.cfg.end_time,
+            "run_until horizon {horizon} past end_time {}",
+            self.cfg.end_time
+        );
+        self.ensure_started();
+        while self.pump(Some(horizon)) {}
+    }
+
+    /// Run to completion (all events drained or `end_time` reached).
+    pub fn run(mut self) -> SimResult {
+        self.ensure_started();
+        while self.pump(None) {}
         let end_time = self.queue.now();
         for sw in self.nodes.iter().filter_map(|n| match n {
             Node::Switch(s) => Some(s),
@@ -688,6 +759,7 @@ impl Sim {
         self.counters.arena_peak_live = astats.peak_live;
         self.counters.arena_int_allocs = astats.int_allocs;
         self.counters.arena_int_recycled = astats.int_recycled;
+        self.counters.sched_pops = self.queue.pops();
         self.counters.flows_total = self.flows.len() as u64;
         self.counters.flow_live_peak = self.live.peak;
         self.counters.flow_slab_slots = self.live.slots.len() as u64;
@@ -1150,7 +1222,7 @@ impl Sim {
             self.counters.fault_ctrl_drops += 1;
         }
         // A dropped INT carrier returns its telemetry box to the pool.
-        if let Some(boxed) = self.arena.get_mut(pid).int.take() {
+        if let Some(boxed) = self.arena.take_int(pid) {
             self.arena.recycle_int(boxed);
         }
         self.arena.release(pid);
@@ -1287,7 +1359,7 @@ impl Sim {
     }
 
     fn switch_arrive(&mut self, node: NodeId, in_port: u16, pid: PacketId, now: Time) {
-        if let PktKind::Pfc { prio, pause } = self.arena.get(pid).kind {
+        if let PktTag::Pfc { prio, pause } = self.arena.get(pid).kind {
             // PFC frames are consumed at the MAC layer, never queued.
             self.arena.release(pid);
             if self
@@ -1355,7 +1427,8 @@ impl Sim {
             node,
             in_port,
             egress,
-            queue: queue_index(self.arena.get(pid), s.ports[egress as usize].queues.len()) as u8,
+            queue: queue_index(self.arena.get(pid).prio, s.ports[egress as usize].queues.len())
+                as u8,
             wire: self.arena.get(pid).size as u64,
             is_data,
             dropped: false,
@@ -1396,7 +1469,7 @@ impl Sim {
                             unreachable!()
                         };
                         let pkt = self.arena.get(pid);
-                        queue_index(pkt, sw.ports[egress as usize].queues.len())
+                        queue_index(pkt.prio, sw.ports[egress as usize].queues.len())
                     };
                     if qi == 0 {
                         if let Some(f) = self.fluid.as_deref_mut() {
@@ -1412,9 +1485,9 @@ impl Sim {
     }
 
     fn host_arrive(&mut self, node: NodeId, pid: PacketId, now: Time) {
-        match &self.arena.get(pid).kind {
-            PktKind::Pfc { prio, pause } => {
-                let (prio, pause) = (*prio as usize, *pause);
+        match self.arena.get(pid).kind {
+            PktTag::Pfc { prio, pause } => {
+                let prio = prio as usize;
                 self.arena.release(pid);
                 if self
                     .faults
@@ -1432,7 +1505,7 @@ impl Sim {
                     self.host_poke(node, now);
                 }
             }
-            PktKind::Data => {
+            PktTag::Data => {
                 self.counters.data_delivered += 1;
                 #[cfg(feature = "audit")]
                 if let Some(a) = self.audit.as_deref_mut() {
@@ -1442,7 +1515,7 @@ impl Sim {
                 debug_assert_eq!(self.arena.get(pid).dst, node, "data packet misrouted");
                 self.receiver_data(node, pid, now);
             }
-            PktKind::Probe => {
+            PktTag::Probe => {
                 let (flow, src, ts_tx, in_prio) = {
                     let pkt = self.arena.get(pid);
                     debug_assert_eq!(pkt.dst, node);
@@ -1464,7 +1537,7 @@ impl Sim {
                 let ack = Packet::ack(flow, node, src, prio, info, true, now);
                 self.host_enqueue_control(node, ack, now);
             }
-            PktKind::Ack(_) | PktKind::ProbeAck(_) => {
+            PktTag::Ack | PktTag::ProbeAck => {
                 debug_assert_eq!(self.arena.get(pid).dst, node, "ack misrouted");
                 self.sender_ack(node, pid, now);
             }
@@ -1529,7 +1602,7 @@ impl Sim {
         // Detach the INT record (it rides the ACK back to the sender), then
         // retire the data packet before allocating the ACK so the ACK reuses
         // the same cache-hot slot.
-        let int = self.arena.get_mut(pid).int.take();
+        let int = self.arena.take_int(pid);
         self.arena.release(pid);
         let info = AckInfo {
             cum_bytes,
@@ -1560,15 +1633,18 @@ impl Sim {
         }
         let f = &self.flows[fid as usize];
         let live = f.live;
-        // Take the AckInfo out of the slot (leaving an inert Data kind
-        // behind) so the slot can be retired before the transport runs.
-        let taken = std::mem::replace(&mut self.arena.get_mut(pid).kind, PktKind::Data);
-        self.arena.release(pid);
-        let (info, kind) = match taken {
-            PktKind::Ack(info) => (info, AckKind::Data),
-            PktKind::ProbeAck(info) => (info, AckKind::Probe),
-            _ => unreachable!(),
+        // Take the AckInfo out of the cold plane so the slot can be retired
+        // before the transport runs.
+        let kind = match self.arena.get(pid).kind {
+            PktTag::Ack => AckKind::Data,
+            PktTag::ProbeAck => AckKind::Probe,
+            _ => unreachable!("sender_ack dispatched on a non-ack tag"),
         };
+        let info = match self.arena.take_ack(pid) {
+            Some(info) => info,
+            None => unreachable!("an ack tag always has a cold-plane payload"),
+        };
+        self.arena.release(pid);
         // Normalize the measured delay to the data base RTT: probes have a
         // smaller no-queue RTT, so shift by the difference; then apply
         // measurement noise (additive, §4.3.2).

@@ -10,6 +10,7 @@ use netsim::{
 use simcore::{Rate, Time};
 
 /// Window-based transport with a constant window and no retransmission.
+#[derive(Clone)]
 struct FixedWindow {
     size: u64,
     mtu: u32,
@@ -35,6 +36,9 @@ impl FixedWindow {
 }
 
 impl Transport for FixedWindow {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
     fn on_start(&mut self, _ctx: &mut TransportCtx<'_>) {}
     fn on_ack(&mut self, ack: &AckEvent, _ctx: &mut TransportCtx<'_>) {
         if ack.kind == AckKind::Data {

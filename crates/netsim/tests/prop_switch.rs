@@ -115,7 +115,7 @@ fn step(
         Op::Admit { port, in_port, prio, payload } => {
             let pkt = data_pkt(prio, payload, *seq);
             *seq += 1;
-            let q = queue_index(&pkt, NQ);
+            let q = queue_index(pkt.prio, NQ);
             let id = arena.alloc(pkt);
             s.admit(port, in_port, id, 0, arena, &mut pauses);
             Some((in_port, q))
@@ -228,7 +228,7 @@ proptest! {
                 Op::Admit { port, in_port, prio, payload } => {
                     let pkt = data_pkt(prio, payload, seq);
                     seq += 1;
-                    let q = queue_index(&pkt, NQ);
+                    let q = queue_index(pkt.prio, NQ);
                     let wire = pkt.size as u64;
                     let would_exceed =
                         s.ports[port as usize].queued_bytes_q[q] + wire > s.dt_limit(0);
@@ -334,7 +334,7 @@ proptest! {
                     // never be the one transmitting.
                     if link_up[port] {
                         if let Some(id) = s.ports[port].dequeue(&arena) {
-                            let q = queue_index(arena.get(id), NQ);
+                            let q = queue_index(arena.get(id).prio, NQ);
                             prop_assert!(
                                 !(q < NQ - 1 && storm[port][q]),
                                 "storm-pinned queue {q} on port {port} transmitted"

@@ -60,6 +60,17 @@ pub struct EventQueue<E> {
     cancelled_in_heap: usize,
     now: Time,
     popped: u64,
+    /// Scheduler interactions: one per [`pop_batch`](Self::pop_batch) (or
+    /// per backend pop on the sequential path). `popped / pops` is the
+    /// average batch size.
+    pops: u64,
+    /// The pending same-timestamp batch, **in reverse `(at, seq)` order**
+    /// so [`batch_next`](Self::batch_next) serves from the tail. Entries
+    /// here have left the backend but are still logically queued: `len`,
+    /// `for_each_live`, and the invariant check all account for them, and
+    /// [`cancel`](Self::cancel) still works on them (liveness is re-checked
+    /// at serve time).
+    batch: Vec<Entry<E>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -86,6 +97,8 @@ impl<E> EventQueue<E> {
             cancelled_in_heap: 0,
             now: Time::ZERO,
             popped: 0,
+            pops: 0,
+            batch: Vec::new(),
         }
     }
 
@@ -106,10 +119,20 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of scheduler interactions so far: one per
+    /// [`pop_batch`](Self::pop_batch), one per sequential [`pop`](Self::pop)
+    /// that reached the backend. `popped() / pops()` is the average number
+    /// of events served per scheduler interaction.
+    #[inline]
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Number of pending (non-cancelled) events, including any entries of a
+    /// partially served batch.
     #[inline]
     pub fn len(&self) -> usize {
-        self.sched.len() - self.cancelled_in_heap
+        self.sched.len() + self.batch.len() - self.cancelled_in_heap
     }
 
     /// True when no live events remain.
@@ -231,8 +254,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Discard cancelled entries at the tail (= serving end) of the pending
+    /// batch, recycling their slots. The mirror of
+    /// [`Self::drop_cancelled_heads`] for the batch buffer.
+    fn drop_cancelled_batch_tail(&mut self) {
+        while let Some(entry) = self.batch.last() {
+            let slot = entry.slot;
+            if slot == NO_SLOT || self.slots[slot as usize].live {
+                return;
+            }
+            self.batch.pop();
+            self.retire(slot);
+        }
+    }
+
     /// Pop the next live event, advancing the clock to its timestamp.
+    /// Serves any partially dispatched batch first, so sequential and
+    /// batched consumption can be mixed freely without reordering.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        if let Some(event) = self.batch_next() {
+            return Some((self.now, event));
+        }
         self.drop_cancelled_heads();
         let entry = self.sched.pop_min()?;
         debug_assert!(
@@ -243,7 +285,52 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.popped += 1;
+        self.pops += 1;
         Some((entry.at, entry.event))
+    }
+
+    /// Remove the next live event *and every further event sharing its
+    /// timestamp* from the backend in one scheduler interaction, advancing
+    /// the clock once. Returns the batch timestamp; the events themselves
+    /// are then served in `(at, seq)` order by
+    /// [`batch_next`](Self::batch_next). Returns `None` when no live events
+    /// remain.
+    ///
+    /// Dispatching via pop_batch/batch_next is observably identical to
+    /// sequential [`pop`](Self::pop)s: in-batch order is the same `(at,
+    /// seq)` order, and events cancelled *mid-batch* (by an earlier event of
+    /// the same batch) are still skipped, because liveness is re-checked
+    /// when each entry is served, not when the batch is formed.
+    pub fn pop_batch(&mut self) -> Option<Time> {
+        // Leftovers from a batch whose dispatch stopped early are served
+        // before the backend is touched again.
+        self.drop_cancelled_batch_tail();
+        if let Some(entry) = self.batch.last() {
+            return Some(entry.at);
+        }
+        self.drop_cancelled_heads();
+        self.sched.pop_batch(&mut self.batch);
+        // The backend appends in (at, seq) order; serve from the tail.
+        self.batch.reverse();
+        let at = self.batch.last()?.at;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.pops += 1;
+        Some(at)
+    }
+
+    /// The next live event of the batch formed by the last
+    /// [`pop_batch`](Self::pop_batch), or `None` when the batch is
+    /// exhausted. Entries cancelled since the batch was formed are skipped
+    /// and their slots recycled, exactly as the sequential pop path would.
+    pub fn batch_next(&mut self) -> Option<E> {
+        while let Some(entry) = self.batch.pop() {
+            if self.retire(entry.slot) {
+                self.popped += 1;
+                return Some(entry.event);
+            }
+        }
+        None
     }
 
     /// Timestamp of the next live event without popping it.
@@ -252,6 +339,10 @@ impl<E> EventQueue<E> {
     /// head are discarded (via [`Self::drop_cancelled_heads`]) so the peek
     /// stays amortized O(1). The set of live events is unchanged.
     pub fn peek_time(&mut self) -> Option<Time> {
+        self.drop_cancelled_batch_tail();
+        if let Some(entry) = self.batch.last() {
+            return Some(entry.at);
+        }
         self.drop_cancelled_heads();
         self.sched.peek_min().map(|e| e.at)
     }
@@ -261,6 +352,14 @@ impl<E> EventQueue<E> {
     /// resources referenced by in-flight events; O(entries), so callers
     /// should rate-limit it.
     pub fn for_each_live(&self, f: &mut dyn FnMut(&E)) {
+        // Entries of a partially served batch are still pending: anything
+        // they reference (e.g. packet-arena slots) is still owned by the
+        // queue, so audits must see them.
+        for entry in &self.batch {
+            if entry.slot == NO_SLOT || self.slots[entry.slot as usize].live {
+                f(&entry.event);
+            }
+        }
         self.sched.for_each(&mut |entry| {
             if entry.slot == NO_SLOT || self.slots[entry.slot as usize].live {
                 f(&entry.event);
@@ -279,9 +378,10 @@ impl<E> EventQueue<E> {
     pub fn check_invariants(&self) -> Result<(), String> {
         self.sched.check_backend()?;
         let mut dead = 0usize;
+        // simlint::allow(hot-path-alloc, audit-only scan, rate-limited by callers)
         let mut live_refs = vec![0u32; self.slots.len()];
         let mut err = None;
-        self.sched.for_each(&mut |entry| {
+        let mut visit = |entry: &Entry<E>| {
             let slot_live = entry.slot == NO_SLOT || self.slots[entry.slot as usize].live;
             if slot_live {
                 if entry.at < self.now && err.is_none() {
@@ -296,7 +396,11 @@ impl<E> EventQueue<E> {
             if entry.slot != NO_SLOT {
                 live_refs[entry.slot as usize] += 1;
             }
-        });
+        };
+        for entry in &self.batch {
+            visit(entry);
+        }
+        self.sched.for_each(&mut visit);
         if let Some(e) = err {
             return Err(e);
         }
@@ -315,6 +419,116 @@ impl<E> EventQueue<E> {
             }
         }
         Ok(())
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Capture the queue's complete state into an owned
+    /// [`QueueSnapshot`]. Entries (backend + any pending batch) are stored
+    /// in canonical `(at, seq)` order, so two queues with the same live
+    /// state produce identical snapshots regardless of backend internals.
+    ///
+    /// Cold path by design (clones every entry); used by simulation
+    /// snapshot/warm-start, never per event.
+    pub fn snapshot(&self) -> QueueSnapshot<E> {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.sched.len() + self.batch.len());
+        // simlint::allow(hot-path-alloc, snapshot is an explicit cold path, never per event)
+        self.sched.for_each(&mut |e| entries.push(e.clone()));
+        for e in &self.batch {
+            // simlint::allow(hot-path-alloc, snapshot is an explicit cold path, never per event)
+            entries.push(e.clone());
+        }
+        entries.sort_by_key(Entry::key);
+        QueueSnapshot {
+            kind: self.sched.kind(),
+            entries,
+            // simlint::allow(hot-path-alloc, snapshot is an explicit cold path, never per event)
+            slots: self.slots.clone(),
+            // simlint::allow(hot-path-alloc, snapshot is an explicit cold path, never per event)
+            free_slots: self.free_slots.clone(),
+            cancelled_in_heap: self.cancelled_in_heap,
+            now: self.now,
+            popped: self.popped,
+            pops: self.pops,
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// Rebuild a queue from a [`QueueSnapshot`]. The slot table, free list,
+    /// clock, and counters are restored verbatim — outstanding
+    /// [`ScheduledId`]s taken before the snapshot remain valid against the
+    /// restored queue — and every entry is re-inserted into a fresh backend
+    /// of the snapshot's kind. The stable `(at, seq)` order contract makes
+    /// the rebuilt backend's internal layout irrelevant: pop order is
+    /// bit-identical to the original queue's.
+    pub fn restore(snap: &QueueSnapshot<E>) -> EventQueue<E> {
+        let mut q = EventQueue {
+            sched: AnySched::new(snap.kind),
+            next_seq: snap.next_seq,
+            // simlint::allow(hot-path-alloc, snapshot restore is an explicit cold path, never per event)
+            slots: snap.slots.clone(),
+            // simlint::allow(hot-path-alloc, snapshot restore is an explicit cold path, never per event)
+            free_slots: snap.free_slots.clone(),
+            cancelled_in_heap: snap.cancelled_in_heap,
+            now: snap.now,
+            popped: snap.popped,
+            pops: snap.pops,
+            batch: Vec::new(),
+        };
+        for e in &snap.entries {
+            // simlint::allow(hot-path-alloc, snapshot restore is an explicit cold path, never per event)
+            q.sched.push(e.clone());
+        }
+        q
+    }
+}
+
+/// Owned image of an [`EventQueue`]'s complete deterministic state:
+/// canonically ordered entries plus the cancellation slot table, clock, and
+/// counters. Produced by [`EventQueue::snapshot`], consumed by
+/// [`EventQueue::restore`]. Entry order is `(at, seq)` — backend-layout
+/// independent — so snapshots of equivalent queues compare equal
+/// field-by-field and digest identically.
+#[derive(Clone, Debug)]
+pub struct QueueSnapshot<E> {
+    kind: SchedKind,
+    entries: Vec<Entry<E>>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    cancelled_in_heap: usize,
+    now: Time,
+    popped: u64,
+    pops: u64,
+    next_seq: u64,
+}
+
+impl<E> QueueSnapshot<E> {
+    /// The captured entries in canonical `(at, seq)` order, cancelled ones
+    /// included (their slots are dead in the captured slot table). Exposed
+    /// so state digests can hash exactly what a restore would rebuild.
+    pub fn entries(&self) -> &[Entry<E>] {
+        &self.entries
+    }
+
+    /// The captured clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The captured pop counter.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// The captured sequence counter (next `seq` to be assigned).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Scheduler backend the snapshot was taken on (restores rebuild the
+    /// same kind).
+    pub fn kind(&self) -> SchedKind {
+        self.kind
     }
 }
 
@@ -658,5 +872,196 @@ mod tests {
             q.check_invariants().unwrap();
         }
         assert!(q.is_empty());
+    }
+
+    /// The headline batching contract: pop_batch/batch_next delivers the
+    /// exact same (time, event) sequence as sequential pop, on every
+    /// backend, with scattered cancellations in the mix.
+    #[test]
+    fn batched_dispatch_matches_sequential() {
+        on_all_backends(|batched, kind| {
+            let mut sequential = EventQueue::with_sched(kind);
+            let mut x = 0x6C62272E07BB0142u64;
+            let mut ids_b = Vec::new();
+            let mut ids_s = Vec::new();
+            for i in 0..2000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Coarse grid => many same-timestamp collisions.
+                let at = Time::from_ns((x % 64) * 100);
+                if i % 4 == 0 {
+                    ids_b.push(batched.schedule_cancellable(at, i));
+                    ids_s.push(sequential.schedule_cancellable(at, i));
+                } else {
+                    batched.schedule(at, i);
+                    sequential.schedule(at, i);
+                }
+            }
+            for k in (0..ids_b.len()).step_by(3) {
+                batched.cancel(ids_b[k]);
+                sequential.cancel(ids_s[k]);
+            }
+            let mut got = Vec::new();
+            while let Some(t) = batched.pop_batch() {
+                assert_eq!(t, batched.now(), "{kind:?}");
+                while let Some(e) = batched.batch_next() {
+                    got.push((t, e));
+                }
+                batched.check_invariants().unwrap();
+            }
+            let mut want = Vec::new();
+            while let Some(te) = sequential.pop() {
+                want.push(te);
+            }
+            assert_eq!(got, want, "{kind:?}");
+            assert_eq!(batched.popped(), sequential.popped(), "{kind:?}");
+            assert!(
+                batched.pops() < sequential.pops(),
+                "{kind:?}: batching must reduce scheduler interactions \
+                 ({} vs {})",
+                batched.pops(),
+                sequential.pops()
+            );
+        });
+    }
+
+    /// An event cancelled by an *earlier event of the same batch* must not
+    /// be delivered — liveness is checked at serve time, exactly like the
+    /// sequential path.
+    #[test]
+    fn mid_batch_cancellation_skips_event() {
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(7);
+            q.schedule(t, 0u64);
+            let victim = q.schedule_cancellable(t, 1u64);
+            q.schedule(t, 2u64);
+            assert_eq!(q.pop_batch(), Some(t), "{kind:?}");
+            assert_eq!(q.batch_next(), Some(0), "{kind:?}");
+            // "Handler" of event 0 cancels event 1 mid-batch.
+            q.cancel(victim);
+            assert_eq!(q.batch_next(), Some(2), "{kind:?}");
+            assert_eq!(q.batch_next(), None, "{kind:?}");
+            assert!(q.is_empty(), "{kind:?}");
+            q.check_invariants().unwrap();
+        });
+    }
+
+    /// Mixing consumption styles: a partially served batch is drained by
+    /// plain pop(), and peek_time/len stay exact throughout.
+    #[test]
+    fn partial_batch_interops_with_pop_peek_len() {
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(3);
+            for i in 0..4u64 {
+                q.schedule(t, i);
+            }
+            q.schedule(Time::from_us(5), 99);
+            assert_eq!(q.pop_batch(), Some(t), "{kind:?}");
+            assert_eq!(q.batch_next(), Some(0));
+            assert_eq!(q.len(), 4, "{kind:?}: 3 batch leftovers + 1 pending");
+            assert_eq!(q.peek_time(), Some(t), "{kind:?}");
+            assert_eq!(q.pop(), Some((t, 1)), "{kind:?}");
+            q.check_invariants().unwrap();
+            // A fresh pop_batch serves the leftovers before re-entering the
+            // backend.
+            assert_eq!(q.pop_batch(), Some(t), "{kind:?}");
+            assert_eq!(q.batch_next(), Some(2));
+            assert_eq!(q.batch_next(), Some(3));
+            assert_eq!(q.batch_next(), None);
+            assert_eq!(q.pop_batch(), Some(Time::from_us(5)), "{kind:?}");
+            assert_eq!(q.batch_next(), Some(99));
+            assert!(q.pop_batch().is_none(), "{kind:?}");
+        });
+    }
+
+    /// Scheduling from inside a batch (zero-delay self-post) lands in the
+    /// backend, not the current batch: it is served by the *next*
+    /// pop_batch at the same timestamp — identical to what sequential pop
+    /// order dictates (the new event's seq is larger than every already
+    /// scheduled one).
+    #[test]
+    fn schedule_during_batch_defers_to_next_batch() {
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(2);
+            q.schedule(t, 0u64);
+            q.schedule(t, 1u64);
+            assert_eq!(q.pop_batch(), Some(t));
+            assert_eq!(q.batch_next(), Some(0));
+            q.schedule_in(Time::ZERO, 7u64); // handler posts at same instant
+            assert_eq!(q.batch_next(), Some(1), "{kind:?}");
+            assert_eq!(q.batch_next(), None, "{kind:?}");
+            assert_eq!(q.pop_batch(), Some(t), "{kind:?}");
+            assert_eq!(q.batch_next(), Some(7), "{kind:?}");
+            assert!(q.is_empty());
+        });
+    }
+
+    /// Snapshot/restore round-trip: the restored queue pops the exact same
+    /// (time, event) stream, honors pre-snapshot ScheduledIds, and keeps
+    /// counters — on every backend.
+    #[test]
+    fn snapshot_restore_preserves_stream_and_ids() {
+        on_all_backends(|q, kind| {
+            let mut ids = Vec::new();
+            for i in 0..500u64 {
+                let at = Time::from_ns((i * 37) % 900);
+                if i % 5 == 0 {
+                    ids.push(q.schedule_cancellable(at, i));
+                } else {
+                    q.schedule(at, i);
+                }
+            }
+            // Burn some history so now/popped are non-trivial.
+            for _ in 0..100 {
+                q.pop();
+            }
+            q.cancel(ids[20]);
+            let snap = q.snapshot();
+            let mut restored = EventQueue::restore(&snap);
+            assert_eq!(restored.sched_kind(), kind);
+            assert_eq!(restored.now(), q.now());
+            assert_eq!(restored.popped(), q.popped());
+            assert_eq!(restored.len(), q.len());
+            restored.check_invariants().unwrap();
+            // A pre-snapshot id cancels the same event in both queues.
+            q.cancel(ids[40]);
+            restored.cancel(ids[40]);
+            // Diverge identically: same schedules after the fork.
+            q.schedule(q.now() + Time::from_ns(5), 9999);
+            restored.schedule(restored.now() + Time::from_ns(5), 9999);
+            loop {
+                let a = q.pop();
+                let b = restored.pop();
+                assert_eq!(a, b, "{kind:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        });
+    }
+
+    /// Snapshotting mid-batch captures the unserved batch entries: the
+    /// restored queue re-delivers exactly the remainder.
+    #[test]
+    fn snapshot_mid_batch_keeps_unserved_entries() {
+        on_all_backends(|q, kind| {
+            let t = Time::from_us(1);
+            for i in 0..5u64 {
+                q.schedule(t, i);
+            }
+            assert_eq!(q.pop_batch(), Some(t));
+            assert_eq!(q.batch_next(), Some(0));
+            assert_eq!(q.batch_next(), Some(1));
+            let snap = q.snapshot();
+            let mut restored = EventQueue::restore(&snap);
+            assert_eq!(restored.len(), 3, "{kind:?}");
+            let rest: Vec<_> = std::iter::from_fn(|| restored.pop()).collect();
+            assert_eq!(
+                rest,
+                vec![(t, 2), (t, 3), (t, 4)],
+                "{kind:?}"
+            );
+        });
     }
 }

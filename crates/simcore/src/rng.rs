@@ -120,6 +120,13 @@ impl SimRng {
     pub fn choose_index(&mut self, len: usize) -> usize {
         self.below(len as u64) as usize
     }
+
+    /// The raw generator state. Two generators with equal state produce
+    /// identical streams; used by simulation snapshot digests to certify
+    /// that a restored RNG is exactly where the original left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
 }
 
 impl SimRng {

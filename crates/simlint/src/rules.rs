@@ -143,11 +143,17 @@ impl Rule {
                 path == "crates/simcore/src/sched.rs" || path == "crates/netsim/src/sim.rs"
             }
             Rule::AllowWithoutReason => true,
-            // The per-event files: scheduler sift, event loop, switch model.
+            // The per-event files: scheduler sift, event loop (including
+            // the `pop_batch` queue front-end in event.rs), switch model,
+            // and the snapshot/restore path (cold by contract — every
+            // allocation there must carry an explicit cold-path allow, so
+            // hot-loop code can never quietly migrate in).
             Rule::HotPathAlloc => {
                 path == "crates/simcore/src/sched.rs"
+                    || path == "crates/simcore/src/event.rs"
                     || path == "crates/netsim/src/sim.rs"
                     || path == "crates/netsim/src/node.rs"
+                    || path == "crates/netsim/src/snapshot.rs"
             }
             // Same scope as R1: the crates whose values feed simulation
             // state or recorded results.

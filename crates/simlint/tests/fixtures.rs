@@ -195,7 +195,9 @@ fn r7_only_applies_to_per_event_files() {
     for hot in [
         "crates/netsim/src/sim.rs",
         "crates/netsim/src/node.rs",
+        "crates/netsim/src/snapshot.rs",
         "crates/simcore/src/sched.rs",
+        "crates/simcore/src/event.rs",
     ] {
         assert_eq!(unallowed(&lint_source(hot, src), Rule::HotPathAlloc), 4);
     }

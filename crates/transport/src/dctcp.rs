@@ -56,6 +56,7 @@ impl D2tcpConfig {
 }
 
 /// DCTCP/D2TCP transport.
+#[derive(Clone, Debug)]
 pub struct DctcpTransport {
     base: SenderBase,
     cfg: D2tcpConfig,
@@ -140,6 +141,10 @@ impl DctcpTransport {
 }
 
 impl Transport for DctcpTransport {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
+
     fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
         self.arm_rto(ctx);
     }

@@ -58,6 +58,7 @@ struct LinkSnapshot {
 }
 
 /// HPCC transport.
+#[derive(Clone, Debug)]
 pub struct HpccTransport {
     base: SenderBase,
     cfg: HpccConfig,
@@ -160,6 +161,10 @@ impl HpccTransport {
 }
 
 impl Transport for HpccTransport {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
+
     fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
         self.arm_rto(ctx);
     }

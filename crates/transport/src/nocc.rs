@@ -10,6 +10,7 @@ use simcore::Time;
 use crate::sender::{SenderBase, RTO_TOKEN};
 
 /// Blind line-rate transport.
+#[derive(Clone, Debug)]
 pub struct BlastTransport {
     base: SenderBase,
     rto_timer: Option<ScheduledId>,
@@ -37,6 +38,10 @@ impl BlastTransport {
 }
 
 impl Transport for BlastTransport {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
+
     fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
         self.arm_rto(ctx);
     }

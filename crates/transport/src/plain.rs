@@ -9,6 +9,7 @@ use simcore::Time;
 use crate::sender::{SenderBase, RTO_TOKEN};
 
 /// Window-based transport delegating congestion control to a [`DelayCc`].
+#[derive(Clone, Debug)]
 pub struct CcTransport<C: DelayCc> {
     base: SenderBase,
     cc: C,
@@ -44,7 +45,11 @@ impl<C: DelayCc> CcTransport<C> {
     }
 }
 
-impl<C: DelayCc> Transport for CcTransport<C> {
+impl<C: DelayCc + Clone + Send + Sync + 'static> Transport for CcTransport<C> {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
+
     fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
         self.arm_rto(ctx);
     }

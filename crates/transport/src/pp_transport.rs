@@ -17,6 +17,7 @@ pub const PROBE_TOKEN: u64 = 0x9205E;
 pub const PROBE_RTO_TOKEN: u64 = 0x9205F;
 
 /// A transport enhanced with PrioPlus virtual priority.
+#[derive(Clone, Debug)]
 pub struct PrioPlusTransport<C: DelayCc> {
     base: SenderBase,
     pp: PrioPlus<C>,
@@ -88,7 +89,11 @@ impl<C: DelayCc> PrioPlusTransport<C> {
     }
 }
 
-impl<C: DelayCc> Transport for PrioPlusTransport<C> {
+impl<C: DelayCc + Clone + Send + Sync + 'static> Transport for PrioPlusTransport<C> {
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(self.clone())
+    }
+
     fn on_start(&mut self, ctx: &mut TransportCtx<'_>) {
         let action = self.pp.on_flow_start();
         self.handle_action(action, ctx);

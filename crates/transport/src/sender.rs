@@ -13,7 +13,7 @@ use simcore::Time;
 pub const RTO_TOKEN: u64 = 0x5210;
 
 /// Sender-side data-plane state shared by all window-based transports.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SenderBase {
     /// Static flow parameters.
     pub params: FlowParams,

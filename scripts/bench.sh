@@ -86,6 +86,49 @@ if [[ -n "$PREV" ]]; then
         }'
       done
   fi
+  # Batch dispatch (incast rows): batch_avg = events per scheduler pop —
+  # how many same-timestamp events each pop_batch drains in one scheduler
+  # interaction. Falling back toward 1.0 means the batching amortization
+  # is eroding (every event pays a full heap/bucket operation again).
+  extract_batch() {
+    sed -n 's/.*"name": "\([^"]*\)".*"sched_pops": \([0-9]*\), "batch_avg": \([0-9.]*\).*/\1 \2 \3/p' "$1"
+  }
+  if [[ -n "$(extract_batch "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== batch dispatch (events/pop) vs previous $BENCH_FILE ==="
+    join <(extract_batch "$PREV" | sort) <(extract_batch "$BENCH_FILE" | sort) |
+      while read -r name old_pops old_avg new_pops new_avg; do
+        awk -v n="$name" -v o="$old_avg" -v c="$new_avg" \
+            -v op="$old_pops" -v np="$new_pops" 'BEGIN {
+          drift = (o > 0) ? (c - o) / o * 100.0 : 0.0
+          printf "  %-24s batch_avg %6.3f -> %-6.3f (%+.1f%%)  sched_pops %s -> %s\n", \
+            n, o, c, drift, op, np
+        }'
+      done
+  fi
+  # Warm-start sweep: the reduction factor is the point of the snapshot
+  # subsystem — prefix-sharing configs forking from one warmup snapshot
+  # instead of re-simulating it. Dropping toward 1.0 means snapshot/restore
+  # got expensive relative to the warmup it saves.
+  extract_warm() {
+    sed -n 's/.*"warmstart": {"configs": \([0-9]*\), "groups": \([0-9]*\).*"warmstart_reduction": \([0-9.]*\).*/\1 \2 \3/p' "$1"
+  }
+  if [[ -n "$(extract_warm "$BENCH_FILE")" ]]; then
+    echo
+    echo "=== warm-start reduction vs previous $BENCH_FILE ==="
+    old_warm=$(extract_warm "$PREV")
+    new_warm=$(extract_warm "$BENCH_FILE")
+    awk -v o="${old_warm:-}" -v n="$new_warm" 'BEGIN {
+      split(o, a); split(n, b)
+      if (o == "") {
+        printf "  warmstart_sweep        %s configs / %s groups  reduction %.2fx (no previous)\n", b[1], b[2], b[3]
+      } else {
+        drift = (a[3] > 0) ? (b[3] - a[3]) / a[3] * 100.0 : 0.0
+        printf "  warmstart_sweep        %s configs / %s groups  reduction %.2fx -> %.2fx (%+.1f%%)\n", \
+          b[1], b[2], a[3], b[3], drift
+      }
+    }'
+  fi
   # Hyperscale scenario (hyperscale_incast): the memory-budget counters
   # are the headline — peak live flows and resident bytes must track
   # concurrency, not total flow lifetimes. flows_reclaimed drifting below

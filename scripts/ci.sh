@@ -35,19 +35,27 @@
 #      violations, and the deep scan forced to a tight cadence — the
 #      flow-slab reclamation sweep (FlowStateLeak) and occupancy
 #      cross-check run thousands of times over streamed arrivals;
-#   9. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
+#   9. snapshot/resume: the snapshot e2e suite (CC matrix × all three
+#      scheduler backends, resume-at-T bit-identity, the completeness
+#      tamper fleet, the warm-start differential) plus the golden-trace
+#      resume test, rerun with the audit force-enabled and panicking —
+#      the audit mirror rides in the snapshot, so a restore that loses
+#      conservation state fails here loudly;
+#  10. scheduler matrix: tier-1 tests rerun with PRIOPLUS_SCHED=binary
 #      and =quad, so every code path pinned on the calendar-queue default
 #      (unit, e2e, golden) also runs — and stays bit-identical — on the
 #      alternative event schedulers;
-#  10. bench drift: scripts/bench.sh prints events/sec deltas against the
+#  11. bench drift: scripts/bench.sh prints events/sec deltas against the
 #      committed BENCH_simbench.json (informational — inspect by hand;
 #      per-backend rows cover event-queue drift for all three backends,
 #      the arena_churn row carries the allocation counters that pin the
 #      zero-steady-state-allocation contract, the hybrid rows carry the
-#      event_reduction factors that pin the fluid model's speedup, and
-#      the incast_faults row carries the wall-time cost of the fault
-#      overlay on the hot paths, and the hyperscale_incast row carries
-#      the flow-slab memory-budget counters).
+#      event_reduction factors that pin the fluid model's speedup, the
+#      incast_faults row carries the wall-time cost of the fault
+#      overlay on the hot paths, the hyperscale_incast row carries
+#      the flow-slab memory-budget counters, the incast rows carry the
+#      batch_avg events/pop amortization, and the warmstart_sweep row
+#      carries the prefix-sharing warm-start reduction).
 #
 # Each leg prints its wall time on completion.
 #
@@ -77,13 +85,13 @@ if [[ -n "${PRIOPLUS_SCHED:-}" ]]; then
   esac
 fi
 
-echo "=== [1/10] simlint: workspace static analysis ==="
+echo "=== [1/11] simlint: workspace static analysis ==="
 cargo run --release -q -p simlint -- --json target/simlint.json
 echo "ci.sh: JSON report written to target/simlint.json"
 leg_done
 
 echo
-echo "=== [2/10] clippy (-D warnings) ==="
+echo "=== [2/11] clippy (-D warnings) ==="
 if cargo clippy --version >/dev/null 2>&1; then
   cargo clippy --workspace --all-targets -- -D warnings
 else
@@ -92,18 +100,18 @@ fi
 leg_done
 
 echo
-echo "=== [3/10] tier-1: release build + tests ==="
+echo "=== [3/11] tier-1: release build + tests ==="
 cargo build --release
 cargo test -q
 leg_done
 
 echo
-echo "=== [4/10] audit compiles out (netsim --no-default-features) ==="
+echo "=== [4/11] audit compiles out (netsim --no-default-features) ==="
 cargo build --release -p netsim --no-default-features
 leg_done
 
 echo
-echo "=== [5/10] audit-enabled e2e suite (violations are fatal) ==="
+echo "=== [5/11] audit-enabled e2e suite (violations are fatal) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
   cargo test -q --release -p experiments
 echo "--- arena accounting at every event boundary (deep scan forced) ---"
@@ -112,19 +120,19 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
 leg_done
 
 echo
-echo "=== [6/10] hybrid packet/fluid e2e (fluid conservation forced) ==="
+echo "=== [6/11] hybrid packet/fluid e2e (fluid conservation forced) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_hybrid
 leg_done
 
 echo
-echo "=== [7/10] fault-regime e2e (deadlock monitor, conservation under failure) ==="
+echo "=== [7/11] fault-regime e2e (deadlock monitor, conservation under failure) ==="
 PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=1 \
   cargo test -q --release -p experiments --test e2e_faults
 leg_done
 
 echo
-echo "=== [8/10] hyperscale smoke (k=8 open-loop, slab reclamation audited) ==="
+echo "=== [8/11] hyperscale smoke (k=8 open-loop, slab reclamation audited) ==="
 # Deep cadence 256, not 1: the deep scan's flow sweep is O(flows), and the
 # hyperscale suite runs thousands of streamed flows over millions of
 # events — an every-event sweep is quadratic and takes >10 min. 256 still
@@ -135,13 +143,23 @@ PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 PRIOPLUS_AUDIT_DEEP=256 \
 leg_done
 
 echo
-echo "=== [9/10] scheduler-backend matrix (binary, quad) ==="
+echo "=== [9/11] snapshot/resume bit-identity (audited CC matrix) ==="
+# The snapshot suite's headline test already audits both halves of every
+# matrix run internally; forcing the audit on every Sim additionally
+# covers the warm-start sweep and tamper-fleet simulators, and the panic
+# switch turns any conservation drift across a snapshot boundary fatal.
+PRIOPLUS_AUDIT=1 PRIOPLUS_AUDIT_PANIC=1 \
+  cargo test -q --release -p experiments --test e2e_snapshot --test golden_traces
+leg_done
+
+echo
+echo "=== [10/11] scheduler-backend matrix (binary, quad) ==="
 PRIOPLUS_SCHED=binary cargo test -q
 PRIOPLUS_SCHED=quad cargo test -q
 leg_done
 
 echo
-echo "=== [10/10] benchmark drift vs committed BENCH_simbench.json ==="
+echo "=== [11/11] benchmark drift vs committed BENCH_simbench.json ==="
 scripts/bench.sh
 leg_done
 

@@ -9,6 +9,7 @@
 
 use experiments::golden::{cases, summarize, GoldenOpts};
 use experiments::SchedKind;
+use simcore::Time;
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -70,6 +71,25 @@ fn golden_traces_are_identical_and_clean_under_audit() {
             "{}: audit violations {:?}",
             case.name, report.violations
         );
+    }
+}
+
+/// Snapshot/resume is bit-exact: interrupting each golden case mid-run,
+/// snapshotting, and finishing on the restored simulator must reproduce
+/// the uninterrupted summary byte-for-byte — at an early horizon (probing
+/// the slow-start / PFC ramp) and a late one (deep steady state).
+#[test]
+fn golden_traces_survive_snapshot_resume() {
+    for case in cases() {
+        let straight = summarize(&(case.run)(GoldenOpts::default()));
+        for at_ms in [1u64, 6] {
+            let resumed = summarize(&(case.run)(GoldenOpts::resumed(Time::from_ms(at_ms))));
+            assert_eq!(
+                straight, resumed,
+                "{}: snapshot/resume at {at_ms} ms changed the simulation",
+                case.name
+            );
+        }
     }
 }
 
